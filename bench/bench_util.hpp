@@ -1,0 +1,52 @@
+// Shared setup helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "dist/types.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp::bench {
+
+/// Creates a block-distributed 1-D double array over `procs`.
+inline dist::ArrayId make_vector(core::Runtime& rt, int n,
+                                 const std::vector<int>& procs,
+                                 const dist::BorderSpec& borders =
+                                     dist::BorderSpec::none()) {
+  dist::ArrayId id;
+  rt.arrays().create_array(0, dist::ElemType::Float64, {n}, procs,
+                           {dist::DimSpec::block()}, borders,
+                           dist::Indexing::RowMajor, id);
+  return id;
+}
+
+/// Creates a row-distributed 2-D double array ((block, *)) over `procs`.
+inline dist::ArrayId make_matrix_rows(core::Runtime& rt, int rows, int cols,
+                                      const std::vector<int>& procs,
+                                      const dist::BorderSpec& borders =
+                                          dist::BorderSpec::none()) {
+  dist::ArrayId id;
+  rt.arrays().create_array(0, dist::ElemType::Float64, {rows, cols}, procs,
+                           {dist::DimSpec::block(), dist::DimSpec::star()},
+                           borders, dist::Indexing::RowMajor, id);
+  return id;
+}
+
+/// Simulated per-node compute time.
+///
+/// The virtual processors model a multicomputer's nodes; the concurrency
+/// shapes the thesis figures claim (pipeline overlap, concurrent calls on
+/// disjoint groups, independent frames) are about overlap of *node* time.
+/// On a host with fewer physical cores than simulated processors, CPU-bound
+/// node work serialises and hides the shape, so the overlap benchmarks
+/// represent node compute as wall-clock delay — which overlaps across
+/// simulated nodes regardless of host core count, exactly as node compute
+/// overlaps on a real multicomputer.
+inline void simulated_node_work(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace tdp::bench

@@ -1,0 +1,139 @@
+// §7.2.1 extension — direct communication between data-parallel programs.
+//
+// The thesis identifies the through-the-caller coupling as a bottleneck
+// "for problems in which there is a significant amount of data to be
+// exchanged among different data-parallel programs" and proposes channels.
+// Series: per-exchange cost of (a) returning to the caller between inner
+// steps and moving boundary data via global element access vs (b) one long
+// distributed call per model with direct channel exchanges — as the
+// exchange payload grows.  Expect a crossover firmly in favour of channels
+// as coupling gets finer or payloads get bigger.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/channels.hpp"
+#include "pcn/process.hpp"
+
+namespace {
+
+using namespace tdp;
+
+constexpr int kGroup = 2;
+
+/// Model A and B each smooth their field once per inner step and exchange a
+/// `payload`-sized boundary strip with the other model.
+void register_models(core::Runtime& rt) {
+  // Channel version: one call runs all inner steps; copy 0 exchanges the
+  // strip directly each step.
+  rt.programs().add("strip_model_channels",
+                    [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                      const int steps = args.in<int>(0);
+                      const int payload = args.in<int>(1);
+                      const dist::LocalSectionView& u = args.local(2);
+                      core::Port& port = args.port(3);
+                      const long long m = u.interior_count();
+                      for (int s = 0; s < steps; ++s) {
+                        for (long long i = 0; i < m; ++i) {
+                          u.f64()[i] = 0.5 * (u.f64()[i] + 1.0);
+                        }
+                        if (ctx.index() == 0) {
+                          port.send<double>(std::span<const double>(
+                              u.f64(), static_cast<std::size_t>(payload)));
+                          std::vector<double> strip = port.recv<double>();
+                          for (int i = 0; i < payload; ++i) {
+                            u.f64()[i] = 0.5 * (u.f64()[i] +
+                                                strip[static_cast<std::size_t>(i)]);
+                          }
+                        }
+                      }
+                    });
+  // Caller version: one call per inner step; the strip moves through the
+  // task-parallel level via global element reads/writes.
+  rt.programs().add("strip_model_step",
+                    [](spmd::SpmdContext&, core::CallArgs& args) {
+                      const dist::LocalSectionView& u = args.local(0);
+                      const long long m = u.interior_count();
+                      for (long long i = 0; i < m; ++i) {
+                        u.f64()[i] = 0.5 * (u.f64()[i] + 1.0);
+                      }
+                    });
+}
+
+void BM_CouplingThroughCaller(benchmark::State& state) {
+  const int payload = static_cast<int>(state.range(0));
+  const int steps = 16;
+  const int cells = 4096;
+  core::Runtime rt(2 * kGroup);
+  register_models(rt);
+  const std::vector<int> pa = util::node_array(0, 1, kGroup);
+  const std::vector<int> pb = util::node_array(kGroup, 1, kGroup);
+  dist::ArrayId a = bench::make_vector(rt, cells, pa);
+  dist::ArrayId b = bench::make_vector(rt, cells, pb);
+  for (auto _ : state) {
+    for (int s = 0; s < steps; ++s) {
+      pcn::par([&] { rt.call(pa, "strip_model_step").local(a).run(); },
+               [&] { rt.call(pb, "strip_model_step").local(b).run(); });
+      // Exchange the boundary strip through global element access.
+      for (int i = 0; i < payload; ++i) {
+        dist::Scalar va;
+        dist::Scalar vb;
+        rt.arrays().read_element(0, a, std::vector<int>{i}, va);
+        rt.arrays().read_element(0, b, std::vector<int>{i}, vb);
+        const double avg = 0.5 * (dist::scalar_to_double(va) +
+                                  dist::scalar_to_double(vb));
+        rt.arrays().write_element(0, a, std::vector<int>{i},
+                                  dist::Scalar{avg});
+        rt.arrays().write_element(0, b, std::vector<int>{i},
+                                  dist::Scalar{avg});
+      }
+    }
+  }
+  state.counters["payload"] = payload;
+}
+BENCHMARK(BM_CouplingThroughCaller)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CouplingThroughChannels(benchmark::State& state) {
+  const int payload = static_cast<int>(state.range(0));
+  const int steps = 16;
+  const int cells = 4096;
+  core::Runtime rt(2 * kGroup);
+  register_models(rt);
+  const std::vector<int> pa = util::node_array(0, 1, kGroup);
+  const std::vector<int> pb = util::node_array(kGroup, 1, kGroup);
+  dist::ArrayId a = bench::make_vector(rt, cells, pa);
+  dist::ArrayId b = bench::make_vector(rt, cells, pb);
+  for (auto _ : state) {
+    auto [side_a, side_b] = core::make_channels(kGroup);
+    pcn::par(
+        [&, sa = side_a] {
+          rt.call(pa, "strip_model_channels")
+              .constant(steps)
+              .constant(payload)
+              .local(a)
+              .port(sa)
+              .run();
+        },
+        [&, sb = side_b] {
+          rt.call(pb, "strip_model_channels")
+              .constant(steps)
+              .constant(payload)
+              .local(b)
+              .port(sb)
+              .run();
+        });
+  }
+  state.counters["payload"] = payload;
+}
+BENCHMARK(BM_CouplingThroughChannels)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

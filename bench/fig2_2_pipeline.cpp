@@ -1,0 +1,133 @@
+// Figure 2.2 — the Fourier-transform pipeline.
+//
+// Three data-parallel stages (inverse DFT, elementwise manipulation,
+// forward DFT) execute concurrently as a pipeline under a task-parallel top
+// level.  The paper's claim: "except during the initial filling of the
+// pipeline, all stages can operate concurrently" — while stage 1 processes
+// dataset N, stage 2 processes N-1 and stage 3 processes N-2.  The
+// measurable shape: for M datasets, pipelined wall time approaches
+// (M + 2) * t_stage while serial execution costs M * 3 * t_stage, i.e. a
+// speedup approaching the number of stages.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "fft/fft.hpp"
+#include "pcn/process.hpp"
+#include "pcn/stream.hpp"
+
+namespace {
+
+using namespace tdp;
+using Dataset = std::vector<double>;
+
+constexpr int kTransform = 512;  // complex points per dataset
+constexpr int kGroup = 2;        // processors per stage
+
+struct Pipe {
+  core::Runtime rt{3 * kGroup};
+  std::vector<std::vector<int>> groups;
+  std::vector<dist::ArrayId> data;
+  std::vector<dist::ArrayId> eps;
+
+  Pipe() {
+    fft::register_programs(rt.programs());
+    for (int s = 0; s < 3; ++s) {
+      groups.push_back(util::node_array(s * kGroup, 1, kGroup));
+      data.push_back(bench::make_vector(rt, 2 * kTransform, groups.back()));
+      dist::ArrayId e;
+      rt.arrays().create_array(
+          0, dist::ElemType::Float64, {2 * kTransform, kGroup},
+          groups.back(), {dist::DimSpec::star(), dist::DimSpec::block()},
+          dist::BorderSpec::none(), dist::Indexing::ColumnMajor, e);
+      rt.call(groups.back(), "compute_roots")
+          .constant(kTransform)
+          .local(e)
+          .run();
+      eps.push_back(e);
+    }
+  }
+
+  /// One stage's data-parallel work on stage s: a transform on its array
+  /// plus simulated node compute time (see bench_util.hpp: wall-clock delay
+  /// stands in for node compute so stage overlap is visible on any host).
+  void stage(int s, bool forward) {
+    bench::simulated_node_work(2.0);
+    rt.call(groups[static_cast<std::size_t>(s)],
+            forward ? "fft_natural" : "fft_reverse")
+        .constant(groups[static_cast<std::size_t>(s)])
+        .constant(kGroup)
+        .index()
+        .constant(kTransform)
+        .constant(forward ? fft::kForward : fft::kInverse)
+        .local(eps[static_cast<std::size_t>(s)])
+        .local(data[static_cast<std::size_t>(s)])
+        .run();
+  }
+};
+
+void BM_SerialStages(benchmark::State& state) {
+  // Baseline: all three stages for each dataset, one dataset at a time.
+  const int datasets = static_cast<int>(state.range(0));
+  Pipe pipe;
+  for (auto _ : state) {
+    for (int d = 0; d < datasets; ++d) {
+      pipe.stage(0, false);
+      pipe.stage(1, false);
+      pipe.stage(2, true);
+    }
+  }
+  state.counters["datasets"] = datasets;
+  state.SetItemsProcessed(state.iterations() * datasets);
+}
+BENCHMARK(BM_SerialStages)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelinedStages(benchmark::State& state) {
+  // The figure's shape: stages run as persistent task-parallel processes
+  // connected by streams; dataset d+1 enters stage 1 while d is in stage 2.
+  const int datasets = static_cast<int>(state.range(0));
+  Pipe pipe;
+  for (auto _ : state) {
+    pcn::Stream<int> s01;
+    pcn::Stream<int> s12;
+    pcn::Stream<int> s2out;
+    pcn::par(
+        [&] {
+          pcn::Stream<int> t = s01;
+          for (int d = 0; d < datasets; ++d) {
+            pipe.stage(0, false);
+            t = t.put(d);
+          }
+          t.close();
+        },
+        [&] {
+          pcn::Stream<int> in = s01;
+          pcn::Stream<int> out = s12;
+          while (in.next()) {
+            pipe.stage(1, false);
+            out = out.put(0);
+          }
+          out.close();
+        },
+        [&] {
+          pcn::Stream<int> in = s12;
+          pcn::Stream<int> out = s2out;
+          while (in.next()) {
+            pipe.stage(2, true);
+            out = out.put(0);
+          }
+          out.close();
+        },
+        [&] {
+          pcn::Stream<int> in = s2out;
+          while (in.next()) {
+          }
+        });
+  }
+  state.counters["datasets"] = datasets;
+  state.SetItemsProcessed(state.iterations() * datasets);
+}
+BENCHMARK(BM_PipelinedStages)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Figure 2.4 — generation of animation frames.
+//
+// The inherently-parallel problem class: K independent data-parallel
+// programs with no communication among them.  Shape claim: rendering K
+// frames concurrently on K disjoint groups costs about the time of one
+// frame; rendering them one after another costs K times that.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "bench_util.hpp"
+#include "pcn/process.hpp"
+
+namespace {
+
+using namespace tdp;
+
+constexpr int kGroup = 2;
+constexpr int kSize = 48;
+
+void register_renderer(core::Runtime& rt) {
+  rt.programs().add(
+      "render_frame", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+        const double phase = args.in<double>(0);
+        const dist::LocalSectionView& img = args.local(1);
+        const int rows = img.interior_dims[0];
+        const int cols = img.interior_dims[1];
+        const std::complex<double> c{0.7885 * std::cos(phase),
+                                     0.7885 * std::sin(phase)};
+        const int row0 = ctx.index() * rows;
+        for (int r = 0; r < rows; ++r) {
+          for (int col = 0; col < cols; ++col) {
+            std::complex<double> z{
+                -1.6 + 3.2 * (row0 + r) / (rows * ctx.nprocs()),
+                -1.6 + 3.2 * col / cols};
+            int it = 0;
+            while (std::norm(z) < 4.0 && it < 128) {
+              z = z * z + c;
+              ++it;
+            }
+            img.f64()[static_cast<std::size_t>(r) * cols + col] = it;
+          }
+        }
+      });
+}
+
+struct Frames {
+  int nframes;
+  core::Runtime rt;
+  std::vector<std::vector<int>> groups;
+  std::vector<dist::ArrayId> images;
+
+  explicit Frames(int k) : nframes(k), rt(k * kGroup) {
+    register_renderer(rt);
+    for (int f = 0; f < k; ++f) {
+      groups.push_back(util::node_array(f * kGroup, 1, kGroup));
+      images.push_back(
+          bench::make_matrix_rows(rt, kSize, kSize, groups.back()));
+    }
+  }
+
+  void render(int f) {
+    // Simulated node compute (see bench_util.hpp) so independent frames
+    // overlap on any host, as on a real multicomputer.
+    bench::simulated_node_work(5.0);
+    rt.call(groups[static_cast<std::size_t>(f)], "render_frame")
+        .constant(0.4 * f)
+        .local(images[static_cast<std::size_t>(f)])
+        .run();
+  }
+};
+
+void BM_FramesSequential(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Frames frames(k);
+  for (auto _ : state) {
+    for (int f = 0; f < k; ++f) frames.render(f);
+  }
+  state.counters["frames"] = k;
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_FramesSequential)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_FramesConcurrent(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Frames frames(k);
+  for (auto _ : state) {
+    pcn::ProcessGroup top;
+    for (int f = 0; f < k; ++f) {
+      top.spawn([&, f] { frames.render(f); });
+    }
+    top.join();
+  }
+  state.counters["frames"] = k;
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_FramesConcurrent)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

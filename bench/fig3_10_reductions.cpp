@@ -1,0 +1,103 @@
+// Figure 3.10 — the wrapper and combine programs.
+//
+// Every distributed call funnels its copies' local status and reduction
+// variables through pairwise combines (§5.2.2).  Series: merge cost as the
+// group grows, as the reduction payload grows, and the default max status
+// combine vs a user combine program.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/distributed_call.hpp"
+
+namespace {
+
+using namespace tdp;
+
+void BM_StatusMergeByGroupSize(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  core::Runtime rt(p);
+  rt.programs().add("status_only",
+                    [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                      args.status(0) = ctx.index();
+                    });
+  const std::vector<int> procs = rt.all_procs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rt.call(procs, "status_only").status().run());
+  }
+  state.counters["procs"] = p;
+}
+BENCHMARK(BM_StatusMergeByGroupSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+void BM_StatusMergeUserCombine(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  core::Runtime rt(p);
+  rt.programs().add("status_only2",
+                    [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                      args.status(0) = ctx.index();
+                    });
+  const std::vector<int> procs = rt.all_procs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.call(procs, "status_only2")
+                                 .status(core::status_combine_min)
+                                 .run());
+  }
+  state.counters["procs"] = p;
+}
+BENCHMARK(BM_StatusMergeUserCombine)->Arg(4)->Arg(16)->UseRealTime();
+
+void BM_ReduceMergeByLength(benchmark::State& state) {
+  // The thesis allows reduction variables of any length — the combine
+  // program then does O(P * len) work per call.
+  const int len = static_cast<int>(state.range(0));
+  const int p = 8;
+  core::Runtime rt(p);
+  rt.programs().add("reduce_len",
+                    [len](spmd::SpmdContext&, core::CallArgs& args) {
+                      auto r = args.reduce_f64(0);
+                      for (int i = 0; i < len; ++i) {
+                        r[static_cast<std::size_t>(i)] = i;
+                      }
+                    });
+  const std::vector<int> procs = rt.all_procs();
+  std::vector<double> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.call(procs, "reduce_len")
+                                 .reduce_f64(static_cast<std::size_t>(len),
+                                             core::f64_sum(), &out)
+                                 .run());
+  }
+  state.counters["len"] = len;
+  state.SetBytesProcessed(state.iterations() * static_cast<long long>(len) *
+                          p * static_cast<long long>(sizeof(double)));
+}
+BENCHMARK(BM_ReduceMergeByLength)->Arg(1)->Arg(64)->Arg(4096)->Arg(65536)->UseRealTime();
+
+void BM_ManyReduceVariables(benchmark::State& state) {
+  // Several independent reduction variables in one call (allowed: "any
+  // number", §3.3.1.2) vs the same payload as one long variable.
+  const int vars = static_cast<int>(state.range(0));
+  const int p = 4;
+  core::Runtime rt(p);
+  rt.programs().add("multi_reduce",
+                    [vars](spmd::SpmdContext&, core::CallArgs& args) {
+                      for (int v = 0; v < vars; ++v) {
+                        args.reduce_f64(static_cast<std::size_t>(v))[0] = v;
+                      }
+                    });
+  const std::vector<int> procs = rt.all_procs();
+  std::vector<std::vector<double>> outs(static_cast<std::size_t>(vars));
+  for (auto _ : state) {
+    core::DistributedCall call = rt.call(procs, "multi_reduce");
+    for (int v = 0; v < vars; ++v) {
+      call.reduce_f64(1, core::f64_sum(), &outs[static_cast<std::size_t>(v)]);
+    }
+    benchmark::DoNotOptimize(call.run());
+  }
+  state.counters["vars"] = vars;
+}
+BENCHMARK(BM_ManyReduceVariables)->Arg(1)->Arg(8)->Arg(64)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

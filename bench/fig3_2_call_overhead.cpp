@@ -1,0 +1,92 @@
+// Figure 3.2/3.3 — control and data flow of a distributed call.
+//
+// Measures the pure call/return machinery of §3.3.2.2 (spawn one copy per
+// processor, resolve parameters, run, merge, resume the caller) as a
+// function of group size and parameter mix.  The paper's claim is
+// structural — the caller suspends, one copy runs per processor, control
+// returns after all copies — so the series of interest is how overhead
+// grows with P and with the number of parameters to marshal.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/distributed_call.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace tdp;
+
+void BM_EmptyCall(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  core::Runtime rt(p);
+  rt.programs().add("noop", [](spmd::SpmdContext&, core::CallArgs&) {});
+  const std::vector<int> procs = rt.all_procs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.call(procs, "noop").run());
+  }
+  state.counters["procs"] = p;
+}
+BENCHMARK(BM_EmptyCall)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
+
+void BM_CallWithAllParameterKinds(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  core::Runtime rt(p);
+  rt.programs().add("touch_all",
+                    [](spmd::SpmdContext&, core::CallArgs& args) {
+                      benchmark::DoNotOptimize(args.in<int>(0));
+                      benchmark::DoNotOptimize(args.index(1));
+                      benchmark::DoNotOptimize(args.local(2).f64());
+                      args.status(3) = 0;
+                      args.reduce_f64(4)[0] = 1.0;
+                    });
+  const std::vector<int> procs = rt.all_procs();
+  dist::ArrayId a = bench::make_vector(rt, 64 * p, procs);
+  std::vector<double> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.call(procs, "touch_all")
+                                 .constant(7)
+                                 .index()
+                                 .local(a)
+                                 .status()
+                                 .reduce_f64(1, core::f64_sum(), &out)
+                                 .run());
+  }
+  state.counters["procs"] = p;
+}
+BENCHMARK(BM_CallWithAllParameterKinds)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_CallerSuspendsUntilAllCopiesReturn(benchmark::State& state) {
+  // The useful-work baseline: copies do real work (inner product with an
+  // internal allreduce); call overhead amortises as work grows.
+  const int p = 4;
+  const int local_m = static_cast<int>(state.range(0));
+  core::Runtime rt(p);
+  linalg::register_programs(rt.programs());
+  const std::vector<int> procs = rt.all_procs();
+  dist::ArrayId v1 = bench::make_vector(rt, p * local_m, procs);
+  dist::ArrayId v2 = bench::make_vector(rt, p * local_m, procs);
+  std::vector<double> out;
+  for (auto _ : state) {
+    rt.call(procs, "test_iprdv")
+        .constant(procs)
+        .constant(p)
+        .index()
+        .constant(p * local_m)
+        .constant(local_m)
+        .local(v1)
+        .local(v2)
+        .reduce_f64(1, core::f64_max(), &out)
+        .run();
+  }
+  state.counters["local_m"] = local_m;
+  state.SetItemsProcessed(state.iterations() * p * local_m);
+}
+BENCHMARK(BM_CallerSuspendsUntilAllCopiesReturn)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(262144)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Figure 3.7 — local sections with borders, and the verify_array cost
+// model (§3.2.1.3, §4.2.7).
+//
+// The thesis notes that changing an array's borders requires reallocating
+// and copying every local section — "an expensive operation" that may be
+// unavoidable when one array feeds two data-parallel programs.  This bench
+// quantifies that: verify with matching borders (a cheap check) vs verify
+// with mismatching borders (reallocate + interior copy), as the array
+// grows, plus the creation overhead of bordered vs borderless arrays.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tdp;
+
+void BM_VerifyMatchingBorders(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Runtime rt(4);
+  dist::ArrayId id = bench::make_vector(rt, n, rt.all_procs(),
+                                        dist::BorderSpec::exact({2, 2}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.arrays().verify_array(
+        0, id, 1, dist::BorderSpec::exact({2, 2}), dist::Indexing::RowMajor));
+  }
+  state.counters["elements"] = n;
+}
+BENCHMARK(BM_VerifyMatchingBorders)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_VerifyMismatchReallocatesAndCopies(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Runtime rt(4);
+  dist::ArrayId id = bench::make_vector(rt, n, rt.all_procs(),
+                                        dist::BorderSpec::exact({2, 2}));
+  bool toggle = false;
+  for (auto _ : state) {
+    // Alternate between the two border shapes so every iteration pays the
+    // full reallocate-and-copy path.
+    const std::vector<int> want = toggle ? std::vector<int>{2, 2}
+                                         : std::vector<int>{1, 1};
+    toggle = !toggle;
+    benchmark::DoNotOptimize(rt.arrays().verify_array(
+        0, id, 1, dist::BorderSpec::exact(want), dist::Indexing::RowMajor));
+  }
+  state.counters["elements"] = n;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VerifyMismatchReallocatesAndCopies)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1048576);
+
+void BM_CreateFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool bordered = state.range(1) != 0;
+  core::Runtime rt(4);
+  const dist::BorderSpec borders = bordered
+                                       ? dist::BorderSpec::exact({2, 2})
+                                       : dist::BorderSpec::none();
+  for (auto _ : state) {
+    dist::ArrayId id;
+    rt.arrays().create_array(0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                             {dist::DimSpec::block()}, borders,
+                             dist::Indexing::RowMajor, id);
+    rt.arrays().free_array(0, id);
+  }
+  state.counters["elements"] = n;
+  state.counters["bordered"] = bordered ? 1 : 0;
+}
+BENCHMARK(BM_CreateFree)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({262144, 0})
+    ->Args({262144, 1});
+
+void BM_Verify2D(benchmark::State& state) {
+  // 2-D arrays: the interior copy walks a multi-index per element, the
+  // worst case for the copy_local path.
+  const int n = static_cast<int>(state.range(0));
+  core::Runtime rt(4);
+  dist::ArrayId id;
+  rt.arrays().create_array(0, dist::ElemType::Float64, {n, n},
+                           rt.all_procs(),
+                           {dist::DimSpec::block(), dist::DimSpec::block()},
+                           dist::BorderSpec::exact({1, 1, 1, 1}),
+                           dist::Indexing::RowMajor, id);
+  bool toggle = false;
+  for (auto _ : state) {
+    const std::vector<int> want = toggle ? std::vector<int>{1, 1, 1, 1}
+                                         : std::vector<int>{2, 2, 2, 2};
+    toggle = !toggle;
+    benchmark::DoNotOptimize(rt.arrays().verify_array(
+        0, id, 2, dist::BorderSpec::exact(want), dist::Indexing::RowMajor));
+  }
+  state.counters["elements"] = static_cast<double>(n) * n;
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n) * n);
+}
+BENCHMARK(BM_Verify2D)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

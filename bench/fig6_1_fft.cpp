@@ -1,0 +1,150 @@
+// Figure 6.1 / §6.2 — polynomial multiplication using a pipeline and FFT.
+//
+// Series: the distributed FFT kernel's scaling in transform size and group
+// size, the two concurrent inverse FFTs of a pair vs doing them one after
+// another (the fork in fig 6.1), and end-to-end products per second through
+// the three-stage arrangement.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "fft/fft.hpp"
+#include "pcn/process.hpp"
+
+namespace {
+
+using namespace tdp;
+
+struct FftFixture {
+  int n;
+  int group;
+  core::Runtime rt;
+  std::vector<int> procs;
+  dist::ArrayId data;
+  dist::ArrayId eps;
+
+  FftFixture(int n_, int group_, int base = 0, int total = 0)
+      : n(n_), group(group_), rt(total > 0 ? total : group_) {
+    fft::register_programs(rt.programs());
+    procs = util::node_array(base, 1, group);
+    data = bench::make_vector(rt, 2 * n, procs);
+    rt.arrays().create_array(0, dist::ElemType::Float64, {2 * n, group},
+                             procs,
+                             {dist::DimSpec::star(), dist::DimSpec::block()},
+                             dist::BorderSpec::none(),
+                             dist::Indexing::ColumnMajor, eps);
+    rt.call(procs, "compute_roots").constant(n).local(eps).run();
+  }
+
+  void transform(bool forward) {
+    rt.call(procs, forward ? "fft_natural" : "fft_reverse")
+        .constant(procs)
+        .constant(group)
+        .index()
+        .constant(n)
+        .constant(forward ? fft::kForward : fft::kInverse)
+        .local(eps)
+        .local(data)
+        .run();
+  }
+};
+
+void BM_DistributedFftBySize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FftFixture fx(n, 4);
+  for (auto _ : state) {
+    fx.transform(false);
+  }
+  state.counters["n"] = n;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DistributedFftBySize)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)->UseRealTime();
+
+void BM_DistributedFftByGroup(benchmark::State& state) {
+  const int group = static_cast<int>(state.range(0));
+  FftFixture fx(16384, group);
+  for (auto _ : state) {
+    fx.transform(false);
+  }
+  state.counters["group"] = group;
+}
+BENCHMARK(BM_DistributedFftByGroup)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PairInverseFftsSequential(benchmark::State& state) {
+  // The two inverse FFTs of one polynomial pair, one after the other.
+  const int n = 8192;
+  FftFixture fa(n, 2, 0, 4);
+  // Second transform array on the other half of the same machine: build it
+  // in fa's runtime for a fair comparison.
+  const std::vector<int> procs_b = util::node_array(2, 1, 2);
+  dist::ArrayId data_b = bench::make_vector(fa.rt, 2 * n, procs_b);
+  dist::ArrayId eps_b;
+  fa.rt.arrays().create_array(0, dist::ElemType::Float64, {2 * n, 2},
+                              procs_b,
+                              {dist::DimSpec::star(), dist::DimSpec::block()},
+                              dist::BorderSpec::none(),
+                              dist::Indexing::ColumnMajor, eps_b);
+  fa.rt.call(procs_b, "compute_roots").constant(n).local(eps_b).run();
+  auto run_b = [&] {
+    fa.rt.call(procs_b, "fft_reverse")
+        .constant(procs_b)
+        .constant(2)
+        .index()
+        .constant(n)
+        .constant(fft::kInverse)
+        .local(eps_b)
+        .local(data_b)
+        .run();
+  };
+  for (auto _ : state) {
+    bench::simulated_node_work(4.0);
+    fa.transform(false);
+    bench::simulated_node_work(4.0);
+    run_b();
+  }
+}
+BENCHMARK(BM_PairInverseFftsSequential)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PairInverseFftsConcurrent(benchmark::State& state) {
+  // Fig 6.1's fork: the two inverse FFTs of a pair run concurrently on
+  // disjoint groups — expect close to half the sequential time.
+  const int n = 8192;
+  FftFixture fa(n, 2, 0, 4);
+  const std::vector<int> procs_b = util::node_array(2, 1, 2);
+  dist::ArrayId data_b = bench::make_vector(fa.rt, 2 * n, procs_b);
+  dist::ArrayId eps_b;
+  fa.rt.arrays().create_array(0, dist::ElemType::Float64, {2 * n, 2},
+                              procs_b,
+                              {dist::DimSpec::star(), dist::DimSpec::block()},
+                              dist::BorderSpec::none(),
+                              dist::Indexing::ColumnMajor, eps_b);
+  fa.rt.call(procs_b, "compute_roots").constant(n).local(eps_b).run();
+  for (auto _ : state) {
+    pcn::par(
+        [&] {
+          bench::simulated_node_work(4.0);
+          fa.transform(false);
+        },
+        [&] {
+          bench::simulated_node_work(4.0);
+          fa.rt.call(procs_b, "fft_reverse")
+              .constant(procs_b)
+              .constant(2)
+              .index()
+              .constant(n)
+              .constant(fft::kInverse)
+              .local(eps_b)
+              .local(data_b)
+              .run();
+        });
+  }
+}
+BENCHMARK(BM_PairInverseFftsConcurrent)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,270 @@
+// Polynomial multiplication using a pipeline and FFT — the thesis's main
+// example (§6.2, figures 2.2 and 6.1).
+//
+// Input: a sequence of pairs of polynomials (F_j, G_j) of degree n-1.
+// Output: the products H_j = F_j * G_j of degree 2n-2.  Per §6.2.1:
+//   1. pad each polynomial to length 2n and evaluate it at the 2n-th roots
+//      of unity — an *inverse* FFT (bit-reversed input, natural output);
+//   2. multiply the two evaluation vectors elementwise;
+//   3. fit the product polynomial — a *forward* FFT (natural input,
+//      bit-reversed output) including the division by 2n.
+//
+// The three steps form a pipeline of concurrently-executing stages, each a
+// data-parallel program on its own processor group; the two inverse FFTs of
+// a pair run concurrently (fig 6.1).  Stages are task-parallel processes
+// connected by definitional streams, exactly the thesis's program shape.
+#include <cmath>
+#include <cstdlib>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "fft/fft.hpp"
+#include "fft/reference.hpp"
+#include "pcn/process.hpp"
+#include "pcn/stream.hpp"
+#include "util/atomic_print.hpp"
+#include "util/bits.hpp"
+#include "util/node_array.hpp"
+
+namespace {
+
+using tdp::dist::ArrayId;
+using tdp::dist::Scalar;
+using Dataset = std::vector<double>;  // interleaved complex, 2*NN doubles
+
+/// get_input + pad_input (§6.2.2): writes the N real coefficients into the
+/// length-2N complex distributed array in bit-reversed positions and pads
+/// the upper half with zeros.
+void load_bit_reversed(tdp::core::Runtime& rt, ArrayId array, int nn,
+                       const std::vector<double>& coeffs) {
+  const int bits = tdp::util::floor_log2(nn);
+  for (int j = 0; j < nn; ++j) {
+    const auto pos = static_cast<int>(tdp::util::bit_reverse(
+        bits, static_cast<std::uint64_t>(j)));
+    const double re =
+        j < static_cast<int>(coeffs.size()) ? coeffs[static_cast<std::size_t>(j)] : 0.0;
+    rt.arrays().write_element(0, array, std::vector<int>{2 * pos},
+                              Scalar{re});
+    rt.arrays().write_element(0, array, std::vector<int>{2 * pos + 1},
+                              Scalar{0.0});
+  }
+}
+
+/// Reads the whole array in storage order (2*NN doubles).
+Dataset read_storage(tdp::core::Runtime& rt, ArrayId array, int nn) {
+  Dataset out(static_cast<std::size_t>(2 * nn));
+  for (int s = 0; s < 2 * nn; ++s) {
+    Scalar v;
+    rt.arrays().read_element(0, array, std::vector<int>{s}, v);
+    out[static_cast<std::size_t>(s)] = tdp::dist::scalar_to_double(v);
+  }
+  return out;
+}
+
+/// Writes a dataset into the array in storage order.
+void write_storage(tdp::core::Runtime& rt, ArrayId array,
+                   const Dataset& data) {
+  for (int s = 0; s < static_cast<int>(data.size()); ++s) {
+    rt.arrays().write_element(0, array, std::vector<int>{s},
+                              Scalar{data[static_cast<std::size_t>(s)]});
+  }
+}
+
+/// put_output (§6.2.2): reads the bit-reversed result into natural order.
+Dataset read_bit_reversed(tdp::core::Runtime& rt, ArrayId array, int nn) {
+  const int bits = tdp::util::floor_log2(nn);
+  Dataset out(static_cast<std::size_t>(2 * nn));
+  for (int j = 0; j < nn; ++j) {
+    const auto pos = static_cast<int>(tdp::util::bit_reverse(
+        bits, static_cast<std::uint64_t>(j)));
+    Scalar re;
+    Scalar im;
+    rt.arrays().read_element(0, array, std::vector<int>{2 * pos}, re);
+    rt.arrays().read_element(0, array, std::vector<int>{2 * pos + 1}, im);
+    out[static_cast<std::size_t>(2 * j)] = tdp::dist::scalar_to_double(re);
+    out[static_cast<std::size_t>(2 * j + 1)] = tdp::dist::scalar_to_double(im);
+  }
+  return out;
+}
+
+/// phase1 (§6.2.2): inverse FFT stage.  Consumes polynomials (N real
+/// coefficients), produces their evaluations at the 2N roots of unity.
+void phase1(tdp::core::Runtime& rt, const std::vector<int>& procs, int nn,
+            ArrayId array, ArrayId eps, tdp::pcn::Stream<Dataset> in,
+            tdp::pcn::Stream<Dataset> out) {
+  for (std::optional<Dataset> poly; (poly = in.next());) {
+    load_bit_reversed(rt, array, nn, *poly);
+    rt.call(procs, "fft_reverse")
+        .constant(procs)
+        .constant(static_cast<int>(procs.size()))
+        .index()
+        .constant(nn)
+        .constant(tdp::fft::kInverse)
+        .local(eps)
+        .local(array)
+        .run();
+    out = out.put(read_storage(rt, array, nn));
+  }
+  out.close();
+}
+
+/// combine (§6.2.2): elementwise complex product of two evaluation streams.
+void combine(tdp::pcn::Stream<Dataset> in_a, tdp::pcn::Stream<Dataset> in_b,
+             tdp::pcn::Stream<Dataset> out) {
+  for (;;) {
+    std::optional<Dataset> a = in_a.next();
+    std::optional<Dataset> b = in_b.next();
+    if (!a || !b) break;
+    Dataset prod(a->size());
+    for (std::size_t j = 0; j + 1 < prod.size(); j += 2) {
+      const double re1 = (*a)[j];
+      const double im1 = (*a)[j + 1];
+      const double re2 = (*b)[j];
+      const double im2 = (*b)[j + 1];
+      prod[j] = re1 * re2 - im1 * im2;
+      prod[j + 1] = re2 * im1 + re1 * im2;
+    }
+    out = out.put(std::move(prod));
+  }
+  out.close();
+}
+
+/// phase2 (§6.2.2): forward FFT stage.  Consumes evaluation vectors,
+/// produces product-polynomial coefficients (natural order, complex).
+void phase2(tdp::core::Runtime& rt, const std::vector<int>& procs, int nn,
+            ArrayId array, ArrayId eps, tdp::pcn::Stream<Dataset> in,
+            tdp::pcn::Stream<Dataset> out) {
+  for (std::optional<Dataset> values; (values = in.next());) {
+    write_storage(rt, array, *values);
+    rt.call(procs, "fft_natural")
+        .constant(procs)
+        .constant(static_cast<int>(procs.size()))
+        .index()
+        .constant(nn)
+        .constant(tdp::fft::kForward)
+        .local(eps)
+        .local(array)
+        .run();
+    out = out.put(read_bit_reversed(rt, array, nn));
+  }
+  out.close();
+}
+
+ArrayId make_data_array(tdp::core::Runtime& rt, int nn,
+                        const std::vector<int>& procs) {
+  ArrayId id;
+  rt.arrays().create_array(0, tdp::dist::ElemType::Float64, {2 * nn}, procs,
+                           {tdp::dist::DimSpec::block()},
+                           tdp::dist::BorderSpec::none(),
+                           tdp::dist::Indexing::RowMajor, id);
+  return id;
+}
+
+ArrayId make_roots_array(tdp::core::Runtime& rt, int nn,
+                         const std::vector<int>& procs) {
+  // Eps dims (2*NN, P) distributed ("*", block): each copy holds the full
+  // table of NN roots (§6.2.2).
+  ArrayId id;
+  rt.arrays().create_array(
+      0, tdp::dist::ElemType::Float64,
+      {2 * nn, static_cast<int>(procs.size())}, procs,
+      {tdp::dist::DimSpec::star(), tdp::dist::DimSpec::block()},
+      tdp::dist::BorderSpec::none(), tdp::dist::Indexing::ColumnMajor, id);
+  rt.call(procs, "compute_roots").constant(nn).local(id).run();
+  return id;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tdp;
+  const int n = 32;        // input polynomial size (power of two)
+  const int nn = 2 * n;    // transform size
+  const int group = 4;     // processors per pipeline stage
+  const int num_pairs = 6;
+
+  core::Runtime rt(3 * group);
+  fft::register_programs(rt.programs());
+
+  // Three processor groups: the two concurrent inverse-FFT stages and the
+  // forward-FFT stage (fig 6.1); the combine stage is task-parallel.
+  const std::vector<int> procs1a = util::node_array(0, 1, group);
+  const std::vector<int> procs1b = util::node_array(group, 1, group);
+  const std::vector<int> procs2 = util::node_array(2 * group, 1, group);
+
+  ArrayId a1a = make_data_array(rt, nn, procs1a);
+  ArrayId a1b = make_data_array(rt, nn, procs1b);
+  ArrayId a2 = make_data_array(rt, nn, procs2);
+  ArrayId eps1a = make_roots_array(rt, nn, procs1a);
+  ArrayId eps1b = make_roots_array(rt, nn, procs1b);
+  ArrayId eps2 = make_roots_array(rt, nn, procs2);
+
+  // Generate the input pairs.
+  std::mt19937 rng(2026);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<std::pair<Dataset, Dataset>> pairs;
+  for (int k = 0; k < num_pairs; ++k) {
+    Dataset f(static_cast<std::size_t>(n));
+    Dataset g(static_cast<std::size_t>(n));
+    for (auto& v : f) v = dist(rng);
+    for (auto& v : g) v = dist(rng);
+    pairs.emplace_back(std::move(f), std::move(g));
+  }
+
+  // Streams wiring the pipeline: inputs, evaluations, products.
+  pcn::Stream<Dataset> in_a;
+  pcn::Stream<Dataset> in_b;
+  pcn::Stream<Dataset> eval_a;
+  pcn::Stream<Dataset> eval_b;
+  pcn::Stream<Dataset> product_values;
+  pcn::Stream<Dataset> results;
+
+  util::atomic_print_items("pipeline: ", num_pairs, " pairs of degree-",
+                           n - 1, " polynomials on 3 groups of ", group,
+                           " processors");
+
+  int failures = 0;
+  pcn::par(
+      // read_infile: feed the two input streams.
+      [&] {
+        pcn::Stream<Dataset> ta = in_a;
+        pcn::Stream<Dataset> tb = in_b;
+        for (const auto& [f, g] : pairs) {
+          ta = ta.put(f);
+          tb = tb.put(g);
+        }
+        ta.close();
+        tb.close();
+      },
+      [&] { phase1(rt, procs1a, nn, a1a, eps1a, in_a, eval_a); },
+      [&] { phase1(rt, procs1b, nn, a1b, eps1b, in_b, eval_b); },
+      [&] { combine(eval_a, eval_b, product_values); },
+      [&] { phase2(rt, procs2, nn, a2, eps2, product_values, results); },
+      // write_outfile: validate each product against naive convolution.
+      [&] {
+        pcn::Stream<Dataset> r = results;
+        int k = 0;
+        for (std::optional<Dataset> h; (h = r.next()); ++k) {
+          const auto& [f, g] = pairs[static_cast<std::size_t>(k)];
+          const std::vector<double> want = fft::poly_mul_naive(f, g);
+          double max_err = 0.0;
+          for (int j = 0; j < 2 * n - 1; ++j) {
+            max_err = std::max(
+                max_err, std::fabs((*h)[static_cast<std::size_t>(2 * j)] -
+                                   want[static_cast<std::size_t>(j)]));
+            max_err = std::max(
+                max_err, std::fabs((*h)[static_cast<std::size_t>(2 * j + 1)]));
+          }
+          util::atomic_print_items("pair ", k, ": max coefficient error ",
+                                   max_err);
+          if (max_err > 1e-9) ++failures;
+        }
+      });
+
+  for (ArrayId id : {a1a, a1b, a2, eps1a, eps1b, eps2}) {
+    rt.arrays().free_array(0, id);
+  }
+  util::atomic_print(failures == 0 ? "all products correct"
+                                   : "FAILURES detected");
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the thesis's inner-product example (§6.1).
+//
+// A task-parallel top level
+//   1. creates two block-distributed vectors,
+//   2. makes one distributed call to the data-parallel program test_iprdv,
+//      which initialises both vectors to v[i] = i+1 and computes their
+//      inner product (returned through a reduction variable), and
+//   3. prints the result and frees the vectors.
+//
+// Mirrors the PCN program of §6.1.2 line for line where C++ allows.
+#include <cstdlib>
+
+#include "core/runtime.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/atomic_print.hpp"
+
+int main() {
+  using namespace tdp;
+  util::atomic_print("starting test");
+
+  // Start the runtime ("load the array manager on all processors", §B.3).
+  core::Runtime rt(8);
+  linalg::register_programs(rt.programs());
+
+  // Define constants: P processors, Local_m elements per processor.
+  const int p = rt.nprocs();
+  const int local_m = 4;
+  const int m = p * local_m;
+  const std::vector<int> processors = rt.all_procs();
+
+  // Create the distributed vectors.
+  dist::ArrayId vector1;
+  dist::ArrayId vector2;
+  for (dist::ArrayId* id : {&vector1, &vector2}) {
+    Status st = rt.arrays().create_array(
+        0, dist::ElemType::Float64, {m}, processors, {dist::DimSpec::block()},
+        dist::BorderSpec::none(), dist::Indexing::RowMajor, *id);
+    if (!ok(st)) {
+      util::atomic_print_items("create_array failed: ", to_string(st));
+      return EXIT_FAILURE;
+    }
+  }
+
+  // Call data-parallel program test_iprdv once per processor (§6.1.2):
+  // parameters are Procs, P, "index", M, Local_m, local(V1), local(V2),
+  // reduce("double", 1, max, InProd).
+  std::vector<double> inprod;
+  const int status = rt.call(processors, "test_iprdv")
+                         .constant(processors)
+                         .constant(p)
+                         .index()
+                         .constant(m)
+                         .constant(local_m)
+                         .local(vector1)
+                         .local(vector2)
+                         .reduce_f64(1, core::f64_max(), &inprod)
+                         .run();
+  if (status != kStatusOk) {
+    util::atomic_print_items("distributed call failed with status ", status);
+    return EXIT_FAILURE;
+  }
+
+  // Print the result; with v[i] = i+1 the expected value is sum_{1..M} i^2.
+  double expect = 0.0;
+  for (int i = 1; i <= m; ++i) expect += static_cast<double>(i) * i;
+  util::atomic_print_items("inner product: ", inprod.at(0),
+                           "   (expected ", expect, ")");
+
+  // Free the vectors.
+  rt.arrays().free_array(0, vector1);
+  rt.arrays().free_array(0, vector2);
+  util::atomic_print("ending test");
+  return inprod.at(0) == expect ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,68 @@
+#include "core/apply.hpp"
+
+#include "dist/layout.hpp"
+#include "pcn/process.hpp"
+
+namespace tdp::core {
+
+int apply_task_parallel(Runtime& rt, dist::ArrayId array,
+                        const ElementTask& task) {
+  // Resolve the array's owner group from its metadata; an unknown array is
+  // reported the same way a distributed call would report it.
+  dist::InfoValue info;
+  if (Status st = rt.arrays().find_info(array.creator, array,
+                                        dist::InfoKind::Processors, info);
+      !ok(st)) {
+    return to_int(st);
+  }
+  const std::vector<int> owners = std::get<std::vector<int>>(info);
+  if (!ok(rt.arrays().find_info(array.creator, array,
+                                dist::InfoKind::GridDimensions, info))) {
+    return kStatusError;
+  }
+  const std::vector<int> grid = std::get<std::vector<int>>(info);
+  if (!ok(rt.arrays().find_info(array.creator, array,
+                                dist::InfoKind::LocalDimensions, info))) {
+    return kStatusError;
+  }
+  const std::vector<int> local = std::get<std::vector<int>>(info);
+
+  // The data-parallel shell: per copy, spawn the task-parallel program once
+  // per local element and wait for all of them (a parallel composition).
+  ProgramRegistry shell_registry;
+  shell_registry.add(
+      "apply_shell", [&task, &grid, &local](spmd::SpmdContext& ctx,
+                                            CallArgs& args) {
+        const dist::LocalSectionView& view = args.local(0);
+        const std::vector<int> my_pos = dist::delinearize(
+            ctx.index(), grid, view.indexing);
+        const long long count = view.interior_count();
+        std::vector<double> results(static_cast<std::size_t>(count));
+        {
+          pcn::ProcessGroup elements;
+          for (long long lin = 0; lin < count; ++lin) {
+            elements.spawn([&, lin] {
+              const std::vector<int> lidx =
+                  dist::delinearize(lin, view.interior_dims, view.indexing);
+              const std::vector<int> gidx =
+                  dist::unmap_global(my_pos, lidx, local);
+              const long long off = view.offset(lidx);
+              results[static_cast<std::size_t>(lin)] =
+                  task(gidx, view.f64()[off]);
+            });
+          }
+        }
+        for (long long lin = 0; lin < count; ++lin) {
+          const std::vector<int> lidx =
+              dist::delinearize(lin, view.interior_dims, view.indexing);
+          view.f64()[view.offset(lidx)] =
+              results[static_cast<std::size_t>(lin)];
+        }
+      });
+
+  DistributedCall call(rt.machine(), rt.arrays(), shell_registry, owners,
+                       "apply_shell");
+  return call.local(array).run();
+}
+
+}  // namespace tdp::core

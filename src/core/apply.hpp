@@ -1,0 +1,34 @@
+// The alternative integration model (thesis §2.2): task-parallel programs
+// as subprograms of a data-parallel program.
+//
+// "Calling a task-parallel program on a distributed data structure is
+// equivalent to calling it concurrently once for each element of the
+// distributed data structure, and each copy of the task-parallel program
+// can consist of multiple processes."
+//
+// apply_task_parallel realises that model over a distributed array: one
+// data-parallel SPMD shell runs per owner processor; inside each shell the
+// task-parallel program is spawned concurrently once per local element
+// (dynamic process creation), and each invocation may itself create further
+// processes, use definitional variables, streams, and so on.
+#pragma once
+
+#include <functional>
+
+#include "core/runtime.hpp"
+
+namespace tdp::core {
+
+/// The task-parallel program applied per element: receives the element's
+/// global indices and current value, returns the new value.  It runs as its
+/// own process and may freely spawn more.
+using ElementTask =
+    std::function<double(const std::vector<int>& global_idx, double value)>;
+
+/// Applies `task` concurrently to every element of the distributed array.
+/// Returns the merged status of the underlying distributed call
+/// (STATUS_OK, or the failure code when the array is unknown on some owner).
+int apply_task_parallel(Runtime& rt, dist::ArrayId array,
+                        const ElementTask& task);
+
+}  // namespace tdp::core

@@ -1,0 +1,92 @@
+#include "core/array_handle.hpp"
+
+namespace tdp::core {
+
+Array::Array(Runtime& rt, std::vector<int> dims, std::vector<int> processors,
+             const std::string& distrib, dist::BorderSpec borders,
+             dist::Indexing indexing, dist::ElemType type)
+    : rt_(&rt), dims_(std::move(dims)) {
+  std::vector<dist::DimSpec> spec;
+  if (distrib.empty()) {
+    spec.assign(dims_.size(), dist::DimSpec::block());
+  } else if (Status st = dist::parse_distrib(distrib, spec); !ok(st)) {
+    throw ArrayError("Array: bad decomposition '" + distrib + "'", st);
+  }
+  const int on = vp::current_proc() >= 0 ? vp::current_proc() : 0;
+  Status st = rt.arrays().create_array(on, type, dims_, processors, spec,
+                                       borders, indexing, id_);
+  if (!ok(st)) throw ArrayError("Array: create_array failed", st);
+}
+
+Array::~Array() { free(); }
+
+Array::Array(Array&& other) noexcept
+    : rt_(other.rt_), id_(other.id_), dims_(std::move(other.dims_)) {
+  other.rt_ = nullptr;
+  other.id_ = dist::ArrayId{};
+}
+
+Array& Array::operator=(Array&& other) noexcept {
+  if (this != &other) {
+    free();
+    rt_ = other.rt_;
+    id_ = other.id_;
+    dims_ = std::move(other.dims_);
+    other.rt_ = nullptr;
+    other.id_ = dist::ArrayId{};
+  }
+  return *this;
+}
+
+void Array::free() {
+  if (!valid()) return;
+  const int on = id_.creator;
+  rt_->arrays().free_array(on, id_);
+  rt_ = nullptr;
+  id_ = dist::ArrayId{};
+}
+
+double Array::at(std::span<const int> indices) const {
+  const int on = vp::current_proc() >= 0 ? vp::current_proc() : id_.creator;
+  dist::Scalar v;
+  Status st = rt_->arrays().read_element(on, id_, indices, v);
+  if (!ok(st)) throw ArrayError("Array: read_element failed", st);
+  return dist::scalar_to_double(v);
+}
+
+double Array::at(std::initializer_list<int> indices) const {
+  return at(std::span<const int>(indices.begin(), indices.size()));
+}
+
+void Array::set(std::span<const int> indices, double value) {
+  const int on = vp::current_proc() >= 0 ? vp::current_proc() : id_.creator;
+  Status st =
+      rt_->arrays().write_element(on, id_, indices, dist::Scalar{value});
+  if (!ok(st)) throw ArrayError("Array: write_element failed", st);
+}
+
+void Array::set(std::initializer_list<int> indices, double value) {
+  set(std::span<const int>(indices.begin(), indices.size()), value);
+}
+
+std::vector<int> Array::info_vec(dist::InfoKind which) const {
+  dist::InfoValue v;
+  Status st = rt_->arrays().find_info(id_.creator, id_, which, v);
+  if (!ok(st)) throw ArrayError("Array: find_info failed", st);
+  return std::get<std::vector<int>>(v);
+}
+
+std::vector<int> Array::grid_dims() const {
+  return info_vec(dist::InfoKind::GridDimensions);
+}
+std::vector<int> Array::local_dims() const {
+  return info_vec(dist::InfoKind::LocalDimensions);
+}
+std::vector<int> Array::borders() const {
+  return info_vec(dist::InfoKind::Borders);
+}
+std::vector<int> Array::processors() const {
+  return info_vec(dist::InfoKind::Processors);
+}
+
+}  // namespace tdp::core

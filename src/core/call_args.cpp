@@ -1,0 +1,92 @@
+#include "core/call_args.hpp"
+
+#include <stdexcept>
+
+namespace tdp::core {
+
+int status_combine_max(int a, int b) { return a > b ? a : b; }
+int status_combine_min(int a, int b) { return a < b ? a : b; }
+
+namespace {
+const char* kind_name(Param::Kind k) {
+  switch (k) {
+    case Param::Kind::Constant:
+      return "constant";
+    case Param::Kind::Index:
+      return "index";
+    case Param::Kind::Local:
+      return "local";
+    case Param::Kind::Status:
+      return "status";
+    case Param::Kind::Reduce:
+      return "reduce";
+    case Param::Kind::Port:
+      return "port";
+  }
+  return "?";
+}
+}  // namespace
+
+Param::Kind CallArgs::kind(std::size_t slot) const {
+  if (slot >= slots_.size()) {
+    throw std::logic_error("CallArgs: slot out of range");
+  }
+  return slots_[slot].kind;
+}
+
+const CallArgs::SlotState& CallArgs::checked(std::size_t slot,
+                                             Param::Kind want) const {
+  if (slot >= slots_.size()) {
+    throw std::logic_error("CallArgs: slot out of range");
+  }
+  const SlotState& s = slots_[slot];
+  if (s.kind != want) {
+    throw std::logic_error(std::string("CallArgs: slot is ") +
+                           kind_name(s.kind) + ", accessed as " +
+                           kind_name(want));
+  }
+  return s;
+}
+
+CallArgs::SlotState& CallArgs::checked(std::size_t slot, Param::Kind want) {
+  return const_cast<SlotState&>(
+      static_cast<const CallArgs*>(this)->checked(slot, want));
+}
+
+const Value& CallArgs::constant(std::size_t slot) const {
+  return *checked(slot, Param::Kind::Constant).constant;
+}
+
+int CallArgs::index(std::size_t slot) const {
+  return checked(slot, Param::Kind::Index).index;
+}
+
+const dist::LocalSectionView& CallArgs::local(std::size_t slot) const {
+  return checked(slot, Param::Kind::Local).local;
+}
+
+int& CallArgs::status(std::size_t slot) {
+  return checked(slot, Param::Kind::Status).status;
+}
+
+std::span<double> CallArgs::reduce_f64(std::size_t slot) {
+  SlotState& s = checked(slot, Param::Kind::Reduce);
+  if (s.reduce.type != dist::ElemType::Float64) {
+    throw std::logic_error("CallArgs: reduce slot is not double");
+  }
+  return std::span<double>(s.reduce.f64);
+}
+
+std::span<int> CallArgs::reduce_i32(std::size_t slot) {
+  SlotState& s = checked(slot, Param::Kind::Reduce);
+  if (s.reduce.type != dist::ElemType::Int32) {
+    throw std::logic_error("CallArgs: reduce slot is not int");
+  }
+  return std::span<int>(s.reduce.i32);
+}
+
+Port& CallArgs::port(std::size_t slot) {
+  return checked(slot, Param::Kind::Port).port;
+}
+
+}  // namespace tdp::core

@@ -1,0 +1,135 @@
+// Parameters of a distributed call (§3.3.1.2, §4.3.1) and the per-copy view
+// a called data-parallel program receives.
+//
+// A parameter passed from the task-parallel caller to the called program is
+// one of:
+//   * a global constant (input only; every copy receives the same value),
+//   * a local section of a distributed array (named by its array id in the
+//     call; each copy receives its own local section, input and/or output),
+//   * an integer index (input only; the copy's position in the processor
+//     array over which the call is distributed),
+//   * an integer status variable (output only; at most one per call; local
+//     values are merged by a binary associative operator, max by default),
+//   * a reduction variable (output only; any count; like status but of any
+//     type and length, merged by a user-supplied combine program),
+// plus, under the §7.2.1 extension, a channel port connecting copy i to
+// copy i of another concurrently-executing distributed call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/channels.hpp"
+#include "dist/local_section.hpp"
+#include "dist/types.hpp"
+
+namespace tdp::core {
+
+/// Global-constant payloads supported by the prototype.
+using Value = std::variant<int, double, std::string, std::vector<int>,
+                           std::vector<double>>;
+
+/// Storage for one local status or reduction variable.
+struct ReduceBuffer {
+  dist::ElemType type = dist::ElemType::Float64;
+  std::vector<double> f64;
+  std::vector<int> i32;
+
+  static ReduceBuffer make(dist::ElemType type, std::size_t len) {
+    ReduceBuffer b;
+    b.type = type;
+    if (type == dist::ElemType::Float64) {
+      b.f64.assign(len, 0.0);
+    } else {
+      b.i32.assign(len, 0);
+    }
+    return b;
+  }
+  std::size_t length() const {
+    return type == dist::ElemType::Float64 ? f64.size() : i32.size();
+  }
+};
+
+/// Binary combine program for reduction variables: out = combine(a, b).
+using ReduceCombine = std::function<void(const ReduceBuffer& a,
+                                         const ReduceBuffer& b,
+                                         ReduceBuffer& out)>;
+
+/// Delivery of the merged reduction value back to the caller's variable.
+using ReduceDeliver = std::function<void(const ReduceBuffer& merged)>;
+
+/// Binary combine program for the status variable (default: max, §C.5).
+using StatusCombine = std::function<int(int, int)>;
+
+int status_combine_max(int a, int b);
+int status_combine_min(int a, int b);
+
+/// One formal parameter of a distributed call.
+struct Param {
+  enum class Kind { Constant, Index, Local, Status, Reduce, Port };
+  Kind kind = Kind::Constant;
+  Value constant;                 ///< Kind::Constant
+  dist::ArrayId array;            ///< Kind::Local
+  dist::ElemType reduce_type = dist::ElemType::Float64;  ///< Kind::Reduce
+  std::size_t reduce_len = 0;                            ///< Kind::Reduce
+  ReduceCombine reduce_combine;                          ///< Kind::Reduce
+  ReduceDeliver reduce_deliver;                          ///< Kind::Reduce
+  ChannelGroup ports;             ///< Kind::Port
+};
+
+/// The actual parameters one copy of the called program sees.  Accessors are
+/// checked: using a slot with the wrong kind throws std::logic_error, the
+/// moral equivalent of the parameter-compatibility precondition of §4.3.1.
+class CallArgs {
+ public:
+  std::size_t size() const { return slots_.size(); }
+  Param::Kind kind(std::size_t slot) const;
+
+  /// Kind::Constant — the shared global value.
+  const Value& constant(std::size_t slot) const;
+
+  template <typename T>
+  const T& in(std::size_t slot) const {
+    return std::get<T>(constant(slot));
+  }
+
+  /// Kind::Index — this copy's index into the call's processor array.
+  int index(std::size_t slot) const;
+
+  /// Kind::Local — this copy's local section of the distributed array.
+  const dist::LocalSectionView& local(std::size_t slot) const;
+
+  /// Kind::Status — this copy's local status variable (output).
+  int& status(std::size_t slot);
+
+  /// Kind::Reduce — this copy's local reduction variable (output).
+  std::span<double> reduce_f64(std::size_t slot);
+  std::span<int> reduce_i32(std::size_t slot);
+
+  /// Kind::Port — this copy's channel endpoint (§7.2.1 extension).
+  Port& port(std::size_t slot);
+
+ private:
+  friend class Wrapper;
+  struct SlotState {
+    Param::Kind kind = Param::Kind::Constant;
+    const Value* constant = nullptr;
+    int index = 0;
+    dist::LocalSectionView local;
+    int status = 0;
+    ReduceBuffer reduce;
+    Port port;
+  };
+
+  const SlotState& checked(std::size_t slot, Param::Kind want) const;
+  SlotState& checked(std::size_t slot, Param::Kind want);
+
+  std::vector<SlotState> slots_;
+};
+
+}  // namespace tdp::core

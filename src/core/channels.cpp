@@ -1,0 +1,21 @@
+#include "core/channels.hpp"
+
+#include <stdexcept>
+
+namespace tdp::core {
+
+std::pair<ChannelGroup, ChannelGroup> make_channels(int n) {
+  if (n <= 0) throw std::invalid_argument("make_channels: n must be positive");
+  ChannelGroup a;
+  ChannelGroup b;
+  a.side_a_ = true;
+  b.side_a_ = false;
+  a.pairs_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    a.pairs_.push_back(std::make_shared<detail::ChannelPair>());
+  }
+  b.pairs_ = a.pairs_;
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace tdp::core

@@ -1,0 +1,314 @@
+#include "core/distributed_call.hpp"
+
+#include <utility>
+
+#include "spmd/context.hpp"
+
+namespace tdp::core {
+
+F64Combine f64_sum() {
+  return [](std::span<const double> a, std::span<const double> b,
+            std::span<double> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+  };
+}
+
+F64Combine f64_max() {
+  return [](std::span<const double> a, std::span<const double> b,
+            std::span<double> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = a[i] > b[i] ? a[i] : b[i];
+    }
+  };
+}
+
+F64Combine f64_min() {
+  return [](std::span<const double> a, std::span<const double> b,
+            std::span<double> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = a[i] < b[i] ? a[i] : b[i];
+    }
+  };
+}
+
+I32Combine i32_sum() {
+  return [](std::span<const int> a, std::span<const int> b,
+            std::span<int> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+  };
+}
+
+I32Combine i32_max() {
+  return [](std::span<const int> a, std::span<const int> b,
+            std::span<int> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = a[i] > b[i] ? a[i] : b[i];
+    }
+  };
+}
+
+namespace {
+
+/// What one wrapper copy hands back for merging: its effective local status
+/// plus its local reduction variables, in parameter order (the tuple of
+/// §5.2.2).
+struct WrapperResult {
+  int status = kStatusOk;
+  std::vector<ReduceBuffer> reduces;
+};
+
+}  // namespace
+
+/// Builds the per-copy actual parameters, runs the program, and produces the
+/// WrapperResult — the generated wrapper program of §5.2.2–5.2.4.
+class Wrapper {
+ public:
+  static WrapperResult run_copy(dist::ArrayManager& arrays,
+                                spmd::SpmdContext& ctx,
+                                const std::vector<Param>& params,
+                                const DataParallelProgram& program,
+                                bool has_status) {
+    WrapperResult result;
+    CallArgs args;
+    args.slots_.resize(params.size());
+
+    int resolve_status = kStatusOk;
+    std::vector<std::size_t> status_slots;
+    std::vector<std::pair<std::size_t, std::size_t>> reduce_slots;
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const Param& p = params[i];
+      CallArgs::SlotState& slot = args.slots_[i];
+      slot.kind = p.kind;
+      switch (p.kind) {
+        case Param::Kind::Constant:
+          slot.constant = &p.constant;
+          break;
+        case Param::Kind::Index:
+          slot.index = ctx.index();
+          break;
+        case Param::Kind::Local: {
+          Status st = arrays.find_local(ctx.proc(), p.array, slot.local);
+          if (!ok(st) && resolve_status == kStatusOk) {
+            resolve_status = to_int(st);
+          }
+          break;
+        }
+        case Param::Kind::Status:
+          slot.status = kStatusOk;
+          status_slots.push_back(i);
+          break;
+        case Param::Kind::Reduce:
+          slot.reduce = ReduceBuffer::make(p.reduce_type, p.reduce_len);
+          reduce_slots.push_back({reduce_slots.size(), i});
+          break;
+        case Param::Kind::Port:
+          slot.port = p.ports.port(ctx.index());
+          break;
+      }
+    }
+
+    if (resolve_status != kStatusOk) {
+      // find_local failed: the program is not called; the copy's status is
+      // the failure code (§5.2.4 generated-wrapper behaviour).  Reduction
+      // buffers stay zero-initialised and still participate in the merge.
+      result.status = resolve_status;
+    } else {
+      program(ctx, args);
+      result.status = has_status && !status_slots.empty()
+                          ? args.slots_[status_slots.front()].status
+                          : kStatusOk;
+    }
+
+    result.reduces.reserve(reduce_slots.size());
+    for (const auto& [order, slot] : reduce_slots) {
+      (void)order;
+      result.reduces.push_back(std::move(args.slots_[slot].reduce));
+    }
+    return result;
+  }
+};
+
+DistributedCall::DistributedCall(vp::Machine& machine,
+                                 dist::ArrayManager& arrays,
+                                 const ProgramRegistry& registry,
+                                 std::vector<int> processors,
+                                 std::string program)
+    : machine_(machine),
+      arrays_(arrays),
+      registry_(registry),
+      processors_(std::move(processors)),
+      program_name_(std::move(program)),
+      status_combine_(status_combine_max) {}
+
+DistributedCall& DistributedCall::constant(Value v) {
+  Param p;
+  p.kind = Param::Kind::Constant;
+  p.constant = std::move(v);
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+DistributedCall& DistributedCall::index() {
+  Param p;
+  p.kind = Param::Kind::Index;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+DistributedCall& DistributedCall::local(dist::ArrayId id) {
+  Param p;
+  p.kind = Param::Kind::Local;
+  p.array = id;
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+DistributedCall& DistributedCall::status(StatusCombine combine) {
+  Param p;
+  p.kind = Param::Kind::Status;
+  params_.push_back(std::move(p));
+  status_combine_ = std::move(combine);
+  ++status_params_;
+  return *this;
+}
+
+DistributedCall& DistributedCall::reduce_f64(std::size_t len,
+                                             F64Combine combine,
+                                             std::vector<double>* out) {
+  Param p;
+  p.kind = Param::Kind::Reduce;
+  p.reduce_type = dist::ElemType::Float64;
+  p.reduce_len = len;
+  p.reduce_combine = [combine = std::move(combine)](
+                         const ReduceBuffer& a, const ReduceBuffer& b,
+                         ReduceBuffer& o) {
+    combine(std::span<const double>(a.f64), std::span<const double>(b.f64),
+            std::span<double>(o.f64));
+  };
+  if (out != nullptr) {
+    p.reduce_deliver = [out](const ReduceBuffer& merged) {
+      *out = merged.f64;
+    };
+  }
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+DistributedCall& DistributedCall::reduce_i32(std::size_t len,
+                                             I32Combine combine,
+                                             std::vector<int>* out) {
+  Param p;
+  p.kind = Param::Kind::Reduce;
+  p.reduce_type = dist::ElemType::Int32;
+  p.reduce_len = len;
+  p.reduce_combine = [combine = std::move(combine)](
+                         const ReduceBuffer& a, const ReduceBuffer& b,
+                         ReduceBuffer& o) {
+    combine(std::span<const int>(a.i32), std::span<const int>(b.i32),
+            std::span<int>(o.i32));
+  };
+  if (out != nullptr) {
+    p.reduce_deliver = [out](const ReduceBuffer& merged) {
+      *out = merged.i32;
+    };
+  }
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+DistributedCall& DistributedCall::port(ChannelGroup group) {
+  Param p;
+  p.kind = Param::Kind::Port;
+  p.ports = std::move(group);
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+bool DistributedCall::validate(DataParallelProgram& program_out) const {
+  if (processors_.empty()) return false;
+  for (int p : processors_) {
+    if (!machine_.valid_proc(p)) return false;
+  }
+  if (status_params_ > 1) return false;  // at most one status (§4.3.1)
+  for (const Param& p : params_) {
+    if (p.kind == Param::Kind::Reduce && !p.reduce_combine) return false;
+    if (p.kind == Param::Kind::Port &&
+        p.ports.size() < static_cast<int>(processors_.size())) {
+      return false;
+    }
+  }
+  return registry_.find(program_name_, program_out);
+}
+
+int DistributedCall::run() {
+  pcn::ProcessGroup group;
+  pcn::Def<int> status = run_async(group);
+  group.join();
+  return status.read();
+}
+
+pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
+  pcn::Def<int> status;
+  DataParallelProgram program;
+  if (!validate(program)) {
+    status.define(kStatusInvalid);
+    return status;
+  }
+
+  const int n = static_cast<int>(processors_.size());
+  const std::uint64_t comm = machine_.next_comm();
+
+  // Shared, immutable view of the call for all copies; the spawned
+  // processes must not reference *this, which may be destroyed while the
+  // asynchronous call is still running.
+  auto shared = std::make_shared<std::vector<Param>>(params_);
+  auto procs = std::make_shared<std::vector<int>>(processors_);
+  auto results = std::make_shared<std::vector<pcn::Def<WrapperResult>>>(
+      static_cast<std::size_t>(n));
+  const bool has_status = status_params_ == 1;
+  vp::Machine* machine = &machine_;
+  dist::ArrayManager* arrays = &arrays_;
+
+  for (int i = 0; i < n; ++i) {
+    group.spawn_on(
+        machine_, processors_[static_cast<std::size_t>(i)],
+        [machine, arrays, shared, procs, results, program, comm, i,
+         has_status] {
+          spmd::SpmdContext ctx(*machine, comm, *procs, i);
+          (*results)[static_cast<std::size_t>(i)].define(Wrapper::run_copy(
+              *arrays, ctx, *shared, program, has_status));
+        });
+  }
+
+  // The combine process (fig. 3.10): merges local statuses and reduction
+  // variables pairwise in copy order, delivers merged reductions, and only
+  // then defines the call's status.
+  StatusCombine scombine = status_combine_;
+  group.spawn([shared, results, status, scombine, n] {
+    WrapperResult merged = (*results)[0].read();
+    for (int i = 1; i < n; ++i) {
+      const WrapperResult& next =
+          (*results)[static_cast<std::size_t>(i)].read();
+      merged.status = scombine(merged.status, next.status);
+      std::size_t r = 0;
+      for (const Param& p : *shared) {
+        if (p.kind != Param::Kind::Reduce) continue;
+        ReduceBuffer out = ReduceBuffer::make(p.reduce_type, p.reduce_len);
+        p.reduce_combine(merged.reduces[r], next.reduces[r], out);
+        merged.reduces[r] = std::move(out);
+        ++r;
+      }
+    }
+    std::size_t r = 0;
+    for (const Param& p : *shared) {
+      if (p.kind != Param::Kind::Reduce) continue;
+      if (p.reduce_deliver) p.reduce_deliver(merged.reduces[r]);
+      ++r;
+    }
+    status.define(merged.status);
+  });
+  return status;
+}
+
+}  // namespace tdp::core

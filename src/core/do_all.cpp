@@ -1,0 +1,49 @@
+#include "core/do_all.hpp"
+
+#include <memory>
+
+namespace tdp::core {
+
+int do_all(vp::Machine& machine, const std::vector<int>& processors,
+           const DoAllBody& body, const DoAllCombine& combine) {
+  pcn::ProcessGroup group;
+  pcn::Def<int> status =
+      do_all_async(machine, processors, body, combine, group);
+  group.join();
+  return status.read();
+}
+
+pcn::Def<int> do_all_async(vp::Machine& machine,
+                           const std::vector<int>& processors,
+                           const DoAllBody& body, const DoAllCombine& combine,
+                           pcn::ProcessGroup& group) {
+  const int n = static_cast<int>(processors.size());
+  pcn::Def<int> status;
+  if (n == 0) {
+    status.define(0);
+    return status;
+  }
+
+  auto locals = std::make_shared<std::vector<pcn::Def<int>>>(
+      static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    group.spawn_on(machine, processors[static_cast<std::size_t>(i)],
+                   [body, locals, i] {
+                     (*locals)[static_cast<std::size_t>(i)].define(body(i));
+                   });
+  }
+
+  // The merge process suspends on each local status in turn and combines
+  // them pairwise; the result defines `status` only after every copy has
+  // terminated (§4.3.1 postcondition).
+  group.spawn([locals, combine, status, n] {
+    int merged = (*locals)[0].read();
+    for (int i = 1; i < n; ++i) {
+      merged = combine(merged, (*locals)[static_cast<std::size_t>(i)].read());
+    }
+    status.define(merged);
+  });
+  return status;
+}
+
+}  // namespace tdp::core

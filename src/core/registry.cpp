@@ -1,0 +1,58 @@
+#include "core/registry.hpp"
+
+namespace tdp::core {
+
+Status ProgramRegistry::add(const std::string& name,
+                            DataParallelProgram program,
+                            BorderProvider borders) {
+  if (name.empty() || !program) return Status::Invalid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[name] = Entry{std::move(program), std::move(borders)};
+  return Status::Ok;
+}
+
+bool ProgramRegistry::find(const std::string& name,
+                           DataParallelProgram& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  out = it->second.program;
+  return true;
+}
+
+bool ProgramRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+Status ProgramRegistry::borders_for(const std::string& name, int parm_num,
+                                    int ndims, std::vector<int>& out) const {
+  BorderProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end() || !it->second.borders) {
+      return Status::NotFound;
+    }
+    provider = it->second.borders;
+  }
+  out = provider(parm_num, ndims);
+  if (out.size() != static_cast<std::size_t>(2 * ndims)) {
+    return Status::Invalid;
+  }
+  return Status::Ok;
+}
+
+dist::BorderLookup ProgramRegistry::border_lookup() const {
+  return [this](const std::string& program, int parm_num, int ndims,
+                std::vector<int>& out) {
+    return borders_for(program, parm_num, ndims, out);
+  };
+}
+
+std::size_t ProgramRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tdp::core

@@ -1,0 +1,68 @@
+// The program registry: named data-parallel programs and their border
+// routines.
+//
+// PCN supports higher-order calls to programs named at run time by a
+// character-string variable, and the prototype's distributed-call and
+// foreign_borders machinery is built on resolving program names (§3.2.1.3,
+// §4.3.1, §5.1.7).  In this C++ reproduction the registry plays the role of
+// the loaded module table: a distributed call names its target program, and
+// an array created with foreign_borders names the program whose border
+// routine (the `Program_` companion of §4.2.1) decides the local-section
+// border sizes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/call_args.hpp"
+#include "spmd/context.hpp"
+#include "util/status.hpp"
+
+namespace tdp::core {
+
+/// A data-parallel SPMD program: executed once per processor of the call's
+/// group, on that copy's SpmdContext and actual parameters.
+using DataParallelProgram =
+    std::function<void(spmd::SpmdContext&, CallArgs&)>;
+
+/// The `Program_` border routine of §4.2.1: given the parameter number the
+/// array will be passed as, supplies the 2*ndims border sizes.
+using BorderProvider =
+    std::function<std::vector<int>(int parm_num, int ndims)>;
+
+class ProgramRegistry {
+ public:
+  /// Registers (or replaces) a program under `name`, optionally with its
+  /// border routine.  Returns Status::Invalid for an empty name or program.
+  Status add(const std::string& name, DataParallelProgram program,
+             BorderProvider borders = nullptr);
+
+  /// Looks up a program; false when unknown.
+  bool find(const std::string& name, DataParallelProgram& out) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Resolves a foreign_borders request against the registered border
+  /// routines; Status::NotFound when the program is unknown or has no
+  /// border routine.
+  Status borders_for(const std::string& name, int parm_num, int ndims,
+                     std::vector<int>& out) const;
+
+  /// An adapter suitable for dist::ArrayManager's BorderLookup hook.
+  dist::BorderLookup border_lookup() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    DataParallelProgram program;
+    BorderProvider borders;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tdp::core

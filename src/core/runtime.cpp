@@ -1,0 +1,22 @@
+#include "core/runtime.hpp"
+
+#include "util/node_array.hpp"
+
+namespace tdp::core {
+
+Runtime::Runtime(int nprocs)
+    : machine_(std::make_unique<vp::Machine>(nprocs)),
+      arrays_(std::make_unique<dist::ArrayManager>(
+          *machine_, registry_.border_lookup())) {}
+
+std::vector<int> Runtime::all_procs() const {
+  return util::iota_nodes(machine_->nprocs());
+}
+
+DistributedCall Runtime::call(std::vector<int> processors,
+                              std::string program) {
+  return DistributedCall(*machine_, *arrays_, registry_,
+                         std::move(processors), std::move(program));
+}
+
+}  // namespace tdp::core

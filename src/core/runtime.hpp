@@ -1,0 +1,57 @@
+// The integrated runtime: one object wiring together the virtual-processor
+// machine, the array manager, and the program registry — everything a
+// program combining task and data parallelism needs (§3.1).
+//
+// Typical use:
+//
+//   tdp::core::Runtime rt(8);
+//   rt.programs().add("my_pgm", my_pgm);
+//   tdp::dist::ArrayId a;
+//   rt.arrays().create_array(0, ElemType::Float64, {1024},
+//                            tdp::util::iota_nodes(8),
+//                            {DimSpec::block()}, BorderSpec::none(),
+//                            Indexing::RowMajor, a);
+//   int status = rt.call(tdp::util::iota_nodes(8), "my_pgm")
+//                    .index().local(a).status().run();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributed_call.hpp"
+#include "core/registry.hpp"
+#include "dist/array_manager.hpp"
+#include "vp/machine.hpp"
+
+namespace tdp::core {
+
+class Runtime {
+ public:
+  /// Creates a runtime with `nprocs` virtual processors; the array manager
+  /// resolves foreign_borders specifications against the program registry.
+  explicit Runtime(int nprocs);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  vp::Machine& machine() { return *machine_; }
+  dist::ArrayManager& arrays() { return *arrays_; }
+  ProgramRegistry& programs() { return registry_; }
+  const ProgramRegistry& programs() const { return registry_; }
+
+  int nprocs() const { return machine_->nprocs(); }
+
+  /// All processor numbers, 0..nprocs-1, the common "whole machine" group.
+  std::vector<int> all_procs() const;
+
+  /// Starts building a distributed call to `program` on `processors`.
+  DistributedCall call(std::vector<int> processors, std::string program);
+
+ private:
+  std::unique_ptr<vp::Machine> machine_;
+  ProgramRegistry registry_;
+  std::unique_ptr<dist::ArrayManager> arrays_;
+};
+
+}  // namespace tdp::core

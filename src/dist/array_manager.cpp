@@ -1,0 +1,372 @@
+#include "dist/array_manager.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tdp::dist {
+
+ArrayManager::ArrayManager(vp::Machine& machine, BorderLookup border_lookup)
+    : machine_(machine),
+      border_lookup_(std::move(border_lookup)),
+      nodes_(static_cast<std::size_t>(machine.nprocs())) {}
+
+void ArrayManager::set_border_lookup(BorderLookup lookup) {
+  border_lookup_ = std::move(lookup);
+}
+
+void ArrayManager::set_trace(TraceFn trace) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  trace_ = std::move(trace);
+}
+
+Status ArrayManager::traced(std::string_view op, int on_proc, ArrayId id,
+                            Status status) const {
+  TraceFn trace;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace = trace_;
+  }
+  if (trace) trace(op, on_proc, id, status);
+  return status;
+}
+
+Status ArrayManager::resolve_borders(const BorderSpec& spec, int ndims,
+                                     std::vector<int>& out) const {
+  switch (spec.kind) {
+    case BorderSpec::Kind::None:
+      out.assign(static_cast<std::size_t>(2 * ndims), 0);
+      return Status::Ok;
+    case BorderSpec::Kind::Explicit:
+      if (spec.sizes.size() != static_cast<std::size_t>(2 * ndims)) {
+        return Status::Invalid;
+      }
+      for (int b : spec.sizes) {
+        if (b < 0) return Status::Invalid;
+      }
+      out = spec.sizes;
+      return Status::Ok;
+    case BorderSpec::Kind::Foreign: {
+      if (!border_lookup_) return Status::Invalid;
+      Status st = border_lookup_(spec.program, spec.parm_num, ndims, out);
+      if (!ok(st)) return st;
+      if (out.size() != static_cast<std::size_t>(2 * ndims)) {
+        return Status::Invalid;
+      }
+      for (int b : out) {
+        if (b < 0) return Status::Invalid;
+      }
+      return Status::Ok;
+    }
+  }
+  return Status::Error;
+}
+
+Status ArrayManager::create_array(int on_proc, ElemType type,
+                                  const std::vector<int>& dims,
+                                  const std::vector<int>& processors,
+                                  const std::vector<DimSpec>& distrib,
+                                  const BorderSpec& borders, Indexing indexing,
+                                  ArrayId& id_out) {
+  const Status st = [&]() -> Status {
+      id_out = ArrayId{};
+      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+      if (dims.empty() || processors.empty()) return Status::Invalid;
+      for (int p : processors) {
+        if (!machine_.valid_proc(p)) return Status::Invalid;
+      }
+
+      const int ndims = static_cast<int>(dims.size());
+      std::vector<int> border_sizes;
+      if (Status st = resolve_borders(borders, ndims, border_sizes); !ok(st)) {
+        return st;
+      }
+
+      std::vector<int> grid;
+      if (Status st = compute_grid(dims, static_cast<int>(processors.size()),
+                                   distrib, grid);
+          !ok(st)) {
+        return st;
+      }
+
+      const long long cells = grid_cells(grid);
+      std::vector<int> owners(processors.begin(),
+                              processors.begin() + cells);
+      // One local section per owner requires the owners to be distinct
+      // processors (§3.2.1.4 assigns one section to each).
+      if (std::set<int>(owners.begin(), owners.end()).size() != owners.size()) {
+        return Status::Invalid;
+      }
+
+      ArrayRecord meta;
+      meta.type = type;
+      meta.dims = dims;
+      meta.processors = owners;
+      meta.grid_dims = grid;
+      meta.local_dims = local_dims(dims, grid);
+      meta.borders = border_sizes;
+      meta.dims_plus = dims_plus_borders(meta.local_dims, border_sizes);
+      meta.indexing = indexing;
+      meta.grid_indexing = indexing;  // §3.2.1.4: one choice governs both.
+
+      {
+        Node& creator = node(on_proc);
+        std::lock_guard<std::mutex> lock(creator.mutex);
+        meta.id = ArrayId{on_proc, creator.next_seq++};
+      }
+
+      for (int p : owners) create_local(p, meta, /*owner=*/true);
+      if (std::find(owners.begin(), owners.end(), on_proc) == owners.end()) {
+        create_local(on_proc, meta, /*owner=*/false);
+      }
+
+      id_out = meta.id;
+      return Status::Ok;
+
+  }();
+  return traced("create_array", on_proc, id_out, st);
+}
+
+void ArrayManager::create_local(int p, const ArrayRecord& meta, bool owner) {
+  ArrayRecord record = meta;
+  record.local =
+      owner ? std::make_shared<LocalSection>(meta.type, meta.dims_plus)
+            : nullptr;
+  Node& n = node(p);
+  std::lock_guard<std::mutex> lock(n.mutex);
+  n.records[record.id] = std::move(record);
+}
+
+Status ArrayManager::fetch_record(int on_proc, ArrayId id,
+                                  ArrayRecord& meta_out) const {
+  if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+  const Node& n = node(on_proc);
+  std::lock_guard<std::mutex> lock(n.mutex);
+  auto it = n.records.find(id);
+  if (it == n.records.end()) return Status::NotFound;
+  meta_out = it->second;
+  return Status::Ok;
+}
+
+Status ArrayManager::free_array(int on_proc, ArrayId id) {
+  const Status st = [&]() -> Status {
+      ArrayRecord meta;
+      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+
+      auto erase_on = [&](int p) {
+        Node& n = node(p);
+        std::lock_guard<std::mutex> lock(n.mutex);
+        n.records.erase(id);
+      };
+      for (int p : meta.processors) erase_on(p);
+      erase_on(id.creator);
+      erase_on(on_proc);
+      return Status::Ok;
+
+  }();
+  return traced("free_array", on_proc, id, st);
+}
+
+Status ArrayManager::read_element(int on_proc, ArrayId id,
+                                  std::span<const int> indices, Scalar& out) {
+  const Status st = [&]() -> Status {
+      ArrayRecord meta;
+      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+      if (!indices_in_range(indices, meta.dims)) return Status::Invalid;
+
+      GlobalMap m = map_global(indices, meta.local_dims);
+      const long long rank = grid_rank(m.grid_pos, meta.grid_dims,
+                                       meta.grid_indexing);
+      const int owner = meta.processors[static_cast<std::size_t>(rank)];
+      const long long off =
+          local_offset(m.local_idx, meta.local_dims, meta.borders, meta.indexing);
+
+      Node& n = node(owner);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.local == nullptr) {
+        return Status::NotFound;
+      }
+      if (it->second.type == ElemType::Float64) {
+        out = it->second.local->read_f64(off);
+      } else {
+        out = it->second.local->read_i32(off);
+      }
+      return Status::Ok;
+
+  }();
+  return traced("read_element", on_proc, id, st);
+}
+
+Status ArrayManager::write_element(int on_proc, ArrayId id,
+                                   std::span<const int> indices,
+                                   const Scalar& value) {
+  const Status st = [&]() -> Status {
+      ArrayRecord meta;
+      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+      if (!indices_in_range(indices, meta.dims)) return Status::Invalid;
+
+      GlobalMap m = map_global(indices, meta.local_dims);
+      const long long rank = grid_rank(m.grid_pos, meta.grid_dims,
+                                       meta.grid_indexing);
+      const int owner = meta.processors[static_cast<std::size_t>(rank)];
+      const long long off =
+          local_offset(m.local_idx, meta.local_dims, meta.borders, meta.indexing);
+
+      Node& n = node(owner);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.local == nullptr) {
+        return Status::NotFound;
+      }
+      if (it->second.type == ElemType::Float64) {
+        it->second.local->write_f64(off, scalar_to_double(value));
+      } else {
+        it->second.local->write_i32(off, scalar_to_int(value));
+      }
+      return Status::Ok;
+
+  }();
+  return traced("write_element", on_proc, id, st);
+}
+
+Status ArrayManager::find_local(int on_proc, ArrayId id,
+                                LocalSectionView& out) {
+  const Status st = [&]() -> Status {
+      out = LocalSectionView{};
+      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+      Node& n = node(on_proc);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.local == nullptr) {
+        return Status::NotFound;
+      }
+      const ArrayRecord& r = it->second;
+      out.type = r.type;
+      out.interior_dims = r.local_dims;
+      out.borders = r.borders;
+      out.dims_plus = r.dims_plus;
+      out.indexing = r.indexing;
+      out.section = r.local;
+      return Status::Ok;
+
+  }();
+  return traced("find_local", on_proc, id, st);
+}
+
+Status ArrayManager::find_info(int on_proc, ArrayId id, InfoKind which,
+                               InfoValue& out) {
+  const Status st = [&]() -> Status {
+      ArrayRecord meta;
+      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+      switch (which) {
+        case InfoKind::Type:
+          out = meta.type;
+          return Status::Ok;
+        case InfoKind::Dimensions:
+          out = meta.dims;
+          return Status::Ok;
+        case InfoKind::Processors:
+          out = meta.processors;
+          return Status::Ok;
+        case InfoKind::GridDimensions:
+          out = meta.grid_dims;
+          return Status::Ok;
+        case InfoKind::LocalDimensions:
+          out = meta.local_dims;
+          return Status::Ok;
+        case InfoKind::Borders:
+          out = meta.borders;
+          return Status::Ok;
+        case InfoKind::LocalDimensionsPlus:
+          out = meta.dims_plus;
+          return Status::Ok;
+        case InfoKind::IndexingType:
+          out = meta.indexing;
+          return Status::Ok;
+        case InfoKind::GridIndexingType:
+          out = meta.grid_indexing;
+          return Status::Ok;
+      }
+      return Status::Invalid;
+
+  }();
+  return traced("find_info", on_proc, id, st);
+}
+
+Status ArrayManager::verify_array(int on_proc, ArrayId id, int n_dims,
+                                  const BorderSpec& expected,
+                                  Indexing indexing) {
+  const Status st = [&]() -> Status {
+      ArrayRecord meta;
+      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+      if (n_dims != static_cast<int>(meta.dims.size())) return Status::Invalid;
+      if (indexing != meta.indexing) return Status::Invalid;
+
+      std::vector<int> want;
+      if (Status st = resolve_borders(expected, n_dims, want); !ok(st)) return st;
+      if (want == meta.borders) return Status::Ok;
+
+      for (int p : meta.processors) copy_local(p, id, want);
+      // Refresh metadata on the creating processor if it holds no section.
+      if (std::find(meta.processors.begin(), meta.processors.end(), id.creator) ==
+          meta.processors.end()) {
+        Node& n = node(id.creator);
+        std::lock_guard<std::mutex> lock(n.mutex);
+        auto it = n.records.find(id);
+        if (it != n.records.end()) {
+          it->second.borders = want;
+          it->second.dims_plus = dims_plus_borders(it->second.local_dims, want);
+        }
+      }
+      return Status::Ok;
+
+  }();
+  return traced("verify_array", on_proc, id, st);
+}
+
+void ArrayManager::copy_local(int p, ArrayId id,
+                              const std::vector<int>& new_borders) {
+  Node& n = node(p);
+  std::lock_guard<std::mutex> lock(n.mutex);
+  auto it = n.records.find(id);
+  if (it == n.records.end() || it->second.local == nullptr) return;
+
+  ArrayRecord& r = it->second;
+  std::vector<int> new_plus = dims_plus_borders(r.local_dims, new_borders);
+  auto fresh = std::make_shared<LocalSection>(r.type, new_plus);
+
+  const long long count = element_count(r.local_dims);
+  for (long long lin = 0; lin < count; ++lin) {
+    std::vector<int> idx = delinearize(lin, r.local_dims, r.indexing);
+    const long long src =
+        local_offset(idx, r.local_dims, r.borders, r.indexing);
+    const long long dst =
+        local_offset(idx, r.local_dims, new_borders, r.indexing);
+    if (r.type == ElemType::Float64) {
+      fresh->write_f64(dst, r.local->read_f64(src));
+    } else {
+      fresh->write_i32(dst, r.local->read_i32(src));
+    }
+  }
+  r.local = std::move(fresh);
+  r.borders = new_borders;
+  r.dims_plus = std::move(new_plus);
+}
+
+std::size_t ArrayManager::records_on(int p) const {
+  const Node& n = node(p);
+  std::lock_guard<std::mutex> lock(n.mutex);
+  return n.records.size();
+}
+
+std::size_t ArrayManager::local_bytes_on(int p) const {
+  const Node& n = node(p);
+  std::lock_guard<std::mutex> lock(n.mutex);
+  std::size_t bytes = 0;
+  for (const auto& [id, r] : n.records) {
+    if (r.local) bytes += r.local->bytes();
+  }
+  return bytes;
+}
+
+}  // namespace tdp::dist

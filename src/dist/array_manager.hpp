@@ -1,0 +1,161 @@
+// The array manager (§3.2.2.2, §5.1): runtime support for distributed
+// arrays.
+//
+// The array manager consists of one manager per virtual processor.  All
+// requests to create or manipulate distributed arrays are made *on* some
+// processor (in the thesis, via a server request to the local array-manager
+// process) and the local manager communicates with the managers on other
+// processors as needed: create_array issues create_local on every owner,
+// read_element routes to the owner of the element, verify_array issues
+// copy_local everywhere, and so on (§5.1.1's request taxonomy).
+//
+// In this in-process reproduction the request round-trip is performed by
+// the requesting process entering the target node-manager's monitor
+// directly; the request taxonomy, placement rules and observable semantics
+// (§3.2.1.5) are unchanged:
+//   * create_array may be made on any processor;
+//   * every other global operation may be made on any owner processor or on
+//     the creating processor, with identical results anywhere;
+//   * find_local requires a local view and works only on owner processors.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dist/local_section.hpp"
+#include "dist/types.hpp"
+#include "util/status.hpp"
+#include "vp/machine.hpp"
+
+namespace tdp::dist {
+
+/// Internal representation of a distributed array (§5.1.3).  One copy per
+/// processor that owns a local section, plus one on the creating processor.
+/// The thesis stores some derivable quantities redundantly ("compute once
+/// and store"); we mirror that.
+struct ArrayRecord {
+  ArrayId id;
+  ElemType type = ElemType::Float64;
+  std::vector<int> dims;         ///< global dimensions
+  std::vector<int> processors;   ///< owner processor numbers, grid order
+  std::vector<int> grid_dims;    ///< processor-grid dimensions
+  std::vector<int> local_dims;   ///< local-section interior dimensions
+  std::vector<int> borders;      ///< 2*ndims border sizes
+  std::vector<int> dims_plus;    ///< local dims including borders
+  Indexing indexing = Indexing::RowMajor;
+  Indexing grid_indexing = Indexing::RowMajor;
+  std::shared_ptr<LocalSection> local;  ///< null on a non-owner (creator)
+};
+
+/// The distributed array manager for a whole machine.
+class ArrayManager {
+ public:
+  /// `border_lookup` resolves foreign_borders requests (§3.2.1.3); it may be
+  /// empty, in which case foreign_borders specs fail with Status::Invalid.
+  explicit ArrayManager(vp::Machine& machine,
+                        BorderLookup border_lookup = nullptr);
+
+  ArrayManager(const ArrayManager&) = delete;
+  ArrayManager& operator=(const ArrayManager&) = delete;
+
+  vp::Machine& machine() { return machine_; }
+
+  /// Replaces the foreign-border resolver (wired up by core::Runtime).
+  void set_border_lookup(BorderLookup lookup);
+
+  /// Trace hook: when set, every library-procedure request is reported on
+  /// completion — the "am_debug" version of the array manager, which
+  /// "produces a trace message for each operation it performs" (§B.3).
+  /// Pass nullptr to return to the silent ("am") version.
+  using TraceFn = std::function<void(std::string_view op, int on_proc,
+                                     ArrayId id, Status status)>;
+  void set_trace(TraceFn trace);
+
+  // --- Library procedures (§4.2), each made "on" a processor. -------------
+
+  /// am_user:create_array.  Creates the whole distributed array with one
+  /// request; local sections are zero-initialised.
+  Status create_array(int on_proc, ElemType type, const std::vector<int>& dims,
+                      const std::vector<int>& processors,
+                      const std::vector<DimSpec>& distrib,
+                      const BorderSpec& borders, Indexing indexing,
+                      ArrayId& id_out);
+
+  /// am_user:free_array.  Deletes the entire array; subsequent references
+  /// fail with Status::NotFound.
+  Status free_array(int on_proc, ArrayId id);
+
+  /// am_user:read_element by global indices.
+  Status read_element(int on_proc, ArrayId id, std::span<const int> indices,
+                      Scalar& out);
+
+  /// am_user:write_element by global indices; `value` must be numeric and is
+  /// coerced to the array's element type.
+  Status write_element(int on_proc, ArrayId id, std::span<const int> indices,
+                       const Scalar& value);
+
+  /// am_user:find_local.  Only meaningful on a processor that owns a local
+  /// section of the array.
+  Status find_local(int on_proc, ArrayId id, LocalSectionView& out);
+
+  /// am_user:find_info.
+  Status find_info(int on_proc, ArrayId id, InfoKind which, InfoValue& out);
+
+  /// am_user:verify_array (§4.2.7): checks the indexing type and expected
+  /// borders; on a border mismatch, reallocates every local section with the
+  /// expected borders and copies all interior data.
+  Status verify_array(int on_proc, ArrayId id, int n_dims,
+                      const BorderSpec& expected, Indexing indexing);
+
+  // --- Diagnostics. --------------------------------------------------------
+
+  /// Number of arrays currently known on processor p (records, owned or
+  /// creator-side).
+  std::size_t records_on(int p) const;
+
+  /// Count of storage bytes currently allocated for local sections on p.
+  std::size_t local_bytes_on(int p) const;
+
+ private:
+  struct Node {
+    mutable std::mutex mutex;
+    std::map<ArrayId, ArrayRecord> records;
+    std::uint64_t next_seq = 0;
+  };
+
+  Node& node(int p) { return nodes_[static_cast<std::size_t>(p)]; }
+  const Node& node(int p) const {
+    return nodes_[static_cast<std::size_t>(p)];
+  }
+
+  /// Copies a record's metadata from processor `on_proc` (no storage).
+  /// Returns Status::NotFound if the processor has no valid record.
+  Status fetch_record(int on_proc, ArrayId id, ArrayRecord& meta_out) const;
+
+  /// Resolves a BorderSpec to concrete 2*ndims sizes.
+  Status resolve_borders(const BorderSpec& spec, int ndims,
+                         std::vector<int>& out) const;
+
+  /// create_local: installs a record (with storage when `owner`) on p.
+  void create_local(int p, const ArrayRecord& meta, bool owner);
+
+  /// copy_local (§5.1.1): reallocates p's local section with `new_borders`
+  /// and copies the interior; updates p's record metadata.
+  void copy_local(int p, ArrayId id, const std::vector<int>& new_borders);
+
+  /// Reports `status`, tracing the request first when tracing is on.
+  Status traced(std::string_view op, int on_proc, ArrayId id,
+                Status status) const;
+
+  vp::Machine& machine_;
+  BorderLookup border_lookup_;
+  TraceFn trace_;
+  mutable std::mutex trace_mutex_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tdp::dist

@@ -1,0 +1,76 @@
+#include "dist/array_server.hpp"
+
+namespace tdp::dist {
+
+void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager) {
+  ArrayManager* am = &manager;
+
+  servers.add_capability_all(
+      "create_array", [am](vp::ServerRequest& req) {
+        const auto* p = std::any_cast<CreateArrayRequest>(&req.parameters);
+        CreateArrayReply reply;
+        if (p != nullptr) {
+          reply.status =
+              am->create_array(vp::current_proc(), p->type, p->dims,
+                               p->processors, p->distrib, p->borders,
+                               p->indexing, reply.id);
+        } else {
+          reply.status = Status::Invalid;
+        }
+        req.reply.define(reply);
+      });
+
+  servers.add_capability_all("free_array", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<FreeArrayRequest>(&req.parameters);
+    StatusReply reply;
+    reply.status = p != nullptr ? am->free_array(vp::current_proc(), p->id)
+                                : Status::Invalid;
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("read_element", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<ReadElementRequest>(&req.parameters);
+    ReadElementReply reply;
+    if (p != nullptr) {
+      reply.status =
+          am->read_element(vp::current_proc(), p->id, p->indices, reply.value);
+    } else {
+      reply.status = Status::Invalid;
+    }
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("write_element", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<WriteElementRequest>(&req.parameters);
+    StatusReply reply;
+    reply.status = p != nullptr
+                       ? am->write_element(vp::current_proc(), p->id,
+                                           p->indices, p->value)
+                       : Status::Invalid;
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("find_info", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<FindInfoRequest>(&req.parameters);
+    FindInfoReply reply;
+    if (p != nullptr) {
+      reply.status =
+          am->find_info(vp::current_proc(), p->id, p->which, reply.value);
+    } else {
+      reply.status = Status::Invalid;
+    }
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("verify_array", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<VerifyArrayRequest>(&req.parameters);
+    StatusReply reply;
+    reply.status = p != nullptr
+                       ? am->verify_array(vp::current_proc(), p->id,
+                                          p->n_dims, p->expected, p->indexing)
+                       : Status::Invalid;
+    req.reply.define(reply);
+  });
+}
+
+}  // namespace tdp::dist

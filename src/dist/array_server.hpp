@@ -1,0 +1,80 @@
+// Array-manager server capabilities (§5.1.1).
+//
+// The thesis's array manager is reached through the PCN server: loading the
+// `am` module adds capabilities like create_array and free_array, and a
+// program then issues `! free_array(A1, Status)` — optionally annotated
+// `@Processor` — to have the local (or a remote) array-manager process
+// service it.  install_array_manager() reproduces that wiring: it registers
+// one capability per request type on every processor's server; a request
+// executes against the array manager *on the processor whose server
+// received it*, exactly the thesis's locality rule.
+//
+// Request/reply payloads travel as the structs below inside std::any.
+#pragma once
+
+#include "dist/array_manager.hpp"
+#include "vp/server.hpp"
+
+namespace tdp::dist {
+
+struct CreateArrayRequest {
+  ElemType type = ElemType::Float64;
+  std::vector<int> dims;
+  std::vector<int> processors;
+  std::vector<DimSpec> distrib;
+  BorderSpec borders;
+  Indexing indexing = Indexing::RowMajor;
+};
+
+struct CreateArrayReply {
+  Status status = Status::Error;
+  ArrayId id;
+};
+
+struct FreeArrayRequest {
+  ArrayId id;
+};
+
+struct ReadElementRequest {
+  ArrayId id;
+  std::vector<int> indices;
+};
+
+struct ReadElementReply {
+  Status status = Status::Error;
+  Scalar value;
+};
+
+struct WriteElementRequest {
+  ArrayId id;
+  std::vector<int> indices;
+  Scalar value;
+};
+
+struct FindInfoRequest {
+  ArrayId id;
+  InfoKind which = InfoKind::Type;
+};
+
+struct FindInfoReply {
+  Status status = Status::Error;
+  InfoValue value;
+};
+
+struct VerifyArrayRequest {
+  ArrayId id;
+  int n_dims = 0;
+  BorderSpec expected;
+  Indexing indexing = Indexing::RowMajor;
+};
+
+struct StatusReply {
+  Status status = Status::Error;
+};
+
+/// Registers the array-manager capabilities — "create_array", "free_array",
+/// "read_element", "write_element", "find_info", "verify_array" — on every
+/// processor of `servers`, serviced by `manager`.
+void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager);
+
+}  // namespace tdp::dist

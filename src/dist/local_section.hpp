@@ -1,0 +1,89 @@
+// Local sections: flat, explicitly-allocated storage with borders
+// (§3.2.1.3, §5.1.5–5.1.6).
+//
+// A local section is a flat piece of contiguous storage sized as the
+// product of the local-section dimensions *including* any borders.  The
+// thesis allocates this storage outside the PCN heap ("pseudo-definitional
+// arrays") so that data-parallel programs can treat it as a plain C array;
+// here plain heap allocation with shared ownership plays that role: the
+// section can be stored in the array-manager record (a "tuple"), while raw
+// pointers into it are handed to data-parallel programs as mutable arrays.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "dist/types.hpp"
+
+namespace tdp::dist {
+
+class LocalSection {
+ public:
+  /// Allocates zero-initialised storage for a section whose dimensions,
+  /// including borders, are `dims_plus`.
+  LocalSection(ElemType type, std::vector<int> dims_plus)
+      : type_(type),
+        dims_plus_(std::move(dims_plus)),
+        count_(static_cast<std::size_t>(element_count(dims_plus_))),
+        bytes_(count_ * elem_size(type)),
+        storage_(std::make_unique<std::byte[]>(bytes_)) {
+    std::memset(storage_.get(), 0, bytes_);
+  }
+
+  ElemType type() const { return type_; }
+  const std::vector<int>& dims_plus() const { return dims_plus_; }
+  std::size_t count() const { return count_; }
+  std::size_t bytes() const { return bytes_; }
+
+  void* data() { return storage_.get(); }
+  const void* data() const { return storage_.get(); }
+  double* f64() { return reinterpret_cast<double*>(storage_.get()); }
+  const double* f64() const {
+    return reinterpret_cast<const double*>(storage_.get());
+  }
+  int* i32() { return reinterpret_cast<int*>(storage_.get()); }
+  const int* i32() const {
+    return reinterpret_cast<const int*>(storage_.get());
+  }
+
+  double read_f64(long long offset) const { return f64()[offset]; }
+  int read_i32(long long offset) const { return i32()[offset]; }
+  void write_f64(long long offset, double v) { f64()[offset] = v; }
+  void write_i32(long long offset, int v) { i32()[offset] = v; }
+
+ private:
+  ElemType type_;
+  std::vector<int> dims_plus_;
+  std::size_t count_;
+  std::size_t bytes_;
+  std::unique_ptr<std::byte[]> storage_;
+};
+
+/// What find_local hands to a data-parallel program: a direct reference to
+/// the local section's storage plus the geometry needed to index it.  The
+/// interior (non-border) region starts at offset borders[2d] in dimension d.
+struct LocalSectionView {
+  ElemType type = ElemType::Float64;
+  std::vector<int> interior_dims;
+  std::vector<int> borders;
+  std::vector<int> dims_plus;
+  Indexing indexing = Indexing::RowMajor;
+  std::shared_ptr<LocalSection> section;  ///< keeps the storage alive
+
+  bool valid() const { return section != nullptr; }
+  std::size_t count_plus() const { return section ? section->count() : 0; }
+  double* f64() const { return section->f64(); }
+  int* i32() const { return section->i32(); }
+
+  /// Element count of the interior region.
+  long long interior_count() const { return element_count(interior_dims); }
+
+  /// Storage offset of an interior multi-index.
+  long long offset(std::span<const int> local_idx) const {
+    return local_offset(local_idx, interior_dims, borders, indexing);
+  }
+};
+
+}  // namespace tdp::dist

@@ -1,0 +1,114 @@
+#include "dist/spec_parse.hpp"
+
+#include <cctype>
+
+namespace tdp::dist {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status parse_one(std::string_view token, DimSpec& out) {
+  token = trim(token);
+  if (token == "*") {
+    out = DimSpec::star();
+    return Status::Ok;
+  }
+  if (token == "block") {
+    out = DimSpec::block();
+    return Status::Ok;
+  }
+  // block(N)
+  constexpr std::string_view kPrefix = "block(";
+  if (token.size() > kPrefix.size() + 1 &&
+      token.substr(0, kPrefix.size()) == kPrefix && token.back() == ')') {
+    std::string_view digits =
+        trim(token.substr(kPrefix.size(),
+                          token.size() - kPrefix.size() - 1));
+    if (digits.empty()) return Status::Invalid;
+    int n = 0;
+    for (char c : digits) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::Invalid;
+      }
+      n = n * 10 + (c - '0');
+      if (n > 1 << 24) return Status::Invalid;
+    }
+    if (n <= 0) return Status::Invalid;
+    out = DimSpec::block_n(n);
+    return Status::Ok;
+  }
+  return Status::Invalid;
+}
+
+}  // namespace
+
+Status parse_distrib(std::string_view text, std::vector<DimSpec>& out) {
+  out.clear();
+  text = trim(text);
+  if (text.size() >= 2 && text.front() == '(' && text.back() == ')') {
+    text = trim(text.substr(1, text.size() - 2));
+  }
+  if (text.empty()) return Status::Invalid;
+
+  // Split on commas that are not inside block(...) parentheses.
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] == '(') ++depth;
+    if (i < text.size() && text[i] == ')') --depth;
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      DimSpec spec;
+      if (Status st = parse_one(text.substr(start, i - start), spec);
+          !ok(st)) {
+        out.clear();
+        return st;
+      }
+      out.push_back(spec);
+      start = i + 1;
+    }
+  }
+  return depth == 0 ? Status::Ok : Status::Invalid;
+}
+
+std::string to_string(const std::vector<DimSpec>& spec) {
+  std::string out = "(";
+  for (std::size_t d = 0; d < spec.size(); ++d) {
+    if (d > 0) out += ", ";
+    switch (spec[d].kind) {
+      case DimSpec::Kind::Block:
+        out += "block";
+        break;
+      case DimSpec::Kind::BlockN:
+        out += "block(" + std::to_string(spec[d].n) + ")";
+        break;
+      case DimSpec::Kind::Star:
+        out += "*";
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+Status parse_indexing(std::string_view text, Indexing& out) {
+  text = trim(text);
+  if (text == "row" || text == "C") {
+    out = Indexing::RowMajor;
+    return Status::Ok;
+  }
+  if (text == "column" || text == "Fortran") {
+    out = Indexing::ColumnMajor;
+    return Status::Ok;
+  }
+  return Status::Invalid;
+}
+
+}  // namespace tdp::dist

@@ -1,0 +1,31 @@
+// Textual decomposition and indexing specifications (§3.2.1.2, §4.2.1).
+//
+// The thesis writes distribution requests in a Fortran-D-derived notation —
+// `(block, block)`, `(block(2), block(8))`, `(block, *)` — and selects
+// indexing with the strings "row"/"C" or "column"/"Fortran".  These parsers
+// accept exactly that syntax so programs can carry decompositions as data
+// (configuration files, experiment sweeps) the way the thesis's PCN tuples
+// did.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/types.hpp"
+#include "util/status.hpp"
+
+namespace tdp::dist {
+
+/// Parses a decomposition like "(block, block(4), *)"; surrounding
+/// parentheses are optional and whitespace is ignored.  Returns
+/// Status::Invalid on any malformed dimension.
+Status parse_distrib(std::string_view text, std::vector<DimSpec>& out);
+
+/// Renders a DimSpec list back to the thesis notation.
+std::string to_string(const std::vector<DimSpec>& spec);
+
+/// Parses "row" / "C" / "column" / "Fortran" (§4.2.1 Indexing_type).
+Status parse_indexing(std::string_view text, Indexing& out);
+
+}  // namespace tdp::dist

@@ -1,0 +1,74 @@
+#include "dp/forall.hpp"
+
+namespace tdp::dp {
+
+void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
+                     const Rhs& rhs) {
+  // Phase 1: freeze the pre-statement values of the whole vector.
+  std::vector<double> snapshot =
+      ctx.allgather(std::span<const double>(local.data(), local.size()));
+  const OldValues old(std::move(snapshot));
+  // Phase 2: assign.  The allgather is itself the barrier between the two
+  // phases: no copy can start writing until every copy has contributed its
+  // old values.
+  const long long base =
+      static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    local[i] = rhs(old, base + static_cast<long long>(i));
+  }
+}
+
+void parallel_for(spmd::SpmdContext& ctx, std::span<double> local,
+                  const std::function<double(long long g, double own)>& body) {
+  const long long base =
+      static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    local[i] = body(base + static_cast<long long>(i), local[i]);
+  }
+}
+
+void run_statements(spmd::SpmdContext& ctx, std::span<double> local,
+                    const std::vector<Rhs>& statements) {
+  for (const Rhs& statement : statements) {
+    multiple_assign(ctx, local, statement);
+  }
+}
+
+void multiple_assign_naive_in_place(spmd::SpmdContext& ctx,
+                                    std::span<double> local, const Rhs& rhs) {
+  // Deliberately wrong on purpose (§1.2.5): the "snapshot" aliases live
+  // storage, so RHS evaluations of later elements see already-assigned
+  // values of earlier ones within the same local section.  Cross-copy
+  // values are still pre-statement (they were gathered before any write),
+  // which makes the bug data-dependent and timing-independent — the worst
+  // kind.
+  std::vector<double> gathered =
+      ctx.allgather(std::span<const double>(local.data(), local.size()));
+  const OldValues live_view{std::span<const double>(gathered)};
+  const long long base =
+      static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    // Overwrite the gathered copy as we go, simulating in-place update: the
+    // "old values" view aliases live storage.
+    const double value = rhs(live_view, base + static_cast<long long>(i));
+    gathered[static_cast<std::size_t>(base) + i] = value;
+    local[i] = value;
+  }
+}
+
+void register_programs(core::ProgramRegistry& registry) {
+  registry.add("dp_rotate", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const int steps = args.in<int>(0);
+    const dist::LocalSectionView& v = args.local(1);
+    std::span<double> local(v.f64(),
+                            static_cast<std::size_t>(v.interior_count()));
+    for (int s = 0; s < steps; ++s) {
+      multiple_assign(ctx, local, [](const OldValues& old, long long g) {
+        const long long n = old.size();
+        return old((g - 1 + n) % n);
+      });
+    }
+  });
+}
+
+}  // namespace tdp::dp

@@ -1,0 +1,87 @@
+// Multiple-assignment semantics for SPMD copies (§1.2.1, §1.2.5).
+//
+// The thesis defines a data-parallel computation as a sequence of
+// *multiple-assignment statements*: first evaluate all right-hand sides,
+// then assign — so every RHS sees the values from *before* the statement.
+// On an MIMD/SPMD implementation with multiple elements per process "care
+// must be taken that the implementation preserves the semantics of the
+// programming model" (§1.2.5): a naive in-place loop lets late iterations
+// observe early writes.
+//
+// This module provides the MIMD-correct primitives:
+//   * multiple_assign — new[g] = f(old, g) where f may read ANY global
+//     element's pre-statement value (the implementation snapshots the whole
+//     vector via allgather, then writes);
+//   * parallel_for — the independent-iterations parallel loop of §1.2.1,
+//     where each iteration touches only its own element and no snapshot is
+//     needed;
+//   * a small statement-sequence runner mirroring "a data-parallel program
+//     is a sequence of multiple-assignment statements".
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::dp {
+
+/// Pre-statement view of the whole distributed vector: old(g) is the value
+/// global element g had before the current statement.  Owns its snapshot in
+/// the correct implementation; the deliberately-broken naive variant below
+/// constructs it as a non-owning view over live storage.
+class OldValues {
+ public:
+  explicit OldValues(std::vector<double> snapshot)
+      : owned_(std::move(snapshot)), view_(owned_) {}
+  explicit OldValues(std::span<const double> view) : view_(view) {}
+
+  OldValues(const OldValues&) = delete;
+  OldValues& operator=(const OldValues&) = delete;
+
+  double operator()(long long g) const {
+    return view_[static_cast<std::size_t>(g)];
+  }
+  long long size() const { return static_cast<long long>(view_.size()); }
+
+ private:
+  std::vector<double> owned_;
+  std::span<const double> view_;
+};
+
+/// RHS of a multiple-assignment statement: the new value of global element
+/// g, computed from the pre-statement values of the whole vector.
+using Rhs = std::function<double(const OldValues& old, long long g)>;
+
+/// One multiple-assignment statement over a block-distributed vector of
+/// nloc local elements per copy.  All copies must call it (it contains an
+/// allgather); afterwards local[i] = rhs(old, my_base + i) with `old`
+/// frozen at entry.
+void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
+                     const Rhs& rhs);
+
+/// The independent parallel loop of §1.2.1: each iteration may read and
+/// write only its own element, so no snapshot or synchronisation is
+/// required beyond the call structure itself.
+void parallel_for(spmd::SpmdContext& ctx, std::span<double> local,
+                  const std::function<double(long long g, double own)>& body);
+
+/// Runs a sequence of multiple-assignment statements — the thesis's
+/// simplest view of a data-parallel program.
+void run_statements(spmd::SpmdContext& ctx, std::span<double> local,
+                    const std::vector<Rhs>& statements);
+
+/// The *incorrect* naive in-place evaluation, exposed deliberately so tests
+/// and benches can demonstrate the §1.2.5 hazard it creates on MIMD
+/// implementations (late elements observing early writes).
+void multiple_assign_naive_in_place(spmd::SpmdContext& ctx,
+                                    std::span<double> local, const Rhs& rhs);
+
+/// Registers the callable program:
+///   "dp_rotate" — steps, local v; performs v[g] = old[(g-1+N) mod N]
+///   `steps` times, a pure shift that is only correct under
+///   multiple-assignment semantics.
+void register_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::dp

@@ -1,0 +1,172 @@
+#include "fft/fft.hpp"
+
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace tdp::fft {
+namespace {
+
+/// One interleaved complex value.
+struct Cx {
+  double re;
+  double im;
+};
+
+inline Cx load(const double* a, int i) { return {a[2 * i], a[2 * i + 1]}; }
+inline void store(double* a, int i, Cx v) {
+  a[2 * i] = v.re;
+  a[2 * i + 1] = v.im;
+}
+inline Cx add(Cx a, Cx b) { return {a.re + b.re, a.im + b.im}; }
+inline Cx sub(Cx a, Cx b) { return {a.re - b.re, a.im - b.im}; }
+inline Cx mul(Cx a, Cx b) {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+/// Twiddle omega^{sign*idx} from the roots table (omega = e^{2*pi*i/n}).
+inline Cx twiddle(const double* eps, int idx, bool conj) {
+  Cx w{eps[2 * idx], eps[2 * idx + 1]};
+  if (conj) w.im = -w.im;
+  return w;
+}
+
+constexpr int kStageTagBase = 16;
+
+}  // namespace
+
+void fft_reverse(spmd::SpmdContext& ctx, int n, int flag,
+                 const double* epsilon, double* bb) {
+  const int p = ctx.nprocs();
+  const int b = n / p;  // local complex count
+  const int rank = ctx.index();
+  const long long base = static_cast<long long>(rank) * b;
+  const bool conj = flag == kForward;  // forward kernel uses e^{-2*pi*i/n}
+
+  std::vector<double> theirs(static_cast<std::size_t>(2 * b));
+  int stage = 0;
+  for (int m = 2; m <= n; m <<= 1, ++stage) {
+    const int half = m / 2;
+    const int step = n / m;
+    if (half < b) {
+      for (int k = 0; k < b; k += m) {
+        for (int j = 0; j < half; ++j) {
+          const Cx w = twiddle(epsilon, j * step, conj);
+          const int i0 = k + j;
+          const int i1 = k + j + half;
+          const Cx u = load(bb, i0);
+          const Cx t = mul(w, load(bb, i1));
+          store(bb, i0, add(u, t));
+          store(bb, i1, sub(u, t));
+        }
+      }
+    } else {
+      const int partner = rank ^ (half / b);
+      ctx.exchange<double>(
+          partner, kStageTagBase + stage,
+          std::span<const double>(bb, static_cast<std::size_t>(2 * b)),
+          std::span<double>(theirs));
+      const bool upper = (base & half) != 0;
+      for (int i = 0; i < b; ++i) {
+        const long long g = base + i;
+        const int j = static_cast<int>(g & (half - 1));
+        const Cx w = twiddle(epsilon, j * step, conj);
+        if (!upper) {
+          store(bb, i, add(load(bb, i), mul(w, load(theirs.data(), i))));
+        } else {
+          store(bb, i, sub(load(theirs.data(), i), mul(w, load(bb, i))));
+        }
+      }
+    }
+  }
+
+  if (flag == kForward) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int i = 0; i < 2 * b; ++i) bb[i] *= inv;
+  }
+}
+
+void fft_natural(spmd::SpmdContext& ctx, int n, int flag,
+                 const double* epsilon, double* bb) {
+  const int p = ctx.nprocs();
+  const int b = n / p;
+  const int rank = ctx.index();
+  const long long base = static_cast<long long>(rank) * b;
+  const bool conj = flag == kForward;
+
+  std::vector<double> theirs(static_cast<std::size_t>(2 * b));
+  int stage = 0;
+  for (int m = n; m >= 2; m >>= 1, ++stage) {
+    const int half = m / 2;
+    const int step = n / m;
+    if (half < b) {
+      for (int k = 0; k < b; k += m) {
+        for (int j = 0; j < half; ++j) {
+          const Cx w = twiddle(epsilon, j * step, conj);
+          const int i0 = k + j;
+          const int i1 = k + j + half;
+          const Cx u = load(bb, i0);
+          const Cx v = load(bb, i1);
+          store(bb, i0, add(u, v));
+          store(bb, i1, mul(sub(u, v), w));
+        }
+      }
+    } else {
+      const int partner = rank ^ (half / b);
+      ctx.exchange<double>(
+          partner, kStageTagBase + stage,
+          std::span<const double>(bb, static_cast<std::size_t>(2 * b)),
+          std::span<double>(theirs));
+      const bool upper = (base & half) != 0;
+      for (int i = 0; i < b; ++i) {
+        const long long g = base + i;
+        const int j = static_cast<int>(g & (half - 1));
+        const Cx w = twiddle(epsilon, j * step, conj);
+        if (!upper) {
+          store(bb, i, add(load(bb, i), load(theirs.data(), i)));
+        } else {
+          store(bb, i, mul(sub(load(theirs.data(), i), load(bb, i)), w));
+        }
+      }
+    }
+  }
+
+  if (flag == kForward) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (int i = 0; i < 2 * b; ++i) bb[i] *= inv;
+  }
+}
+
+void register_programs(core::ProgramRegistry& registry) {
+  // §6.2.2 call: distributed_call(Procs, "compute_roots", {NN, local(Eps)}).
+  registry.add("compute_roots",
+               [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 (void)ctx;
+                 const int nn = args.in<int>(0);
+                 compute_roots(nn, args.local(1).f64());
+               });
+
+  // §6.2.2 call: Procs, P, "index", NN, Flag, local(Eps), local(Array).
+  auto fft_args = [](spmd::SpmdContext& ctx, core::CallArgs& args,
+                     bool reverse_order) {
+    const int nn = args.in<int>(3);
+    const int flag = args.in<int>(4);
+    const double* eps = args.local(5).f64();
+    double* bb = args.local(6).f64();
+    if (reverse_order) {
+      fft_reverse(ctx, nn, flag, eps, bb);
+    } else {
+      fft_natural(ctx, nn, flag, eps, bb);
+    }
+  };
+  registry.add("fft_reverse",
+               [fft_args](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 fft_args(ctx, args, true);
+               });
+  registry.add("fft_natural",
+               [fft_args](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 fft_args(ctx, args, false);
+               });
+}
+
+}  // namespace tdp::fft

@@ -1,0 +1,60 @@
+// Distributed FFT data-parallel programs (thesis §6.2.3).
+//
+// The thesis pipeline example calls four routines whose specifications we
+// implement exactly:
+//   compute_roots(N, epsilon) — epsilon[j] = omega^j where omega is the
+//       primitive N-th root of unity e^{2*pi*i/N};
+//   rho_proc(bits, t)         — bit-reversal permutation (util::bit_reverse);
+//   fft_reverse(...)          — transform with input in bit-reversed order
+//       and output in natural order (decimation in time);
+//   fft_natural(...)          — transform with input in natural order and
+//       output in bit-reversed order (decimation in frequency).
+//
+// Conventions (§6.2.1): the *inverse* transform is
+//   X[j] = sum_k x[k] e^{+2*pi*i*j*k/N}          (no scaling)
+// and the *forward* transform is
+//   x[j] = (1/N) sum_k X[k] e^{-2*pi*i*j*k/N}    (includes division by N).
+//
+// Arrays are interleaved complex: element j occupies doubles 2j (real) and
+// 2j+1 (imaginary).  A length-N complex array is block-distributed over P
+// processors (P a power of two, N >= P), N/P complex elements per copy;
+// butterflies spanning processors are performed by a pairwise full exchange
+// of local blocks (each copy then computes its own elements).
+#pragma once
+
+#include <span>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::fft {
+
+/// Direction flags, as in the example's fftdef.h.
+inline constexpr int kForward = 0;
+inline constexpr int kInverse = 1;
+
+/// compute_roots (§6.2.3): fills `epsilon` (2*N doubles) with the N N-th
+/// roots of unity, epsilon[2j] + i*epsilon[2j+1] = e^{2*pi*i*j/N}.
+void compute_roots(int n, double* epsilon);
+
+/// fft_reverse (§6.2.3): in-place transform of the distributed array whose
+/// local section is `bb` (2*(N/P) doubles); global indexing of the input is
+/// in bit-reversed order, of the output in natural order.  `epsilon` holds
+/// the N roots of unity (each copy has the full table).  `flag` is kInverse
+/// or kForward; forward includes the division by N.
+void fft_reverse(spmd::SpmdContext& ctx, int n, int flag,
+                 const double* epsilon, double* bb);
+
+/// fft_natural (§6.2.3): like fft_reverse but with input in natural order
+/// and output in bit-reversed order.
+void fft_natural(spmd::SpmdContext& ctx, int n, int flag,
+                 const double* epsilon, double* bb);
+
+/// Registers the callable data-parallel programs with the exact parameter
+/// shapes used by the thesis pipeline (§6.2.2):
+///   "compute_roots" — NN (int), local epsilon
+///   "fft_reverse"   — Procs, P, index, NN, Flag, local epsilon, local bb
+///   "fft_natural"   — Procs, P, index, NN, Flag, local epsilon, local bb
+void register_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::fft

@@ -1,0 +1,30 @@
+// Sequential reference transforms and the polynomial-multiplication
+// reference used to validate the distributed FFT and the §6.2 pipeline.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tdp::fft {
+
+/// Naive O(N^2) DFT with the thesis conventions: sign=+1 is the inverse
+/// transform (no scaling), sign=-1 the forward transform *without* the 1/N
+/// (apply `scale` for the forward convention).
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<double>>& x, int sign);
+
+/// Applies the bit-reversal permutation rho to a length-2^bits vector.
+std::vector<std::complex<double>> bit_reverse_permute(
+    const std::vector<std::complex<double>>& x);
+
+/// Coefficient-domain product of two polynomials (naive convolution);
+/// result has a.size() + b.size() - 1 coefficients.
+std::vector<double> poly_mul_naive(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Packs a real vector into interleaved complex doubles (imag = 0).
+std::vector<double> to_interleaved(const std::vector<std::complex<double>>& x);
+std::vector<std::complex<double>> from_interleaved(
+    const std::vector<double>& packed);
+
+}  // namespace tdp::fft

@@ -1,0 +1,16 @@
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+
+namespace tdp::fft {
+
+void compute_roots(int n, double* epsilon) {
+  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (int j = 0; j < n; ++j) {
+    epsilon[2 * j] = std::cos(step * j);
+    epsilon[2 * j + 1] = std::sin(step * j);
+  }
+}
+
+}  // namespace tdp::fft

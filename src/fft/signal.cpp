@@ -1,0 +1,202 @@
+#include "fft/signal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+#include "util/bits.hpp"
+
+namespace tdp::fft {
+namespace {
+
+/// Smallest power of two >= needed that the group size divides.
+int pad_size(int needed, int group) {
+  int n = group;
+  while (n < needed) n *= 2;
+  return n;
+}
+
+/// A distributed complex vector plus its roots table, with the lifetime and
+/// element plumbing the signal operations need.
+class Workspace {
+ public:
+  Workspace(core::Runtime& rt, std::vector<int> procs, int n)
+      : rt_(rt), procs_(std::move(procs)), n_(n) {
+    Status st = rt_.arrays().create_array(
+        0, dist::ElemType::Float64, {2 * n_}, procs_,
+        {dist::DimSpec::block()}, dist::BorderSpec::none(),
+        dist::Indexing::RowMajor, data_);
+    if (!ok(st)) throw std::runtime_error("signal: create data array");
+    st = rt_.arrays().create_array(
+        0, dist::ElemType::Float64, {2 * n_, static_cast<int>(procs_.size())},
+        procs_, {dist::DimSpec::star(), dist::DimSpec::block()},
+        dist::BorderSpec::none(), dist::Indexing::ColumnMajor, eps_);
+    if (!ok(st)) throw std::runtime_error("signal: create roots array");
+    rt_.call(procs_, "compute_roots").constant(n_).local(eps_).run();
+  }
+
+  ~Workspace() {
+    rt_.arrays().free_array(0, data_);
+    rt_.arrays().free_array(0, eps_);
+  }
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  int n() const { return n_; }
+
+  /// Loads a real sequence into storage-natural order, zero-padded.
+  void load_real(const std::vector<double>& x) {
+    for (int i = 0; i < n_; ++i) {
+      const double re =
+          i < static_cast<int>(x.size()) ? x[static_cast<std::size_t>(i)] : 0.0;
+      rt_.arrays().write_element(0, data_, std::vector<int>{2 * i},
+                                 dist::Scalar{re});
+      rt_.arrays().write_element(0, data_, std::vector<int>{2 * i + 1},
+                                 dist::Scalar{0.0});
+    }
+  }
+
+  std::vector<double> read_interleaved() const {
+    std::vector<double> out(static_cast<std::size_t>(2 * n_));
+    for (int s = 0; s < 2 * n_; ++s) {
+      dist::Scalar v;
+      rt_.arrays().read_element(0, data_, std::vector<int>{s}, v);
+      out[static_cast<std::size_t>(s)] = dist::scalar_to_double(v);
+    }
+    return out;
+  }
+
+  void write_interleaved(const std::vector<double>& packed) {
+    for (int s = 0; s < 2 * n_; ++s) {
+      rt_.arrays().write_element(0, data_, std::vector<int>{s},
+                                 dist::Scalar{packed[static_cast<std::size_t>(s)]});
+    }
+  }
+
+  /// One distributed FFT call ("fft_natural" or "fft_reverse").
+  void transform(const char* program, int flag) {
+    const int status = rt_.call(procs_, program)
+                           .constant(procs_)
+                           .constant(static_cast<int>(procs_.size()))
+                           .index()
+                           .constant(n_)
+                           .constant(flag)
+                           .local(eps_)
+                           .local(data_)
+                           .run();
+    if (status != kStatusOk) {
+      throw std::runtime_error("signal: distributed FFT call failed");
+    }
+  }
+
+ private:
+  core::Runtime& rt_;
+  std::vector<int> procs_;
+  int n_;
+  dist::ArrayId data_;
+  dist::ArrayId eps_;
+};
+
+}  // namespace
+
+void ensure_programs(core::Runtime& rt) {
+  if (!rt.programs().contains("fft_natural")) {
+    register_programs(rt.programs());
+  }
+}
+
+std::vector<double> convolve(core::Runtime& rt,
+                             const std::vector<int>& processors,
+                             const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  ensure_programs(rt);
+  const int m = static_cast<int>(a.size() + b.size()) - 1;
+  const int n = pad_size(m, static_cast<int>(processors.size()));
+
+  // Evaluate both inputs at the n-th roots of unity: natural in,
+  // bit-reversed evaluations out — order-free for the pointwise product.
+  Workspace wa(rt, processors, n);
+  wa.load_real(a);
+  wa.transform("fft_natural", kInverse);
+  std::vector<double> ea = wa.read_interleaved();
+
+  Workspace wb(rt, processors, n);
+  wb.load_real(b);
+  wb.transform("fft_natural", kInverse);
+  std::vector<double> eb = wb.read_interleaved();
+
+  // Elementwise complex multiplication (the middle pipeline stage).
+  std::vector<double> prod(static_cast<std::size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    const double re1 = ea[static_cast<std::size_t>(2 * i)];
+    const double im1 = ea[static_cast<std::size_t>(2 * i + 1)];
+    const double re2 = eb[static_cast<std::size_t>(2 * i)];
+    const double im2 = eb[static_cast<std::size_t>(2 * i + 1)];
+    prod[static_cast<std::size_t>(2 * i)] = re1 * re2 - im1 * im2;
+    prod[static_cast<std::size_t>(2 * i + 1)] = re2 * im1 + re1 * im2;
+  }
+
+  // Fit the product polynomial: bit-reversed in, natural coefficients out
+  // (including the 1/n).
+  wa.write_interleaved(prod);
+  wa.transform("fft_reverse", kForward);
+  std::vector<double> packed = wa.read_interleaved();
+
+  std::vector<double> out(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    out[static_cast<std::size_t>(i)] = packed[static_cast<std::size_t>(2 * i)];
+  }
+  return out;
+}
+
+std::vector<double> correlate(core::Runtime& rt,
+                              const std::vector<int>& processors,
+                              const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  std::vector<double> reversed(b.rbegin(), b.rend());
+  return convolve(rt, processors, a, reversed);
+}
+
+std::vector<double> lowpass_filter(core::Runtime& rt,
+                                   const std::vector<int>& processors,
+                                   const std::vector<double>& x,
+                                   int keep_bins) {
+  const int n = static_cast<int>(x.size());
+  if (!util::is_pow2(n) || n % static_cast<int>(processors.size()) != 0) {
+    throw std::invalid_argument(
+        "lowpass_filter: length must be a power of two divisible by the "
+        "group size");
+  }
+  ensure_programs(rt);
+
+  Workspace w(rt, processors, n);
+  w.load_real(x);
+  w.transform("fft_natural", kInverse);  // spectrum, bit-reversed order
+  std::vector<double> spectrum = w.read_interleaved();
+
+  // Zero every bin outside [0, keep] and its conjugate partner; storage
+  // position s carries bin rho(s).
+  const int bits = util::floor_log2(n);
+  for (int s = 0; s < n; ++s) {
+    const auto bin = static_cast<int>(
+        util::bit_reverse(bits, static_cast<std::uint64_t>(s)));
+    const bool keep = bin <= keep_bins || bin >= n - keep_bins;
+    if (!keep) {
+      spectrum[static_cast<std::size_t>(2 * s)] = 0.0;
+      spectrum[static_cast<std::size_t>(2 * s + 1)] = 0.0;
+    }
+  }
+  w.write_interleaved(spectrum);
+  w.transform("fft_reverse", kForward);  // back to natural samples
+  std::vector<double> packed = w.read_interleaved();
+
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = packed[static_cast<std::size_t>(2 * i)];
+  }
+  return out;
+}
+
+}  // namespace tdp::fft

@@ -1,0 +1,55 @@
+// Signal-processing operations on distributed arrays (§2.3.2).
+//
+// The thesis motivates the pipeline problem class with "signal-processing
+// operations like convolution, correlation, and filtering" built from the
+// DFT / elementwise-manipulation / inverse-DFT pattern.  These routines are
+// those operations, composed from distributed calls to the §6.2.3 FFT
+// programs:
+//
+//   * an "evaluation" pass: fft_natural with the inverse kernel takes
+//     natural-order input to bit-reversed evaluations;
+//   * the elementwise manipulation in bit-reversed order (order-free);
+//   * a "fitting" pass: fft_reverse with the forward kernel (including the
+//     1/N) takes bit-reversed values back to natural-order coefficients —
+//     so no explicit bit-reversal permutation is ever needed.
+//
+// All functions are task-parallel top levels: they create the distributed
+// arrays, make the distributed calls on `processors`, and collect results
+// through the global-array interface.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace tdp::fft {
+
+/// Full linear convolution of two real sequences: result has
+/// a.size() + b.size() - 1 entries.  `processors` must be a power-of-two
+/// group; transform sizes are padded to the next power of two that is a
+/// multiple of the group size.
+std::vector<double> convolve(core::Runtime& rt,
+                             const std::vector<int>& processors,
+                             const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Cross-correlation r[k] = sum_i a[i] * b[i + k - (b.size()-1)] for
+/// k in [0, a.size()+b.size()-1): convolution with b reversed.
+std::vector<double> correlate(core::Runtime& rt,
+                              const std::vector<int>& processors,
+                              const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Ideal low-pass filter: keeps DFT bins [0, keep_bins] and their
+/// conjugate-symmetric partners, zeroes the rest, and returns the filtered
+/// real sequence (same length as x, which must be a power of two and a
+/// multiple of the group size).
+std::vector<double> lowpass_filter(core::Runtime& rt,
+                                   const std::vector<int>& processors,
+                                   const std::vector<double>& x,
+                                   int keep_bins);
+
+/// Ensures the §6.2.3 FFT programs are registered with rt (idempotent).
+void ensure_programs(core::Runtime& rt);
+
+}  // namespace tdp::fft

@@ -1,0 +1,143 @@
+#include "linalg/halo.hpp"
+
+#include <vector>
+
+#include "dist/layout.hpp"
+
+namespace tdp::linalg {
+namespace {
+
+/// Iterates all multi-indices of `extent`, calling fn with the storage
+/// offset of (start + idx) and the linear position within the region.
+template <typename Fn>
+void for_each_in_region(const dist::LocalSectionView& view,
+                        std::span<const int> start,
+                        std::span<const int> extent, Fn&& fn) {
+  const long long count = dist::element_count(extent);
+  std::vector<int> storage_idx(extent.size());
+  for (long long lin = 0; lin < count; ++lin) {
+    std::vector<int> idx = dist::delinearize(lin, extent, view.indexing);
+    for (std::size_t d = 0; d < extent.size(); ++d) {
+      storage_idx[d] = start[d] + idx[d];
+    }
+    const long long off =
+        dist::linearize(storage_idx, view.dims_plus, view.indexing);
+    fn(off, lin);
+  }
+}
+
+}  // namespace
+
+void pack_region(const dist::LocalSectionView& view,
+                 std::span<const int> start, std::span<const int> extent,
+                 std::span<double> out) {
+  const double* data = view.f64();
+  for_each_in_region(view, start, extent, [&](long long off, long long lin) {
+    out[static_cast<std::size_t>(lin)] = data[off];
+  });
+}
+
+void unpack_region(const dist::LocalSectionView& view,
+                   std::span<const int> start, std::span<const int> extent,
+                   std::span<const double> in) {
+  double* data = view.f64();
+  for_each_in_region(view, start, extent, [&](long long off, long long lin) {
+    data[off] = in[static_cast<std::size_t>(lin)];
+  });
+}
+
+void exchange_borders(spmd::SpmdContext& ctx,
+                      const dist::LocalSectionView& view,
+                      std::span<const int> grid_dims,
+                      dist::Indexing grid_indexing, int tag0) {
+  const std::size_t ndims = view.interior_dims.size();
+  const std::vector<int> my_pos =
+      dist::delinearize(ctx.index(), grid_dims, grid_indexing);
+
+  auto neighbour = [&](std::size_t d, int delta) -> int {
+    const int pos_d = my_pos[d] + delta;
+    if (pos_d < 0 || pos_d >= grid_dims[d]) return -1;
+    std::vector<int> pos = my_pos;
+    pos[d] = pos_d;
+    return static_cast<int>(dist::grid_rank(pos, grid_dims, grid_indexing));
+  };
+
+  // Storage coordinates of the interior origin: borders[2d] per dimension.
+  std::vector<int> interior0(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    interior0[d] = view.borders[2 * d];
+  }
+
+  struct PendingRecv {
+    int from;
+    int tag;
+    std::vector<int> start;
+    std::vector<int> extent;
+  };
+  std::vector<PendingRecv> pending;
+  std::vector<std::vector<double>> keep_alive;  // not needed; sends copy
+
+  for (std::size_t d = 0; d < ndims; ++d) {
+    if (grid_dims[d] <= 1) continue;
+    const int low = neighbour(d, -1);
+    const int high = neighbour(d, +1);
+    const int b_low = view.borders[2 * d];
+    const int b_high = view.borders[2 * d + 1];
+    const int m_d = view.interior_dims[d];
+    const int tag_up = tag0 + static_cast<int>(2 * d);      // toward high
+    const int tag_down = tag0 + static_cast<int>(2 * d) + 1;  // toward low
+
+    // Full-interior extents in the other dimensions.
+    std::vector<int> extent(view.interior_dims.begin(),
+                            view.interior_dims.end());
+
+    // Send my highest b_low interior layers to the high neighbour's low
+    // border (travelling "up"), and my lowest b_high layers to the low
+    // neighbour's high border (travelling "down").
+    if (high >= 0 && b_low > 0) {
+      std::vector<int> start = interior0;
+      start[d] = interior0[d] + m_d - b_low;
+      std::vector<int> ext = extent;
+      ext[d] = b_low;
+      std::vector<double> buf(
+          static_cast<std::size_t>(dist::element_count(ext)));
+      pack_region(view, start, ext, buf);
+      ctx.send<double>(high, tag_up, buf);
+    }
+    if (low >= 0 && b_high > 0) {
+      std::vector<int> start = interior0;
+      std::vector<int> ext = extent;
+      ext[d] = b_high;
+      std::vector<double> buf(
+          static_cast<std::size_t>(dist::element_count(ext)));
+      pack_region(view, start, ext, buf);
+      ctx.send<double>(low, tag_down, buf);
+    }
+
+    // Matching receives: my low border from the low neighbour ("up"
+    // traffic), my high border from the high neighbour ("down" traffic).
+    if (low >= 0 && b_low > 0) {
+      std::vector<int> start = interior0;
+      start[d] = 0;
+      std::vector<int> ext = extent;
+      ext[d] = b_low;
+      pending.push_back(PendingRecv{low, tag_up, start, ext});
+    }
+    if (high >= 0 && b_high > 0) {
+      std::vector<int> start = interior0;
+      start[d] = interior0[d] + m_d;
+      std::vector<int> ext = extent;
+      ext[d] = b_high;
+      pending.push_back(PendingRecv{high, tag_down, start, ext});
+    }
+  }
+
+  for (const PendingRecv& r : pending) {
+    std::vector<double> buf(
+        static_cast<std::size_t>(dist::element_count(r.extent)));
+    ctx.recv<double>(r.from, r.tag, std::span<double>(buf));
+    unpack_region(view, r.start, r.extent, buf);
+  }
+}
+
+}  // namespace tdp::linalg

@@ -1,0 +1,45 @@
+// Generic border (overlap-area) exchange for local sections (§3.2.1.3).
+//
+// The thesis adds borders to local sections "for compatibility with
+// data-parallel notations" that use them as communication buffers — Fortran
+// D's overlap areas.  This module implements the communication those
+// buffers exist for, for any N-dimensional block decomposition: each copy
+// sends face slabs of its interior to the grid neighbours along every
+// decomposed dimension and receives their slabs into its border cells.
+//
+// Face-only exchange (no diagonal/corner neighbours): along dimension d the
+// low border of thickness borders[2d] is filled by the low neighbour's
+// highest borders[2d] interior layers, and symmetrically for the high side.
+// Border cells on the global boundary are left untouched (they carry
+// boundary conditions).  All copies of the group must call it.
+#pragma once
+
+#include <span>
+
+#include "dist/local_section.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// Exchanges all borders of `view` with grid neighbours.  `grid_dims` is
+/// the processor grid of the array's decomposition; copy indices map onto
+/// it with `grid_indexing` (the array's grid indexing type).  `tag0` seeds
+/// the message tags (each dimension uses tags tag0+2d and tag0+2d+1).
+void exchange_borders(spmd::SpmdContext& ctx,
+                      const dist::LocalSectionView& view,
+                      std::span<const int> grid_dims,
+                      dist::Indexing grid_indexing, int tag0 = 0);
+
+/// Packs the hyper-rectangular region [start, start+extent) of the local
+/// section's *storage* coordinates into a contiguous buffer (row of helpers
+/// exposed for tests and custom exchanges).
+void pack_region(const dist::LocalSectionView& view,
+                 std::span<const int> start, std::span<const int> extent,
+                 std::span<double> out);
+
+/// Unpacks a contiguous buffer into the given storage region.
+void unpack_region(const dist::LocalSectionView& view,
+                   std::span<const int> start, std::span<const int> extent,
+                   std::span<const double> in);
+
+}  // namespace tdp::linalg

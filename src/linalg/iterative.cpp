@@ -1,0 +1,120 @@
+#include "linalg/iterative.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/matrix_ops.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace tdp::linalg {
+
+IterativeResult conjugate_gradient(spmd::SpmdContext& ctx, int n,
+                                   std::span<const double> a_local,
+                                   std::span<const double> b_local,
+                                   std::span<double> x_local,
+                                   int max_iterations, double tolerance) {
+  const int nloc = n / ctx.nprocs();
+  std::vector<double> r(static_cast<std::size_t>(nloc));
+  std::vector<double> p(static_cast<std::size_t>(nloc));
+  std::vector<double> ap(static_cast<std::size_t>(nloc));
+
+  // r = b - A x; p = r.
+  matvec(ctx, nloc, n, a_local, std::span<const double>(x_local),
+         std::span<double>(ap));
+  for (int i = 0; i < nloc; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        b_local[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
+    p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+  }
+  double rr = inner_product(ctx, r, r);
+
+  IterativeResult out;
+  for (out.iterations = 0; out.iterations < max_iterations;
+       ++out.iterations) {
+    out.residual = std::sqrt(rr);
+    if (out.residual <= tolerance) {
+      out.converged = true;
+      return out;
+    }
+    matvec(ctx, nloc, n, a_local, std::span<const double>(p),
+           std::span<double>(ap));
+    const double pap = inner_product(ctx, p, ap);
+    const double alpha = rr / pap;
+    for (int i = 0; i < nloc; ++i) {
+      x_local[static_cast<std::size_t>(i)] +=
+          alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -=
+          alpha * ap[static_cast<std::size_t>(i)];
+    }
+    const double rr_next = inner_product(ctx, r, r);
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    for (int i = 0; i < nloc; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] +
+          beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  out.residual = std::sqrt(rr);
+  out.converged = out.residual <= tolerance;
+  return out;
+}
+
+IterativeResult power_method(spmd::SpmdContext& ctx, int n,
+                             std::span<const double> a_local,
+                             std::span<double> v_local, int max_iterations,
+                             double tolerance, double* eigenvalue) {
+  const int nloc = n / ctx.nprocs();
+  std::vector<double> av(static_cast<std::size_t>(nloc));
+  double lambda = 0.0;
+
+  IterativeResult out;
+  for (out.iterations = 0; out.iterations < max_iterations;
+       ++out.iterations) {
+    matvec(ctx, nloc, n, a_local, std::span<const double>(v_local),
+           std::span<double>(av));
+    const double norm = norm2(ctx, av);
+    if (norm == 0.0) break;
+    for (int i = 0; i < nloc; ++i) {
+      v_local[static_cast<std::size_t>(i)] =
+          av[static_cast<std::size_t>(i)] / norm;
+    }
+    // Rayleigh quotient with the normalised vector.
+    matvec(ctx, nloc, n, a_local, std::span<const double>(v_local),
+           std::span<double>(av));
+    const double next =
+        inner_product(ctx, std::span<const double>(v_local.data(),
+                                                   v_local.size()),
+                      av);
+    out.residual = std::fabs(next - lambda);
+    lambda = next;
+    if (out.iterations > 0 && out.residual <= tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  if (eigenvalue != nullptr) *eigenvalue = lambda;
+  return out;
+}
+
+void register_iterative_programs(core::ProgramRegistry& registry) {
+  registry.add("cg_solve", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const int n = args.in<int>(0);
+    const int max_iters = args.in<int>(1);
+    const double tol = args.in<double>(2);
+    const dist::LocalSectionView& a = args.local(3);
+    const dist::LocalSectionView& b = args.local(4);
+    const dist::LocalSectionView& x = args.local(5);
+    const int nloc = n / ctx.nprocs();
+    IterativeResult res = conjugate_gradient(
+        ctx, n,
+        std::span<const double>(a.f64(), static_cast<std::size_t>(nloc) * n),
+        std::span<const double>(b.f64(), static_cast<std::size_t>(nloc)),
+        std::span<double>(x.f64(), static_cast<std::size_t>(nloc)), max_iters,
+        tol);
+    args.status(6) = res.converged ? res.iterations : -1;
+    args.reduce_f64(7)[0] = res.residual;
+  });
+}
+
+}  // namespace tdp::linalg

@@ -1,0 +1,46 @@
+// SPMD iterative solvers built from the library's vector/matrix substrate
+// (Appendix D: "more complex operations on distributed vectors and
+// matrices").  Conjugate gradients and power iteration compose the
+// primitive operations — inner products (allreduce), axpy (local), and
+// matrix-vector products (allgather) — exactly the way the thesis expects
+// adapted SPMD library routines to be layered.
+#pragma once
+
+#include <span>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final ||b - A x||_2
+  bool converged = false;
+};
+
+/// Conjugate-gradient solve of A x = b for a symmetric positive-definite
+/// n×n matrix, row-block distributed (nloc = n / nprocs rows per copy).
+/// `x_local` holds the initial guess and receives the solution.
+IterativeResult conjugate_gradient(spmd::SpmdContext& ctx, int n,
+                                   std::span<const double> a_local,
+                                   std::span<const double> b_local,
+                                   std::span<double> x_local,
+                                   int max_iterations, double tolerance);
+
+/// Power iteration: returns the dominant eigenvalue estimate; `v_local`
+/// holds the start vector (must be nonzero) and receives the eigenvector
+/// approximation (unit norm).
+IterativeResult power_method(spmd::SpmdContext& ctx, int n,
+                             std::span<const double> a_local,
+                             std::span<double> v_local, int max_iterations,
+                             double tolerance, double* eigenvalue);
+
+/// Registers the callable program:
+///   "cg_solve" — n, max_iters, tol, local A, local b, local x,
+///                status (iterations taken, or -1 when not converged),
+///                reduce double[1] max = final residual
+void register_iterative_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

@@ -1,0 +1,186 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tdp::linalg {
+namespace {
+
+/// Pivot candidate travelling through the allreduce: |value| and global row.
+struct Cand {
+  double absval;
+  int row;
+};
+
+Cand better(const Cand& a, const Cand& b) {
+  if (a.absval > b.absval) return a;
+  if (b.absval > a.absval) return b;
+  return a.row <= b.row ? a : b;
+}
+
+constexpr int kSwapTagBase = 1000;
+
+}  // namespace
+
+int lu_factor(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+              std::vector<int>& pivots) {
+  const int p = ctx.nprocs();
+  const int nloc = n / p;
+  const int me = ctx.index();
+  const long long row0 = static_cast<long long>(me) * nloc;
+
+  auto owner_of = [nloc](int row) { return row / nloc; };
+  auto local_of = [nloc](int row) { return row % nloc; };
+  auto elem = [&](int lrow, int col) -> double& {
+    return a_local[static_cast<std::size_t>(lrow) * n + col];
+  };
+
+  pivots.assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> rowk(static_cast<std::size_t>(n));
+
+  for (int k = 0; k < n; ++k) {
+    // Local pivot search over my rows with global index >= k.
+    Cand mine{-1.0, -1};
+    for (int l = 0; l < nloc; ++l) {
+      const long long g = row0 + l;
+      if (g < k) continue;
+      const double v = std::fabs(elem(l, k));
+      if (v > mine.absval) mine = Cand{v, static_cast<int>(g)};
+    }
+    const Cand best = ctx.allreduce_value<Cand>(
+        mine, [](const Cand& a, const Cand& b) { return better(a, b); });
+    if (best.absval == 0.0 || best.row < 0) return k + 1;
+    pivots[static_cast<std::size_t>(k)] = best.row;
+
+    // Swap row k with the pivot row.
+    if (best.row != k) {
+      const int ok_owner = owner_of(k);
+      const int or_owner = owner_of(best.row);
+      if (ok_owner == or_owner) {
+        if (me == ok_owner) {
+          for (int j = 0; j < n; ++j) {
+            std::swap(elem(local_of(k), j), elem(local_of(best.row), j));
+          }
+        }
+      } else if (me == ok_owner || me == or_owner) {
+        const int lrow = me == ok_owner ? local_of(k) : local_of(best.row);
+        const int partner = me == ok_owner ? or_owner : ok_owner;
+        std::vector<double> theirs(static_cast<std::size_t>(n));
+        ctx.exchange<double>(
+            partner, kSwapTagBase + k,
+            std::span<const double>(&elem(lrow, 0), static_cast<std::size_t>(n)),
+            std::span<double>(theirs));
+        std::memcpy(&elem(lrow, 0), theirs.data(),
+                    static_cast<std::size_t>(n) * sizeof(double));
+      }
+    }
+
+    // Broadcast the (post-swap) pivot row from its owner and eliminate.
+    const int k_owner = owner_of(k);
+    if (me == k_owner) {
+      std::memcpy(rowk.data(), &elem(local_of(k), 0),
+                  static_cast<std::size_t>(n) * sizeof(double));
+    }
+    ctx.broadcast(std::span<double>(rowk), k_owner);
+    const double pivot = rowk[static_cast<std::size_t>(k)];
+    if (pivot == 0.0) return k + 1;
+
+    for (int l = 0; l < nloc; ++l) {
+      const long long g = row0 + l;
+      if (g <= k) continue;
+      const double factor = elem(l, k) / pivot;
+      elem(l, k) = factor;
+      for (int j = k + 1; j < n; ++j) {
+        elem(l, j) -= factor * rowk[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return 0;
+}
+
+void lu_solve(spmd::SpmdContext& ctx, int n, std::span<const double> a_local,
+              const std::vector<int>& pivots, std::span<double> b_local) {
+  const int p = ctx.nprocs();
+  const int nloc = n / p;
+  const int me = ctx.index();
+  const long long row0 = static_cast<long long>(me) * nloc;
+
+  auto owner_of = [nloc](int row) { return row / nloc; };
+  auto local_of = [nloc](int row) { return row % nloc; };
+  auto elem = [&](int lrow, int col) -> double {
+    return a_local[static_cast<std::size_t>(lrow) * n + col];
+  };
+
+  // Apply the recorded row interchanges to b.
+  for (int k = 0; k < n; ++k) {
+    const int r = pivots[static_cast<std::size_t>(k)];
+    if (r == k) continue;
+    const int ok_owner = owner_of(k);
+    const int or_owner = owner_of(r);
+    if (ok_owner == or_owner) {
+      if (me == ok_owner) {
+        std::swap(b_local[static_cast<std::size_t>(local_of(k))],
+                  b_local[static_cast<std::size_t>(local_of(r))]);
+      }
+    } else if (me == ok_owner || me == or_owner) {
+      const int lrow = me == ok_owner ? local_of(k) : local_of(r);
+      const int partner = me == ok_owner ? or_owner : ok_owner;
+      double theirs = 0.0;
+      ctx.exchange<double>(
+          partner, kSwapTagBase + k,
+          std::span<const double>(&b_local[static_cast<std::size_t>(lrow)], 1),
+          std::span<double>(&theirs, 1));
+      b_local[static_cast<std::size_t>(lrow)] = theirs;
+    }
+  }
+
+  // Forward substitution: L y = P b (unit lower-triangular L).
+  for (int k = 0; k < n; ++k) {
+    double yk = 0.0;
+    const int k_owner = owner_of(k);
+    if (me == k_owner) yk = b_local[static_cast<std::size_t>(local_of(k))];
+    ctx.broadcast(std::span<double>(&yk, 1), k_owner);
+    for (int l = 0; l < nloc; ++l) {
+      const long long g = row0 + l;
+      if (g <= k) continue;
+      b_local[static_cast<std::size_t>(l)] -= elem(l, k) * yk;
+    }
+  }
+
+  // Backward substitution: U x = y.
+  for (int k = n - 1; k >= 0; --k) {
+    double xk = 0.0;
+    const int k_owner = owner_of(k);
+    if (me == k_owner) {
+      const int l = local_of(k);
+      xk = b_local[static_cast<std::size_t>(l)] / elem(l, k);
+      b_local[static_cast<std::size_t>(l)] = xk;
+    }
+    ctx.broadcast(std::span<double>(&xk, 1), k_owner);
+    for (int l = 0; l < nloc; ++l) {
+      const long long g = row0 + l;
+      if (g >= k) continue;
+      b_local[static_cast<std::size_t>(l)] -= elem(l, k) * xk;
+    }
+  }
+}
+
+void register_lu_programs(core::ProgramRegistry& registry) {
+  registry.add("lu_solve_system",
+               [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 const int n = args.in<int>(0);
+                 const dist::LocalSectionView& a = args.local(1);
+                 const dist::LocalSectionView& b = args.local(2);
+                 const int nloc = n / ctx.nprocs();
+                 std::span<double> a_span(
+                     a.f64(), static_cast<std::size_t>(nloc) * n);
+                 std::span<double> b_span(b.f64(),
+                                          static_cast<std::size_t>(nloc));
+                 std::vector<int> pivots;
+                 const int rc = lu_factor(ctx, n, a_span, pivots);
+                 if (rc == 0) lu_solve(ctx, n, a_span, pivots, b_span);
+                 args.status(3) = rc;
+               });
+}
+
+}  // namespace tdp::linalg

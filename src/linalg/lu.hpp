@@ -1,0 +1,37 @@
+// SPMD LU decomposition with partial pivoting and triangular solve, on
+// row-block-distributed square matrices (Appendix D lists LU decomposition
+// and solution of an LU-decomposed system among the adapted library's
+// operations).
+//
+// The n×n matrix is distributed by rows, nloc = n / nprocs contiguous rows
+// per copy, row-major local sections.  The factorisation is in place:
+// afterwards the local section holds the L (below diagonal, unit diagonal
+// implicit) and U (diagonal and above) factors of P·A, and `pivots` records
+// the row interchanges (global row swapped with row k at step k).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// In-place LU with partial pivoting.  `a_local` is nloc×n row-major.
+/// `pivots` receives n entries (identical on every copy).  Returns 0 on
+/// success or k+1 if the matrix is singular at elimination step k.
+int lu_factor(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+              std::vector<int>& pivots);
+
+/// Solves A x = b given the factorisation from lu_factor.  `b_local` is the
+/// copy's block of b (nloc entries) and is overwritten with its block of x.
+void lu_solve(spmd::SpmdContext& ctx, int n, std::span<const double> a_local,
+              const std::vector<int>& pivots, std::span<double> b_local);
+
+/// Registers the callable program:
+///   "lu_solve_system" — n, local A, local b (overwritten with x),
+///                       status (0 ok, k+1 singular at step k)
+void register_lu_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

@@ -1,0 +1,81 @@
+#include "linalg/matrix_ops.hpp"
+
+#include <cmath>
+
+namespace tdp::linalg {
+
+void matvec(spmd::SpmdContext& ctx, int mloc, int n,
+            std::span<const double> a_local, std::span<const double> x_local,
+            std::span<double> y_local) {
+  std::vector<double> x = ctx.allgather(x_local);
+  for (int i = 0; i < mloc; ++i) {
+    double acc = 0.0;
+    const double* row = a_local.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    y_local[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void matmul(spmd::SpmdContext& ctx, int mloc, int k, int n,
+            std::span<const double> a_local, std::span<const double> b_local,
+            std::span<double> c_local) {
+  std::vector<double> b = ctx.allgather(b_local);
+  for (int i = 0; i < mloc; ++i) {
+    const double* arow = a_local.data() + static_cast<std::size_t>(i) * k;
+    double* crow = c_local.data() + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) crow[j] = 0.0;
+    for (int l = 0; l < k; ++l) {
+      const double alv = arow[l];
+      const double* brow = b.data() + static_cast<std::size_t>(l) * n;
+      for (int j = 0; j < n; ++j) crow[j] += alv * brow[j];
+    }
+  }
+}
+
+double frobenius_norm(spmd::SpmdContext& ctx,
+                      std::span<const double> a_local) {
+  double partial = 0.0;
+  for (double v : a_local) partial += v * v;
+  return std::sqrt(ctx.allreduce_sum(partial));
+}
+
+void init_matrix(spmd::SpmdContext& ctx, int mloc, int n, double* a_local,
+                 double (*f)(long long row, long long col)) {
+  const long long row0 = static_cast<long long>(ctx.index()) * mloc;
+  for (int i = 0; i < mloc; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a_local[static_cast<std::size_t>(i) * n + j] = f(row0 + i, j);
+    }
+  }
+}
+
+void register_matrix_programs(core::ProgramRegistry& registry) {
+  registry.add("mat_vec", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const int mloc = args.in<int>(0);
+    const int n = args.in<int>(1);
+    const dist::LocalSectionView& a = args.local(2);
+    const dist::LocalSectionView& x = args.local(3);
+    const dist::LocalSectionView& y = args.local(4);
+    matvec(ctx, mloc, n,
+           std::span<const double>(a.f64(), static_cast<std::size_t>(mloc) * n),
+           std::span<const double>(x.f64(),
+                                   static_cast<std::size_t>(x.interior_count())),
+           std::span<double>(y.f64(), static_cast<std::size_t>(mloc)));
+  });
+
+  registry.add("mat_mul", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const int mloc = args.in<int>(0);
+    const int k = args.in<int>(1);
+    const int n = args.in<int>(2);
+    const dist::LocalSectionView& a = args.local(3);
+    const dist::LocalSectionView& b = args.local(4);
+    const dist::LocalSectionView& c = args.local(5);
+    const int kloc = k / ctx.nprocs();
+    matmul(ctx, mloc, k, n,
+           std::span<const double>(a.f64(), static_cast<std::size_t>(mloc) * k),
+           std::span<const double>(b.f64(), static_cast<std::size_t>(kloc) * n),
+           std::span<double>(c.f64(), static_cast<std::size_t>(mloc) * n));
+  });
+}
+
+}  // namespace tdp::linalg

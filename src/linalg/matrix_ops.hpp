@@ -1,0 +1,43 @@
+// SPMD dense-matrix operations on row-block-distributed matrices
+// (Appendix D).
+//
+// A global M×N matrix is distributed by rows: copy i holds rows
+// [i*mloc, (i+1)*mloc) as a flat row-major local section of mloc*N doubles
+// (the (block, *) decomposition of §3.2.1.2).  Conforming vectors of length
+// M or N are block-distributed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// y_local = A_local * x, where x (length N) is block-distributed with
+/// nloc = N / nprocs entries per copy; internally allgathers x.
+/// A_local is mloc×N row-major; y_local has mloc entries.
+void matvec(spmd::SpmdContext& ctx, int mloc, int n,
+            std::span<const double> a_local, std::span<const double> x_local,
+            std::span<double> y_local);
+
+/// C_local = A_local * B, with A row-block (mloc×K), B row-block (kloc×N),
+/// C row-block (mloc×N); internally allgathers B.
+void matmul(spmd::SpmdContext& ctx, int mloc, int k, int n,
+            std::span<const double> a_local, std::span<const double> b_local,
+            std::span<double> c_local);
+
+/// Frobenius norm of a row-block-distributed matrix.
+double frobenius_norm(spmd::SpmdContext& ctx, std::span<const double> a_local);
+
+/// A_local[i][j] = f(global_row, j) initialisation helper.
+void init_matrix(spmd::SpmdContext& ctx, int mloc, int n, double* a_local,
+                 double (*f)(long long row, long long col));
+
+/// Registers callable programs:
+///   "mat_vec" — mloc, n, local A, local x, local y
+///   "mat_mul" — mloc, k, n, local A, local B, local C
+void register_matrix_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

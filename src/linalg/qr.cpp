@@ -1,0 +1,178 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace tdp::linalg {
+namespace {
+
+/// Shared geometry of the row-block distribution.
+struct RowBlock {
+  int n;
+  int nloc;
+  int me;
+  long long row0;
+
+  RowBlock(spmd::SpmdContext& ctx, int n_)
+      : n(n_),
+        nloc(n_ / ctx.nprocs()),
+        me(ctx.index()),
+        row0(static_cast<long long>(ctx.index()) * (n_ / ctx.nprocs())) {}
+
+  int owner_of(int row) const { return row / nloc; }
+  int local_of(int row) const { return row % nloc; }
+};
+
+}  // namespace
+
+int qr_factor(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+              QrFactors& factors) {
+  const RowBlock rb(ctx, n);
+  auto elem = [&](int lrow, int col) -> double& {
+    return a_local[static_cast<std::size_t>(lrow) * n + col];
+  };
+
+  factors.beta.assign(static_cast<std::size_t>(n), 0.0);
+  factors.vhead.assign(static_cast<std::size_t>(n), 0.0);
+  factors.diag.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> w(static_cast<std::size_t>(n));
+
+  for (int k = 0; k < n; ++k) {
+    // ||x||^2 for x = A[k:, k].
+    double part = 0.0;
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g < k) continue;
+      part += elem(l, k) * elem(l, k);
+    }
+    const double norm2x = ctx.allreduce_sum(part);
+    if (norm2x == 0.0) return k + 1;
+
+    // Head element x_k from its owner; alpha = -sign(x_k) ||x||.
+    double xk = 0.0;
+    const int k_owner = rb.owner_of(k);
+    if (rb.me == k_owner) xk = elem(rb.local_of(k), k);
+    ctx.broadcast(std::span<double>(&xk, 1), k_owner);
+    const double alpha = xk >= 0.0 ? -std::sqrt(norm2x) : std::sqrt(norm2x);
+    const double vk = xk - alpha;  // Householder vector head
+    const double vnorm2 = norm2x - xk * xk + vk * vk;
+    const double beta = 2.0 / vnorm2;
+
+    // w_j = sum_{i >= k} v_i A[i][j] for j >= k, one vector allreduce.
+    for (int j = k; j < n; ++j) w[static_cast<std::size_t>(j)] = 0.0;
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g < k) continue;
+      const double vi = g == k ? vk : elem(l, k);
+      for (int j = k; j < n; ++j) {
+        w[static_cast<std::size_t>(j)] += vi * elem(l, j);
+      }
+    }
+    ctx.allreduce(std::span<double>(w.data() + k,
+                                    static_cast<std::size_t>(n - k)),
+                  std::function<double(const double&, const double&)>(
+                      [](const double& a, const double& b) { return a + b; }));
+
+    // A[i][j] -= beta * v_i * w_j.  Column k below the diagonal keeps the
+    // reflector tail; the head and alpha go to the factor state.
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g < k) continue;
+      const double vi = g == k ? vk : elem(l, k);
+      for (int j = k + 1; j < n; ++j) {
+        elem(l, j) -= beta * vi * w[static_cast<std::size_t>(j)];
+      }
+      if (g == k) elem(l, k) = alpha;
+      // below-diagonal entries of column k stay equal to v_i (tail).
+    }
+
+    factors.beta[static_cast<std::size_t>(k)] = beta;
+    factors.vhead[static_cast<std::size_t>(k)] = vk;
+    factors.diag[static_cast<std::size_t>(k)] = alpha;
+  }
+  return 0;
+}
+
+void qr_apply_qt(spmd::SpmdContext& ctx, int n,
+                 std::span<const double> a_local, const QrFactors& factors,
+                 std::span<double> b_local) {
+  const RowBlock rb(ctx, n);
+  auto elem = [&](int lrow, int col) -> double {
+    return a_local[static_cast<std::size_t>(lrow) * n + col];
+  };
+
+  for (int k = 0; k < n; ++k) {
+    const double beta = factors.beta[static_cast<std::size_t>(k)];
+    if (beta == 0.0) continue;
+    // s = beta * v' b (one scalar allreduce), then b -= s v.
+    double part = 0.0;
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g < k) continue;
+      const double vi =
+          g == k ? factors.vhead[static_cast<std::size_t>(k)] : elem(l, k);
+      part += vi * b_local[static_cast<std::size_t>(l)];
+    }
+    const double s = beta * ctx.allreduce_sum(part);
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g < k) continue;
+      const double vi =
+          g == k ? factors.vhead[static_cast<std::size_t>(k)] : elem(l, k);
+      b_local[static_cast<std::size_t>(l)] -= s * vi;
+    }
+  }
+}
+
+void qr_back_substitute(spmd::SpmdContext& ctx, int n,
+                        std::span<const double> a_local,
+                        const QrFactors& factors, std::span<double> b_local) {
+  const RowBlock rb(ctx, n);
+  auto elem = [&](int lrow, int col) -> double {
+    return a_local[static_cast<std::size_t>(lrow) * n + col];
+  };
+
+  for (int k = n - 1; k >= 0; --k) {
+    double xk = 0.0;
+    const int k_owner = rb.owner_of(k);
+    if (rb.me == k_owner) {
+      const int l = rb.local_of(k);
+      xk = b_local[static_cast<std::size_t>(l)] /
+           factors.diag[static_cast<std::size_t>(k)];
+      b_local[static_cast<std::size_t>(l)] = xk;
+    }
+    ctx.broadcast(std::span<double>(&xk, 1), k_owner);
+    for (int l = 0; l < rb.nloc; ++l) {
+      const long long g = rb.row0 + l;
+      if (g >= k) continue;
+      b_local[static_cast<std::size_t>(l)] -= elem(l, k) * xk;
+    }
+  }
+}
+
+int qr_solve(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+             std::span<double> b_local) {
+  QrFactors factors;
+  const int rc = qr_factor(ctx, n, a_local, factors);
+  if (rc != 0) return rc;
+  qr_apply_qt(ctx, n, a_local, factors, b_local);
+  qr_back_substitute(ctx, n, a_local, factors, b_local);
+  return 0;
+}
+
+void register_qr_programs(core::ProgramRegistry& registry) {
+  registry.add("qr_solve_system",
+               [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 const int n = args.in<int>(0);
+                 const dist::LocalSectionView& a = args.local(1);
+                 const dist::LocalSectionView& b = args.local(2);
+                 const int nloc = n / ctx.nprocs();
+                 args.status(3) = qr_solve(
+                     ctx, n,
+                     std::span<double>(a.f64(),
+                                       static_cast<std::size_t>(nloc) * n),
+                     std::span<double>(b.f64(),
+                                       static_cast<std::size_t>(nloc)));
+               });
+}
+
+}  // namespace tdp::linalg

@@ -1,0 +1,54 @@
+// SPMD Householder QR decomposition and solve, on row-block-distributed
+// square matrices (Appendix D lists QR decomposition among the adapted
+// library's operations).
+//
+// Storage convention (LAPACK-like): after qr_factor the local section holds
+// R on and above the diagonal and the tail of each Householder vector below
+// it; the vector heads and the scalar coefficients live in the returned
+// factor state, replicated on every copy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// Per-column reflector data produced by qr_factor (identical on every
+/// copy): H_k = I - beta[k] * v v' with v's head vhead[k] at row k and tail
+/// stored below the diagonal of column k.
+struct QrFactors {
+  std::vector<double> beta;
+  std::vector<double> vhead;
+  std::vector<double> diag;  ///< R's diagonal (alpha values)
+};
+
+/// In-place Householder QR of an n×n matrix, nloc = n / nprocs rows per
+/// copy.  Returns 0 on success or k+1 when column k is identically zero
+/// below the diagonal (rank deficiency at step k).
+int qr_factor(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+              QrFactors& factors);
+
+/// Applies Q' to a block-distributed vector in place (the first step of a
+/// least-squares or linear solve).
+void qr_apply_qt(spmd::SpmdContext& ctx, int n,
+                 std::span<const double> a_local, const QrFactors& factors,
+                 std::span<double> b_local);
+
+/// Solves R x = b by back substitution; b_local is overwritten with x.
+void qr_back_substitute(spmd::SpmdContext& ctx, int n,
+                        std::span<const double> a_local,
+                        const QrFactors& factors, std::span<double> b_local);
+
+/// Convenience: full solve A x = b via Q'b then back substitution.
+/// Returns qr_factor's status.
+int qr_solve(spmd::SpmdContext& ctx, int n, std::span<double> a_local,
+             std::span<double> b_local);
+
+/// Registers the callable program:
+///   "qr_solve_system" — n, local A, local b (overwritten with x), status
+void register_qr_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

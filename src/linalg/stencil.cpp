@@ -1,0 +1,273 @@
+#include "linalg/stencil.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tdp::linalg {
+
+void exchange_halo_1d(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                      int m, int tag) {
+  const int me = ctx.index();
+  const int p = ctx.nprocs();
+  // Send my left edge to the left neighbour, then receive my right halo,
+  // and symmetrically for the other side.  Deterministic pairwise order:
+  // everyone sends both edges first (mailboxes are unbounded), then
+  // receives.
+  if (me > 0) {
+    ctx.send_value<double>(me - 1, tag, with_halo[1]);
+  }
+  if (me < p - 1) {
+    ctx.send_value<double>(me + 1, tag + 1,
+                           with_halo[static_cast<std::size_t>(m)]);
+  }
+  if (me < p - 1) {
+    with_halo[static_cast<std::size_t>(m) + 1] =
+        ctx.recv_value<double>(me + 1, tag);
+  }
+  if (me > 0) {
+    with_halo[0] = ctx.recv_value<double>(me - 1, tag + 1);
+  }
+}
+
+void heat_step_1d(spmd::SpmdContext& ctx, std::span<double> with_halo, int m,
+                  double alpha, std::span<double> scratch, int tag) {
+  exchange_halo_1d(ctx, with_halo, m, tag);
+  // Insulated (zero-flux) global boundaries: reflect the edge value into
+  // the halo so the rod conserves heat except through explicit coupling.
+  if (ctx.index() == 0) with_halo[0] = with_halo[1];
+  if (ctx.index() == ctx.nprocs() - 1) {
+    with_halo[static_cast<std::size_t>(m) + 1] =
+        with_halo[static_cast<std::size_t>(m)];
+  }
+  for (int i = 1; i <= m; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    scratch[s - 1] = with_halo[s] + alpha * (with_halo[s - 1] -
+                                             2.0 * with_halo[s] +
+                                             with_halo[s + 1]);
+  }
+  for (int i = 1; i <= m; ++i) {
+    with_halo[static_cast<std::size_t>(i)] =
+        scratch[static_cast<std::size_t>(i) - 1];
+  }
+}
+
+void jacobi_step_2d(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                    int mloc, int n, std::span<double> scratch, int tag) {
+  const int me = ctx.index();
+  const int p = ctx.nprocs();
+  auto row = [&](int r) { return with_halo.data() + static_cast<std::size_t>(r) * n; };
+
+  if (me > 0) {
+    ctx.send(me - 1, tag, std::span<const double>(row(1), static_cast<std::size_t>(n)));
+  }
+  if (me < p - 1) {
+    ctx.send(me + 1, tag + 1,
+             std::span<const double>(row(mloc), static_cast<std::size_t>(n)));
+  }
+  if (me < p - 1) {
+    ctx.recv(me + 1, tag,
+             std::span<double>(row(mloc + 1), static_cast<std::size_t>(n)));
+  }
+  if (me > 0) {
+    ctx.recv(me - 1, tag + 1,
+             std::span<double>(row(0), static_cast<std::size_t>(n)));
+  }
+
+  const long long grow0 = static_cast<long long>(me) * mloc;
+  const long long grows = static_cast<long long>(p) * mloc;
+  for (int i = 1; i <= mloc; ++i) {
+    const long long g = grow0 + (i - 1);
+    for (int j = 0; j < n; ++j) {
+      const std::size_t s = static_cast<std::size_t>(i - 1) * n + j;
+      if (g == 0 || g == grows - 1 || j == 0 || j == n - 1) {
+        scratch[s] = row(i)[j];  // Dirichlet boundary
+      } else {
+        scratch[s] = 0.25 * (row(i - 1)[j] + row(i + 1)[j] + row(i)[j - 1] +
+                             row(i)[j + 1]);
+      }
+    }
+  }
+  for (int i = 1; i <= mloc; ++i) {
+    for (int j = 0; j < n; ++j) {
+      row(i)[j] = scratch[static_cast<std::size_t>(i - 1) * n + j];
+    }
+  }
+}
+
+void jacobi_step_2d_grid(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                         int mloc, int nloc, int grid_rows, int grid_cols,
+                         std::span<double> scratch, int tag) {
+  const int me = ctx.index();
+  const int gr = me / grid_cols;
+  const int gc = me % grid_cols;
+  const int width = nloc + 2;
+  auto cell = [&](int r, int c) -> double& {
+    return with_halo[static_cast<std::size_t>(r) * width + c];
+  };
+
+  // Neighbour copy indices in the processor grid; -1 on the boundary.
+  const int north = gr > 0 ? me - grid_cols : -1;
+  const int south = gr < grid_rows - 1 ? me + grid_cols : -1;
+  const int west = gc > 0 ? me - 1 : -1;
+  const int east = gc < grid_cols - 1 ? me + 1 : -1;
+
+  // Rows exchange directly; columns are packed into contiguous buffers.
+  std::vector<double> col_buf(static_cast<std::size_t>(mloc));
+  if (north >= 0) {
+    ctx.send(north, tag,
+             std::span<const double>(&cell(1, 1), static_cast<std::size_t>(nloc)));
+  }
+  if (south >= 0) {
+    ctx.send(south, tag + 1,
+             std::span<const double>(&cell(mloc, 1),
+                                     static_cast<std::size_t>(nloc)));
+  }
+  if (west >= 0) {
+    for (int r = 0; r < mloc; ++r) {
+      col_buf[static_cast<std::size_t>(r)] = cell(r + 1, 1);
+    }
+    ctx.send<double>(west, tag + 2, col_buf);
+  }
+  if (east >= 0) {
+    for (int r = 0; r < mloc; ++r) {
+      col_buf[static_cast<std::size_t>(r)] = cell(r + 1, nloc);
+    }
+    ctx.send<double>(east, tag + 3, col_buf);
+  }
+  if (south >= 0) {
+    ctx.recv(south, tag,
+             std::span<double>(&cell(mloc + 1, 1),
+                               static_cast<std::size_t>(nloc)));
+  }
+  if (north >= 0) {
+    ctx.recv(north, tag + 1,
+             std::span<double>(&cell(0, 1), static_cast<std::size_t>(nloc)));
+  }
+  if (east >= 0) {
+    ctx.recv<double>(east, tag + 2, col_buf);
+    for (int r = 0; r < mloc; ++r) cell(r + 1, nloc + 1) = col_buf[static_cast<std::size_t>(r)];
+  }
+  if (west >= 0) {
+    ctx.recv<double>(west, tag + 3, col_buf);
+    for (int r = 0; r < mloc; ++r) cell(r + 1, 0) = col_buf[static_cast<std::size_t>(r)];
+  }
+
+  // Relax the interior; the global boundary stays Dirichlet.
+  const long long grow0 = static_cast<long long>(gr) * mloc;
+  const long long gcol0 = static_cast<long long>(gc) * nloc;
+  const long long grows = static_cast<long long>(grid_rows) * mloc;
+  const long long gcols = static_cast<long long>(grid_cols) * nloc;
+  for (int r = 1; r <= mloc; ++r) {
+    const long long gi = grow0 + (r - 1);
+    for (int c = 1; c <= nloc; ++c) {
+      const long long gj = gcol0 + (c - 1);
+      const std::size_t s =
+          static_cast<std::size_t>(r - 1) * nloc + (c - 1);
+      if (gi == 0 || gi == grows - 1 || gj == 0 || gj == gcols - 1) {
+        scratch[s] = cell(r, c);
+      } else {
+        scratch[s] = 0.25 * (cell(r - 1, c) + cell(r + 1, c) +
+                             cell(r, c - 1) + cell(r, c + 1));
+      }
+    }
+  }
+  for (int r = 1; r <= mloc; ++r) {
+    for (int c = 1; c <= nloc; ++c) {
+      cell(r, c) = scratch[static_cast<std::size_t>(r - 1) * nloc + (c - 1)];
+    }
+  }
+}
+
+double global_residual(spmd::SpmdContext& ctx, double local_delta) {
+  return ctx.allreduce_max(local_delta);
+}
+
+void register_stencil_programs(core::ProgramRegistry& registry) {
+  // "heat_step_1d": alpha (double), steps (int), local u with borders {1,1}.
+  // The local section's storage already includes the halo cells, exactly
+  // the Fortran-D overlap-area pattern the borders feature exists for.
+  registry.add(
+      "heat_step_1d",
+      [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+        const double alpha = args.in<double>(0);
+        const int steps = args.in<int>(1);
+        const dist::LocalSectionView& u = args.local(2);
+        const int m = u.interior_dims[0];
+        std::span<double> field(u.f64(), static_cast<std::size_t>(m) + 2);
+        std::vector<double> scratch(static_cast<std::size_t>(m));
+        for (int s = 0; s < steps; ++s) {
+          heat_step_1d(ctx, field, m, alpha, scratch, 2 * s);
+        }
+        args.status(3) = kStatusOk;
+      },
+      // Border routine (§4.2.1): parameter 2 needs a one-cell halo.
+      [](int parm_num, int ndims) {
+        std::vector<int> borders(static_cast<std::size_t>(2 * ndims), 0);
+        if (parm_num == 2 && ndims == 1) borders = {1, 1};
+        return borders;
+      });
+
+  // "jacobi_step_2d": steps (int), local u with borders {1,1,0,0}; reduce
+  // double[1] (max) = max |delta| of the final sweep.
+  registry.add(
+      "jacobi_step_2d",
+      [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+        const int steps = args.in<int>(0);
+        const dist::LocalSectionView& u = args.local(1);
+        const int mloc = u.interior_dims[0];
+        const int n = u.interior_dims[1];
+        std::span<double> field(
+            u.f64(), static_cast<std::size_t>(mloc + 2) * n);
+        std::vector<double> scratch(static_cast<std::size_t>(mloc) * n);
+        double delta = 0.0;
+        for (int s = 0; s < steps; ++s) {
+          std::vector<double> before(field.begin(), field.end());
+          jacobi_step_2d(ctx, field, mloc, n, scratch, 2 * s);
+          delta = 0.0;
+          for (std::size_t i = 0; i < field.size(); ++i) {
+            delta = std::max(delta, std::fabs(field[i] - before[i]));
+          }
+        }
+        args.reduce_f64(2)[0] = global_residual(ctx, delta);
+      },
+      [](int parm_num, int ndims) {
+        std::vector<int> borders(static_cast<std::size_t>(2 * ndims), 0);
+        if (parm_num == 1 && ndims == 2) borders = {1, 1, 0, 0};
+        return borders;
+      });
+
+  // "jacobi_step_2d_grid": steps, grid_rows, grid_cols, local u with a
+  // one-cell halo on all four sides; reduce double[1] (max) = max |delta|
+  // of the final sweep.
+  registry.add(
+      "jacobi_step_2d_grid",
+      [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+        const int steps = args.in<int>(0);
+        const int grid_rows = args.in<int>(1);
+        const int grid_cols = args.in<int>(2);
+        const dist::LocalSectionView& u = args.local(3);
+        const int mloc = u.interior_dims[0];
+        const int nloc = u.interior_dims[1];
+        std::span<double> field(
+            u.f64(), static_cast<std::size_t>(mloc + 2) * (nloc + 2));
+        std::vector<double> scratch(static_cast<std::size_t>(mloc) * nloc);
+        double delta = 0.0;
+        for (int s = 0; s < steps; ++s) {
+          std::vector<double> before(field.begin(), field.end());
+          jacobi_step_2d_grid(ctx, field, mloc, nloc, grid_rows, grid_cols,
+                              scratch, 4 * s);
+          delta = 0.0;
+          for (std::size_t i = 0; i < field.size(); ++i) {
+            delta = std::max(delta, std::fabs(field[i] - before[i]));
+          }
+        }
+        args.reduce_f64(4)[0] = global_residual(ctx, delta);
+      },
+      [](int parm_num, int ndims) {
+        std::vector<int> borders(static_cast<std::size_t>(2 * ndims), 0);
+        if (parm_num == 3 && ndims == 2) borders = {1, 1, 1, 1};
+        return borders;
+      });
+}
+
+}  // namespace tdp::linalg

@@ -1,0 +1,64 @@
+// SPMD stencil sweeps over block-distributed grids with halo exchange.
+//
+// These are the data-parallel building blocks of the coupled-simulation
+// problem class (§2.3.1, fig 2.1): each simulation is a time-stepped
+// relaxation on a distributed grid, and the local-section borders of
+// §3.2.1.3 hold the neighbour data ("overlap areas" in Fortran D terms).
+#pragma once
+
+#include <span>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// Exchanges the one-cell halo of a 1-D block-distributed field.
+/// `with_halo` has m interior cells at [1..m] and halo cells at [0] and
+/// [m+1]; after the call the halos hold the neighbouring copies' edge
+/// values.  On the global boundary the halo cells are left untouched (they
+/// carry the boundary condition).
+void exchange_halo_1d(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                      int m, int tag = 0);
+
+/// One explicit heat-equation step on a 1-D rod:
+///   u_new[i] = u[i] + alpha * (u[i-1] - 2 u[i] + u[i+1])
+/// over the interior cells, after a halo exchange.  The rod's global ends
+/// are insulated (zero flux): the edge value is reflected into the halo, so
+/// heat leaves the rod only through explicit task-level or channel
+/// coupling.  `scratch` must hold at least m doubles.
+void heat_step_1d(spmd::SpmdContext& ctx, std::span<double> with_halo, int m,
+                  double alpha, std::span<double> scratch, int tag = 0);
+
+/// One Jacobi relaxation step on a 2-D grid distributed by rows
+/// ((block, *) decomposition): local section has mloc rows of n columns
+/// plus one halo row above and below (storage (mloc+2)×n, row-major).
+/// Updates interior points (global boundary rows/columns are Dirichlet).
+void jacobi_step_2d(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                    int mloc, int n, std::span<double> scratch, int tag = 0);
+
+/// One Jacobi relaxation step on a 2-D grid decomposed over a full 2-D
+/// processor grid ((block, block)): copy index maps row-major onto a
+/// grid_rows × grid_cols processor grid; the local section has mloc×nloc
+/// interior cells and a one-cell halo on all four sides (storage
+/// (mloc+2)×(nloc+2), row-major).  North/south halos exchange rows,
+/// west/east halos exchange (packed) columns.  Global boundary is
+/// Dirichlet.
+void jacobi_step_2d_grid(spmd::SpmdContext& ctx, std::span<double> with_halo,
+                         int mloc, int nloc, int grid_rows, int grid_cols,
+                         std::span<double> scratch, int tag = 0);
+
+/// Global residual (max |u_new - u_old| over the last step) helper:
+/// max-reduces `local_delta` over the group.
+double global_residual(spmd::SpmdContext& ctx, double local_delta);
+
+/// Registers callable programs:
+///   "heat_step_1d"        — alpha, steps, local u (borders 1,1) ; status
+///   "jacobi_step_2d"      — steps, local u (borders 1,1,0,0) ;
+///                           reduce double[1] max = final residual
+///   "jacobi_step_2d_grid" — steps, grid_rows, grid_cols,
+///                           local u (borders 1,1,1,1) ;
+///                           reduce double[1] max = final residual
+void register_stencil_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

@@ -1,0 +1,103 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+namespace tdp::linalg {
+
+void init_iota_plus1(spmd::SpmdContext& ctx, int m, double* v) {
+  const long long base = static_cast<long long>(ctx.index()) * m;
+  for (int i = 0; i < m; ++i) {
+    v[i] = static_cast<double>(base + i + 1);
+  }
+}
+
+void fill(int m, double* v, double value) {
+  for (int i = 0; i < m; ++i) v[i] = value;
+}
+
+double inner_product(spmd::SpmdContext& ctx, std::span<const double> x,
+                     std::span<const double> y) {
+  double partial = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) partial += x[i] * y[i];
+  return ctx.allreduce_sum(partial);
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+double norm2(spmd::SpmdContext& ctx, std::span<const double> x) {
+  double partial = 0.0;
+  for (double v : x) partial += v * v;
+  return std::sqrt(ctx.allreduce_sum(partial));
+}
+
+double norm_inf(spmd::SpmdContext& ctx, std::span<const double> x) {
+  double partial = 0.0;
+  for (double v : x) partial = std::max(partial, std::fabs(v));
+  return ctx.allreduce_max(partial);
+}
+
+double vec_sum(spmd::SpmdContext& ctx, std::span<const double> x) {
+  double partial = 0.0;
+  for (double v : x) partial += v;
+  return ctx.allreduce_sum(partial);
+}
+
+void test_iprdv(spmd::SpmdContext& ctx, int M, int m, double* local_v1,
+                double* local_v2, double* ipr) {
+  (void)M;
+  init_iota_plus1(ctx, m, local_v1);
+  init_iota_plus1(ctx, m, local_v2);
+  *ipr = inner_product(ctx, std::span<const double>(local_v1, m),
+                       std::span<const double>(local_v2, m));
+}
+
+void register_programs(core::ProgramRegistry& registry) {
+  // §6.1.2 call: Procs, P, "index", M, Local_m, local(V1), local(V2),
+  // reduce("double", 1, max, InProd)
+  registry.add("test_iprdv",
+               [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+                 const int M = args.in<int>(3);
+                 const int m = args.in<int>(4);
+                 double* v1 = args.local(5).f64();
+                 double* v2 = args.local(6).f64();
+                 double ipr = 0.0;
+                 test_iprdv(ctx, M, m, v1, v2, &ipr);
+                 args.reduce_f64(7)[0] = ipr;
+               });
+
+  registry.add("vec_fill", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    (void)ctx;
+    const double value = args.in<double>(0);
+    const dist::LocalSectionView& v = args.local(1);
+    fill(static_cast<int>(v.interior_count()), v.f64(), value);
+  });
+
+  registry.add("vec_iota1", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const int m = args.in<int>(0);
+    init_iota_plus1(ctx, m, args.local(1).f64());
+  });
+
+  registry.add("vec_inner", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const dist::LocalSectionView& a = args.local(0);
+    const dist::LocalSectionView& b = args.local(1);
+    const std::size_t m = static_cast<std::size_t>(a.interior_count());
+    args.reduce_f64(2)[0] =
+        inner_product(ctx, std::span<const double>(a.f64(), m),
+                      std::span<const double>(b.f64(), m));
+  });
+
+  registry.add("vec_norm2", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    const dist::LocalSectionView& a = args.local(0);
+    const std::size_t m = static_cast<std::size_t>(a.interior_count());
+    args.reduce_f64(1)[0] =
+        norm2(ctx, std::span<const double>(a.f64(), m));
+  });
+}
+
+}  // namespace tdp::linalg

@@ -1,0 +1,60 @@
+// SPMD vector operations on block-distributed vectors (Appendix D).
+//
+// The thesis tested its prototype against a library of SPMD linear-algebra
+// routines adapted per §3.5: relocatable (processor identity only via the
+// SpmdContext), flat local sections, typed group-scoped messages.  These
+// routines follow that contract: every function takes the copy's
+// SpmdContext plus its local section(s); global vectors of length M are
+// block-distributed, m = M / nprocs elements per copy, copy i holding
+// global indices [i*m, (i+1)*m).
+#pragma once
+
+#include <span>
+
+#include "core/registry.hpp"
+#include "spmd/context.hpp"
+
+namespace tdp::linalg {
+
+/// v[g] = g + 1 for every global index g of this copy's block (the
+/// initialisation used by the thesis inner-product example, §6.1.3).
+void init_iota_plus1(spmd::SpmdContext& ctx, int m, double* v);
+
+/// v[g] = value everywhere.
+void fill(int m, double* v, double value);
+
+/// Global inner product of two conforming distributed vectors.
+double inner_product(spmd::SpmdContext& ctx, std::span<const double> x,
+                     std::span<const double> y);
+
+/// y += a*x on the local blocks.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x *= a on the local block.
+void scale(double a, std::span<double> x);
+
+/// Global Euclidean norm.
+double norm2(spmd::SpmdContext& ctx, std::span<const double> x);
+
+/// Global max-norm.
+double norm_inf(spmd::SpmdContext& ctx, std::span<const double> x);
+
+/// Global sum of local elements.
+double vec_sum(spmd::SpmdContext& ctx, std::span<const double> x);
+
+/// The thesis test program (§6.1.3): initialises V1 and V2 so that
+/// V1[i] == V2[i] == i+1 for all global i, and computes their inner
+/// product.  M is the global length, m the local length.
+void test_iprdv(spmd::SpmdContext& ctx, int M, int m, double* local_v1,
+                double* local_v2, double* ipr);
+
+/// Registers the library's callable data-parallel programs:
+///   "test_iprdv"  — Procs, P, index, M, m, local V1, local V2,
+///                   reduce double[1] (§6.1.2 call signature)
+///   "vec_fill"    — value, local V
+///   "vec_iota1"   — m, local V
+///   "vec_inner"   — local V1, local V2, reduce double[1] = inner product
+///   "vec_norm2"   — local V, reduce double[1] = global Euclidean norm
+void register_programs(core::ProgramRegistry& registry);
+
+}  // namespace tdp::linalg

@@ -1,0 +1,97 @@
+// Single-assignment ("definitional") variables (thesis §3.1.1.2, §A.2).
+//
+// A definitional variable can be assigned a value at most once; its initial
+// state is "undefined", and a process that requires the value of an
+// undefined variable suspends until the variable has been defined.  All
+// readers observe the same value, which is how the task-parallel notation
+// communicates and synchronises (there are no conflicting accesses by
+// construction, §3.1.1.4).
+//
+// Def<T> is a copyable handle to shared single-assignment state, mirroring
+// how PCN definition variables are shared between concurrently-executing
+// processes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace tdp::pcn {
+
+/// Thrown on a second define(); PCN programs that attempt this are erroneous.
+class DoubleDefinition : public std::logic_error {
+ public:
+  DoubleDefinition() : std::logic_error("definitional variable defined twice") {}
+};
+
+template <typename T>
+class Def {
+ public:
+  Def() : state_(std::make_shared<State>()) {}
+
+  /// Defines the variable.  Throws DoubleDefinition if already defined.
+  void define(T value) const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->value.has_value()) throw DoubleDefinition();
+      state_->value.emplace(std::move(value));
+    }
+    state_->cv.notify_all();
+  }
+
+  /// Defines the variable unless already defined; returns whether this call
+  /// performed the definition.
+  bool try_define(T value) const {
+    bool defined = false;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->value.has_value()) {
+        state_->value.emplace(std::move(value));
+        defined = true;
+      }
+    }
+    if (defined) state_->cv.notify_all();
+    return defined;
+  }
+
+  /// Reads the value, suspending the calling process until defined.
+  const T& read() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  /// Reads with a timeout; nullptr when still undefined at the deadline.
+  template <typename Rep, typename Period>
+  const T* read_for(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (!state_->cv.wait_for(lock, timeout,
+                             [&] { return state_->value.has_value(); })) {
+      return nullptr;
+    }
+    return &*state_->value;
+  }
+
+  /// Non-blocking "data guard" (§5.1.5): is the variable defined yet?
+  bool is_defined() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->value.has_value();
+  }
+
+  /// Two handles naming the same shared variable compare equal.
+  bool same_variable(const Def& other) const { return state_ == other.state_; }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace tdp::pcn

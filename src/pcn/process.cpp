@@ -1,0 +1,51 @@
+#include "pcn/process.hpp"
+
+namespace tdp::pcn {
+
+ProcessGroup::~ProcessGroup() { join(); }
+
+void ProcessGroup::spawn(Block body) {
+  threads_.emplace_back(std::move(body));
+}
+
+void ProcessGroup::spawn_on(vp::Machine& machine, int proc, Block body) {
+  if (!machine.valid_proc(proc)) {
+    throw std::out_of_range("ProcessGroup::spawn_on: bad processor number");
+  }
+  threads_.emplace_back([proc, body = std::move(body)] {
+    vp::ProcScope scope(proc);
+    body();
+  });
+}
+
+void ProcessGroup::join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void par(std::vector<Block> blocks) {
+  ProcessGroup group;
+  for (auto& b : blocks) group.spawn(std::move(b));
+  group.join();
+}
+
+void seq(std::vector<Block> blocks) {
+  for (auto& b : blocks) b();
+}
+
+bool choose(std::vector<Guarded> alternatives, Block otherwise) {
+  for (auto& alt : alternatives) {
+    if (alt.guard()) {
+      alt.body();
+      return true;
+    }
+  }
+  if (otherwise) {
+    otherwise();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdp::pcn

@@ -1,0 +1,88 @@
+// Process creation and program composition (thesis §3.1.1.1, §A.1).
+//
+// PCN programs are compositions of statements executed in sequence (`;`),
+// in parallel (`||`), or by guarded choice (`?`).  Execution of a parallel
+// composition is equivalent to creating one concurrently-executing process
+// per statement and waiting for all of them to terminate.  Processes may be
+// placed on a particular virtual processor with the `@p` annotation.
+//
+// We reproduce those constructs as library combinators:
+//
+//   par(f, g, h);                  // parallel composition, fork/join
+//   seq(f, g, h);                  // sequential composition
+//   choose({{guard, body}, ...});  // choice composition (first true guard)
+//   ProcessGroup pg;
+//   pg.spawn(f);                   // dynamic process creation
+//   pg.spawn_on(machine, 3, f);    // ... with @3 placement
+//   pg.join();
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "vp/machine.hpp"
+
+namespace tdp::pcn {
+
+using Block = std::function<void()>;
+
+/// A set of dynamically-created processes with a fork/join lifetime.  The
+/// destructor joins any processes still running (a parallel composition
+/// terminates only when all its statements have, §3.1.1.1).
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ~ProcessGroup();
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Creates a process executing `body` with no particular placement.
+  void spawn(Block body);
+
+  /// Creates a process executing `body` placed on virtual processor `proc`
+  /// of `machine` (the `@proc` annotation); library code run by the process
+  /// sees vp::current_proc() == proc.
+  void spawn_on(vp::Machine& machine, int proc, Block body);
+
+  /// Waits for every spawned process to terminate.
+  void join();
+
+  /// Number of processes ever spawned in this group.
+  std::size_t spawned() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+/// Parallel composition: runs every block concurrently and waits for all to
+/// terminate before returning.
+void par(std::vector<Block> blocks);
+
+template <typename... Fs>
+void par(Fs&&... blocks) {
+  par(std::vector<Block>{Block(std::forward<Fs>(blocks))...});
+}
+
+/// Sequential composition; trivial, provided for symmetry with the notation.
+void seq(std::vector<Block> blocks);
+
+template <typename... Fs>
+void seq(Fs&&... blocks) {
+  seq(std::vector<Block>{Block(std::forward<Fs>(blocks))...});
+}
+
+/// One guarded alternative of a choice composition.
+struct Guarded {
+  std::function<bool()> guard;
+  Block body;
+};
+
+/// Choice composition (§A.1): executes the body of the first alternative
+/// whose guard holds; executes `otherwise` (the `default ->` branch) when no
+/// guard holds and `otherwise` is non-null.  Returns whether any body ran.
+bool choose(std::vector<Guarded> alternatives, Block otherwise = nullptr);
+
+}  // namespace tdp::pcn

@@ -1,0 +1,84 @@
+// Pseudo-definitional arrays (§5.1.5–5.1.6).
+//
+// Local sections cannot be true mutables (they must live inside the array
+// manager's record tuples) nor true definition variables (their contents
+// are multiple-assignment), and for efficiency their storage is allocated
+// explicitly outside the garbage-collected heap with the `build` and `free`
+// primitives.  The resulting hybrid is "definitional" in its binding — the
+// variable is bound to storage at most once, and any use must be preceded
+// by a *data guard* ensuring the storage exists — and "pseudo" in that the
+// storage itself is mutable.
+//
+// PseudoDefArray reproduces those semantics: a copyable handle whose
+// binding is single-assignment (build() at most once per variable), whose
+// readers suspend on the data guard until built, and whose element storage
+// is freely mutable afterwards.  free() releases the storage explicitly;
+// later guarded uses observe the released state, mirroring the emulator's
+// free instruction.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+#include "pcn/def.hpp"
+
+namespace tdp::pcn {
+
+class PseudoDefArray {
+ public:
+  PseudoDefArray() = default;
+
+  /// The build primitive: allocates `size` doubles (zeroed) and defines the
+  /// variable to that storage.  Throws DoubleDefinition on a second build.
+  void build(std::size_t size) const {
+    auto storage = std::make_shared<Storage>();
+    storage->data.assign(size, 0.0);
+    binding_.define(std::move(storage));
+  }
+
+  /// Data guard (non-blocking): has the variable been built?
+  bool guard() const { return binding_.is_defined(); }
+
+  /// Data guard (blocking): suspends until the variable is built, then
+  /// returns whether the storage is still live (not freed).
+  bool wait_guard() const { return !binding_.read()->freed; }
+
+  /// Mutable view of the storage; suspends on the data guard.  Throws if
+  /// the storage has been freed (a use-after-free the emulator would
+  /// catch only by crashing; we are stricter).
+  std::span<double> data() const {
+    const std::shared_ptr<Storage>& s = binding_.read();
+    if (s->freed) {
+      throw std::logic_error("PseudoDefArray: use after free");
+    }
+    return std::span<double>(s->data);
+  }
+
+  std::size_t size() const { return binding_.read()->data.size(); }
+
+  /// The free primitive: releases the storage.  Requires the data guard
+  /// (suspends until built); idempotent frees throw, as a double free is a
+  /// program error.
+  void free() const {
+    const std::shared_ptr<Storage>& s = binding_.read();
+    if (s->freed) throw std::logic_error("PseudoDefArray: double free");
+    s->freed = true;
+    s->data.clear();
+    s->data.shrink_to_fit();
+  }
+
+  /// Two handles naming the same variable compare equal.
+  bool same_variable(const PseudoDefArray& other) const {
+    return binding_.same_variable(other.binding_);
+  }
+
+ private:
+  struct Storage {
+    std::vector<double> data;
+    bool freed = false;
+  };
+  Def<std::shared_ptr<Storage>> binding_;
+};
+
+}  // namespace tdp::pcn

@@ -1,0 +1,93 @@
+// Definitional streams (thesis §A.3): a stream of messages between two
+// processes is a shared definitional list whose elements correspond to
+// messages.  The producer incrementally defines cons cells; the consumer
+// suspends on the undefined tail.  Closing a stream defines the tail to be
+// the empty list (the PCN `[]`).
+//
+// Stream<T> is a copyable handle to one cell position.  Typical use:
+//
+//   Stream<int> s;                // shared between producer and consumer
+//   // producer:
+//   Stream<int> tail = s.put(1).put(2);
+//   tail.close();
+//   // consumer:
+//   for (std::optional<int> v; (v = s.next());) consume(*v);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pcn/def.hpp"
+
+namespace tdp::pcn {
+
+template <typename T>
+class Stream {
+ public:
+  Stream() = default;
+
+  /// Producer: defines this cell as cons(value, fresh-tail); returns the
+  /// tail handle for the next put.  Throws DoubleDefinition if this cell was
+  /// already produced or closed.
+  Stream put(T value) const {
+    auto cell = std::make_shared<Cell>();
+    cell->head = std::move(value);
+    cell_.define(cell);
+    return cell->tail;
+  }
+
+  /// Producer: defines this cell as the empty list, ending the stream.
+  void close() const { cell_.define(nullptr); }
+
+  /// Consumer: suspends until this cell is defined.  Returns the head value
+  /// and advances *this to the tail; returns nullopt (and leaves *this at
+  /// the closed cell) when the stream has ended.
+  std::optional<T> next() {
+    const std::shared_ptr<Cell>& cell = cell_.read();
+    if (cell == nullptr) return std::nullopt;
+    T value = cell->head;
+    *this = cell->tail;
+    return value;
+  }
+
+  /// Consumer: peeks at the head without advancing; nullopt when closed.
+  std::optional<T> head() const {
+    const std::shared_ptr<Cell>& cell = cell_.read();
+    if (cell == nullptr) return std::nullopt;
+    return cell->head;
+  }
+
+  /// Consumer: the tail position; only meaningful after head() returned a
+  /// value.
+  Stream tail() const {
+    const std::shared_ptr<Cell>& cell = cell_.read();
+    return cell == nullptr ? *this : cell->tail;
+  }
+
+  /// Non-blocking guard: has this cell been produced (or the stream closed)?
+  bool available() const { return cell_.is_defined(); }
+
+  /// Drains the remaining stream into a vector (suspends until closed).
+  std::vector<T> collect() {
+    std::vector<T> out;
+    for (std::optional<T> v; (v = next());) out.push_back(std::move(*v));
+    return out;
+  }
+
+  /// Producer convenience: puts every element of `values`, returns new tail.
+  Stream put_all(const std::vector<T>& values) const {
+    Stream s = *this;
+    for (const T& v : values) s = s.put(v);
+    return s;
+  }
+
+ private:
+  struct Cell {
+    T head;
+    Stream tail;
+  };
+  Def<std::shared_ptr<Cell>> cell_;
+};
+
+}  // namespace tdp::pcn

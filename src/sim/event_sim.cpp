@@ -1,0 +1,93 @@
+#include "sim/event_sim.hpp"
+
+#include <stdexcept>
+
+#include "pcn/process.hpp"
+
+namespace tdp::sim {
+
+int EventSimulation::add_component(std::string name, ModelFn model,
+                                   double first_wake) {
+  const int id = static_cast<int>(components_.size());
+  components_.push_back(Component{std::move(name), std::move(model), {}});
+  if (first_wake >= 0.0) {
+    Event wake;
+    wake.time = first_wake;
+    wake.source = id;
+    wake.kind = kSelfWake;
+    queue_.push(Pending{first_wake, id, std::move(wake)});
+  }
+  return id;
+}
+
+void EventSimulation::connect(int from, int to) {
+  if (from < 0 || to < 0 || from >= static_cast<int>(components_.size()) ||
+      to >= static_cast<int>(components_.size())) {
+    throw std::out_of_range("EventSimulation::connect: bad component id");
+  }
+  components_[static_cast<std::size_t>(from)].successors.push_back(to);
+}
+
+const std::string& EventSimulation::name(int component) const {
+  return components_.at(static_cast<std::size_t>(component)).name;
+}
+
+void EventSimulation::route(int from, std::vector<Event> outputs) {
+  for (Event& e : outputs) {
+    e.source = from;
+    if (e.kind == kSelfWake) {
+      queue_.push(Pending{e.time, from, e});
+      continue;
+    }
+    for (int succ : components_[static_cast<std::size_t>(from)].successors) {
+      queue_.push(Pending{e.time, succ, e});
+      ++stats_.events_delivered;
+    }
+  }
+}
+
+EventSimulation::Stats EventSimulation::run(double t_end) {
+  stats_ = Stats{};
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    const double now = queue_.top().time;
+    stats_.end_time = now;
+
+    // Collect every event due at this instant, grouped by component.
+    std::map<int, std::vector<Event>> due;
+    while (!queue_.empty() && queue_.top().time == now) {
+      Pending p = queue_.top();
+      queue_.pop();
+      due[p.target].push_back(std::move(p.event));
+    }
+
+    // Components woken at the same virtual time are independent processes
+    // of the reactive graph: evaluate them with a parallel composition.
+    std::vector<std::pair<int, std::vector<Event>>> wakes(due.begin(),
+                                                          due.end());
+    std::vector<std::vector<Event>> outputs(wakes.size());
+    {
+      pcn::ProcessGroup group;
+      for (std::size_t w = 0; w < wakes.size(); ++w) {
+        group.spawn([&, w] {
+          const auto& [component, inputs] = wakes[w];
+          outputs[w] = components_[static_cast<std::size_t>(component)].model(
+              now, inputs);
+        });
+      }
+      group.join();
+    }
+    for (std::size_t w = 0; w < wakes.size(); ++w) {
+      for (const Event& e : outputs[w]) {
+        if (e.time < now) {
+          throw std::logic_error(
+              "EventSimulation: model emitted an event in the past");
+        }
+      }
+      route(wakes[w].first, std::move(outputs[w]));
+      ++stats_.wakes;
+    }
+  }
+  return stats_;
+}
+
+}  // namespace tdp::sim

@@ -1,0 +1,91 @@
+// Discrete-event simulation substrate for the reactive problem class
+// (thesis §2.3.3, fig 2.3).
+//
+// A problem in this class is a not-necessarily-regular graph of
+// communicating processes, each process a data-parallel computation, with
+// communication among neighbours performed by the task-parallel top level.
+// The thesis example is a nuclear-reactor system whose components (pumps,
+// valves, the reactor) are each simulated by a data-parallel program.
+//
+// EventSimulation provides the top level: components registered with a
+// model function, directed connections along which output events travel,
+// and a virtual-time event loop.  Model functions are free to make
+// distributed calls on their component's processor group — that is the
+// integration the thesis proposes — and models woken at the same virtual
+// time are evaluated concurrently (they are independent processes of the
+// reactive graph).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace tdp::sim {
+
+/// One event travelling between components.
+struct Event {
+  double time = 0.0;   ///< virtual time at which the event takes effect
+  int source = -1;     ///< component that emitted it
+  int kind = 0;        ///< model-defined discriminator
+  std::vector<double> payload;
+};
+
+/// A component model: invoked at virtual time `now` with the events due at
+/// that instant; returns events to deliver to the component's successors
+/// (each event's `time` must be >= now).  Self-scheduling is done by
+/// emitting an event with kind sim::kSelfWake.
+using ModelFn = std::function<std::vector<Event>(
+    double now, const std::vector<Event>& inputs)>;
+
+/// Events of this kind are routed back to the emitting component instead of
+/// to its successors (timer / self-wake events).
+inline constexpr int kSelfWake = -1;
+
+class EventSimulation {
+ public:
+  /// Adds a component; `first_wake` < 0 means the component starts idle and
+  /// waits for input events.  Returns the component id.
+  int add_component(std::string name, ModelFn model, double first_wake = 0.0);
+
+  /// Routes events emitted by `from` to `to`.  A component may have any
+  /// number of successors; every successor receives every event.
+  void connect(int from, int to);
+
+  const std::string& name(int component) const;
+
+  struct Stats {
+    long long events_delivered = 0;
+    long long wakes = 0;
+    double end_time = 0.0;
+  };
+
+  /// Runs the event loop until virtual time exceeds `t_end` or no events
+  /// remain.  Components due at the same virtual time are evaluated
+  /// concurrently (task-parallel composition of the reactive graph).
+  Stats run(double t_end);
+
+ private:
+  struct Component {
+    std::string name;
+    ModelFn model;
+    std::vector<int> successors;
+  };
+
+  struct Pending {
+    double time;
+    int target;
+    Event event;
+    bool operator>(const Pending& other) const { return time > other.time; }
+  };
+
+  void route(int from, std::vector<Event> outputs);
+
+  std::vector<Component> components_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>>
+      queue_;
+  Stats stats_;
+};
+
+}  // namespace tdp::sim

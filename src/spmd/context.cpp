@@ -1,0 +1,77 @@
+#include "spmd/context.hpp"
+
+#include <stdexcept>
+
+namespace tdp::spmd {
+
+SpmdContext::SpmdContext(vp::Machine& machine, std::uint64_t comm,
+                         std::vector<int> processors, int index)
+    : machine_(machine),
+      comm_(comm),
+      processors_(std::move(processors)),
+      index_(index) {
+  if (processors_.empty() || index_ < 0 ||
+      index_ >= static_cast<int>(processors_.size())) {
+    throw std::invalid_argument("SpmdContext: bad group or index");
+  }
+}
+
+void SpmdContext::send_bytes(int dst_index, int tag,
+                             std::span<const std::byte> bytes) {
+  if (dst_index < 0 || dst_index >= nprocs()) {
+    throw std::out_of_range("SpmdContext::send_bytes: bad destination index");
+  }
+  vp::Message m;
+  m.cls = vp::MessageClass::DataParallel;
+  m.comm = comm_;
+  m.tag = tag;
+  m.src = index_;  // group index; comm scoping isolates the call
+  m.payload.assign(bytes.begin(), bytes.end());
+  machine_.send(processors_[static_cast<std::size_t>(dst_index)],
+                std::move(m));
+  ++sent_count_;
+}
+
+std::vector<std::byte> SpmdContext::recv_bytes(int src_index, int tag) {
+  if (src_index < 0 || src_index >= nprocs()) {
+    throw std::out_of_range("SpmdContext::recv_bytes: bad source index");
+  }
+  vp::Message m = machine_.mailbox(proc()).receive(
+      vp::MessageClass::DataParallel, comm_, tag, src_index);
+  return std::move(m.payload);
+}
+
+void SpmdContext::barrier() {
+  const std::byte token{0};
+  const std::span<const std::byte> one(&token, 1);
+  if (index_ == 0) {
+    for (int i = 1; i < nprocs(); ++i) {
+      (void)recv_bytes(i, kBarrierUpTag);
+    }
+    for (int i = 1; i < nprocs(); ++i) {
+      send_bytes(i, kBarrierDownTag, one);
+    }
+  } else {
+    send_bytes(0, kBarrierUpTag, one);
+    (void)recv_bytes(0, kBarrierDownTag);
+  }
+}
+
+double SpmdContext::allreduce_sum(double v) {
+  return allreduce_value<double>(v, [](const double& a, const double& b) {
+    return a + b;
+  });
+}
+
+double SpmdContext::allreduce_max(double v) {
+  return allreduce_value<double>(v, [](const double& a, const double& b) {
+    return a > b ? a : b;
+  });
+}
+
+int SpmdContext::allreduce_max_int(int v) {
+  return allreduce_value<int>(
+      v, [](const int& a, const int& b) { return a > b ? a : b; });
+}
+
+}  // namespace tdp::spmd

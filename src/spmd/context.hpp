@@ -1,0 +1,234 @@
+// Execution context for one copy of an SPMD data-parallel program
+// (§3.1.4, §3.5).
+//
+// A distributed call runs one copy of the called program on each processor
+// of a group.  Each copy receives an SpmdContext giving it
+//   * its index within the group and the processor array (the thesis makes
+//     relocatability a requirement: processor numbers must come from the
+//     array passed with the call, never be hard-wired);
+//   * point-to-point typed send/receive *within the group*, scoped by the
+//     call's communicator id so that concurrent distributed calls can never
+//     intercept each other's messages (§3.4.1, fig. 3.4);
+//   * the collective operations (barrier, broadcast, reduce, allreduce,
+//     gather, allgather, exchange) an adapted SPMD library needs (§D).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "vp/machine.hpp"
+
+namespace tdp::spmd {
+
+class SpmdContext {
+ public:
+  /// Constructs the context of copy `index` of a call distributed over
+  /// `processors` with communicator id `comm`.
+  SpmdContext(vp::Machine& machine, std::uint64_t comm,
+              std::vector<int> processors, int index);
+
+  int index() const { return index_; }
+  int nprocs() const { return static_cast<int>(processors_.size()); }
+  int proc() const { return processors_[static_cast<std::size_t>(index_)]; }
+  const std::vector<int>& processors() const { return processors_; }
+  std::uint64_t comm() const { return comm_; }
+  vp::Machine& machine() { return machine_; }
+
+  // --- Point-to-point (group indices, not raw processor numbers). ---------
+
+  void send_bytes(int dst_index, int tag, std::span<const std::byte> bytes);
+  std::vector<std::byte> recv_bytes(int src_index, int tag);
+
+  template <typename T>
+  void send(int dst_index, int tag, std::span<const T> data) {
+    send_bytes(dst_index, tag,
+               std::as_bytes(std::span<const T>(data.data(), data.size())));
+  }
+
+  template <typename T>
+  void send_value(int dst_index, int tag, const T& v) {
+    send(dst_index, tag, std::span<const T>(&v, 1));
+  }
+
+  template <typename T>
+  void recv(int src_index, int tag, std::span<T> out) {
+    std::vector<std::byte> bytes = recv_bytes(src_index, tag);
+    std::memcpy(out.data(), bytes.data(),
+                std::min(bytes.size(), out.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  T recv_value(int src_index, int tag) {
+    T v{};
+    recv(src_index, tag, std::span<T>(&v, 1));
+    return v;
+  }
+
+  // --- Collectives over the group. -----------------------------------------
+
+  /// All copies must arrive before any proceeds.
+  void barrier();
+
+  /// Root's buffer is copied to every copy's buffer.
+  template <typename T>
+  void broadcast(std::span<T> data, int root) {
+    if (index_ == root) {
+      for (int i = 0; i < nprocs(); ++i) {
+        if (i != root) send(i, kBcastTag, std::span<const T>(data));
+      }
+    } else {
+      recv(root, kBcastTag, data);
+    }
+  }
+
+  /// Element-wise reduction of every copy's buffer into root's buffer.
+  template <typename T>
+  void reduce(std::span<T> data, int root,
+              const std::function<T(const T&, const T&)>& op) {
+    if (index_ == root) {
+      std::vector<T> incoming(data.size());
+      for (int i = 0; i < nprocs(); ++i) {
+        if (i == root) continue;
+        recv(i, kReduceTag, std::span<T>(incoming));
+        for (std::size_t k = 0; k < data.size(); ++k) {
+          data[k] = op(data[k], incoming[k]);
+        }
+      }
+    } else {
+      send(root, kReduceTag, std::span<const T>(data));
+    }
+  }
+
+  /// reduce to copy 0 followed by broadcast.
+  template <typename T>
+  void allreduce(std::span<T> data,
+                 const std::function<T(const T&, const T&)>& op) {
+    reduce(data, 0, op);
+    broadcast(data, 0);
+  }
+
+  /// Scalar allreduce convenience.
+  template <typename T>
+  T allreduce_value(T v, const std::function<T(const T&, const T&)>& op) {
+    allreduce(std::span<T>(&v, 1), op);
+    return v;
+  }
+
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  int allreduce_max_int(int v);
+
+  /// Gathers equal-sized contributions to root, concatenated in index order.
+  template <typename T>
+  std::vector<T> gather(std::span<const T> mine, int root) {
+    if (index_ == root) {
+      std::vector<T> out(mine.size() * static_cast<std::size_t>(nprocs()));
+      for (int i = 0; i < nprocs(); ++i) {
+        std::span<T> slot(out.data() + mine.size() * static_cast<std::size_t>(i),
+                          mine.size());
+        if (i == root) {
+          std::copy(mine.begin(), mine.end(), slot.begin());
+        } else {
+          recv(i, kGatherTag, slot);
+        }
+      }
+      return out;
+    }
+    send(root, kGatherTag, mine);
+    return {};
+  }
+
+  /// gather to copy 0 followed by broadcast of the concatenation.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> mine) {
+    std::vector<T> all = gather(mine, 0);
+    if (index_ != 0) {
+      all.resize(mine.size() * static_cast<std::size_t>(nprocs()));
+    }
+    broadcast(std::span<T>(all), 0);
+    return all;
+  }
+
+  /// Inclusive prefix reduction in index order: copy i's buffer becomes
+  /// op(data_0, ..., data_i) elementwise.  Linear chain.
+  template <typename T>
+  void scan(std::span<T> data, const std::function<T(const T&, const T&)>& op) {
+    if (index_ > 0) {
+      std::vector<T> incoming(data.size());
+      recv(index_ - 1, kScanTag, std::span<T>(incoming));
+      for (std::size_t k = 0; k < data.size(); ++k) {
+        data[k] = op(incoming[k], data[k]);
+      }
+    }
+    if (index_ + 1 < nprocs()) {
+      send(index_ + 1, kScanTag, std::span<const T>(data));
+    }
+  }
+
+  /// Full personalised exchange: `mine` holds nprocs() blocks of
+  /// `block` elements, block j destined for copy j; the result holds the
+  /// blocks received from every copy, in index order.
+  template <typename T>
+  std::vector<T> alltoall(std::span<const T> mine, std::size_t block) {
+    std::vector<T> out(block * static_cast<std::size_t>(nprocs()));
+    for (int j = 0; j < nprocs(); ++j) {
+      if (j == index_) continue;
+      send(j, kAllToAllTag,
+           std::span<const T>(mine.data() + block * static_cast<std::size_t>(j),
+                              block));
+    }
+    std::copy(mine.begin() + static_cast<std::ptrdiff_t>(
+                                 block * static_cast<std::size_t>(index_)),
+              mine.begin() + static_cast<std::ptrdiff_t>(
+                                 block * static_cast<std::size_t>(index_ + 1)),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                block * static_cast<std::size_t>(index_)));
+    for (int j = 0; j < nprocs(); ++j) {
+      if (j == index_) continue;
+      recv(j, kAllToAllTag,
+           std::span<T>(out.data() + block * static_cast<std::size_t>(j),
+                        block));
+    }
+    return out;
+  }
+
+  /// Pairwise full exchange: sends `mine` to `partner_index` and receives
+  /// the partner's buffer of equal size (the FFT's butterfly exchange).
+  template <typename T>
+  void exchange(int partner_index, int tag, std::span<const T> mine,
+                std::span<T> theirs) {
+    // Deterministic order avoids any dependence on mailbox buffering: lower
+    // index sends first.  Mailboxes are unbounded so either order works,
+    // but determinism keeps message interleavings reproducible.
+    if (index_ < partner_index) {
+      send(partner_index, tag, mine);
+      recv(partner_index, tag, theirs);
+    } else {
+      recv(partner_index, tag, theirs);
+      send(partner_index, tag, mine);
+    }
+  }
+
+  /// Count of point-to-point messages this copy has sent (diagnostics).
+  std::uint64_t sent_count() const { return sent_count_; }
+
+ private:
+  // Reserved tags for collectives; user tags should be non-negative.
+  static constexpr int kBcastTag = -1;
+  static constexpr int kReduceTag = -2;
+  static constexpr int kGatherTag = -3;
+  static constexpr int kBarrierUpTag = -4;
+  static constexpr int kBarrierDownTag = -5;
+  static constexpr int kScanTag = -6;
+  static constexpr int kAllToAllTag = -7;
+
+  vp::Machine& machine_;
+  std::uint64_t comm_;
+  std::vector<int> processors_;
+  int index_;
+  std::uint64_t sent_count_ = 0;
+};
+
+}  // namespace tdp::spmd

@@ -1,0 +1,22 @@
+#include "util/atomic_print.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace tdp::util {
+namespace {
+
+std::mutex& print_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void atomic_print(const std::string& line) {
+  std::lock_guard<std::mutex> lock(print_mutex());
+  std::cout << line << '\n';
+  std::cout.flush();
+}
+
+}  // namespace tdp::util

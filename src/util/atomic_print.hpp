@@ -1,0 +1,26 @@
+// Atomic console output (thesis §C.4, am_util:atomic_print).
+//
+// Concurrently-executing uses of the usual output mechanisms may produce
+// interleaved output; atomic_print writes a whole line atomically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tdp::util {
+
+/// Writes `line` plus a trailing newline to standard output atomically:
+/// output produced by a single call is never interleaved with output from
+/// other concurrent atomic_print calls.
+void atomic_print(const std::string& line);
+
+/// Formats all arguments with operator<< into one line and prints it
+/// atomically.
+template <typename... Args>
+void atomic_print_items(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  atomic_print(os.str());
+}
+
+}  // namespace tdp::util

@@ -1,0 +1,19 @@
+#include "util/node_array.hpp"
+
+namespace tdp::util {
+
+std::vector<int> node_array(int first, int stride, int count) {
+  std::vector<int> out;
+  if (count <= 0) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  int v = first;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(v);
+    v += stride;
+  }
+  return out;
+}
+
+std::vector<int> iota_nodes(int count) { return node_array(0, 1, count); }
+
+}  // namespace tdp::util

@@ -1,0 +1,16 @@
+// Patterned processor-number arrays (thesis §C.2, am_util:node_array).
+#pragma once
+
+#include <vector>
+
+namespace tdp::util {
+
+/// Returns the array {first, first+stride, first+2*stride, ...} of length
+/// `count`, intended for building arrays of processor node numbers.
+/// Precondition (thesis): count > 0; we also accept count == 0 and return {}.
+std::vector<int> node_array(int first, int stride, int count);
+
+/// Returns {0, 1, ..., count-1}; the common "all processors" group.
+std::vector<int> iota_nodes(int count);
+
+}  // namespace tdp::util

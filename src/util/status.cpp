@@ -1,0 +1,34 @@
+#include "util/status.hpp"
+
+namespace tdp {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "STATUS_OK";
+    case Status::Invalid:
+      return "STATUS_INVALID";
+    case Status::NotFound:
+      return "STATUS_NOT_FOUND";
+    case Status::Error:
+      return "STATUS_ERROR";
+  }
+  return "STATUS_UNKNOWN";
+}
+
+Status status_from_int(int code) {
+  switch (code) {
+    case kStatusOk:
+      return Status::Ok;
+    case kStatusInvalid:
+      return Status::Invalid;
+    case kStatusNotFound:
+      return Status::NotFound;
+    case kStatusError:
+      return Status::Error;
+    default:
+      return Status::Error;
+  }
+}
+
+}  // namespace tdp

@@ -1,0 +1,44 @@
+// Status codes for every library procedure (thesis §4.1.2).
+//
+// Each library procedure in the prototype has an integer output parameter
+// whose value indicates the success or failure of the operation.  The codes
+// and their meanings are taken verbatim from the thesis:
+//
+//   STATUS_OK        0   no errors
+//   STATUS_INVALID   1   invalid parameter
+//   STATUS_NOT_FOUND 2   array not found
+//   STATUS_ERROR    99   system error
+#pragma once
+
+#include <string_view>
+
+namespace tdp {
+
+/// Outcome of a library operation (§4.1.2).
+enum class Status : int {
+  Ok = 0,        ///< no errors
+  Invalid = 1,   ///< invalid parameter
+  NotFound = 2,  ///< array not found
+  Error = 99,    ///< system error
+};
+
+/// The raw integer codes, for programs that carry status through plain ints
+/// (local status variables of data-parallel programs do exactly this).
+inline constexpr int kStatusOk = 0;
+inline constexpr int kStatusInvalid = 1;
+inline constexpr int kStatusNotFound = 2;
+inline constexpr int kStatusError = 99;
+
+/// Human-readable name of a status code.
+std::string_view to_string(Status s);
+
+/// Widening conversion used when a status travels as an int.
+inline constexpr int to_int(Status s) { return static_cast<int>(s); }
+
+/// Narrowing conversion; unknown codes map to Status::Error.
+Status status_from_int(int code);
+
+/// True when the operation succeeded.
+inline constexpr bool ok(Status s) { return s == Status::Ok; }
+
+}  // namespace tdp

@@ -1,0 +1,45 @@
+#include "vp/machine.hpp"
+
+#include <stdexcept>
+
+namespace tdp::vp {
+
+namespace {
+thread_local int t_current_proc = -1;
+}  // namespace
+
+Machine::Machine(int nprocs) {
+  if (nprocs <= 0) {
+    throw std::invalid_argument("Machine: nprocs must be positive");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Machine::~Machine() {
+  for (auto& mb : mailboxes_) mb->close();
+}
+
+Mailbox& Machine::mailbox(int dst) {
+  if (!valid_proc(dst)) {
+    throw std::out_of_range("Machine::mailbox: bad processor number");
+  }
+  return *mailboxes_[static_cast<std::size_t>(dst)];
+}
+
+void Machine::send(int dst, Message m) {
+  mailbox(dst).post(std::move(m));
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int current_proc() { return t_current_proc; }
+
+ProcScope::ProcScope(int proc) : saved_(t_current_proc) {
+  t_current_proc = proc;
+}
+
+ProcScope::~ProcScope() { t_current_proc = saved_; }
+
+}  // namespace tdp::vp

@@ -1,0 +1,77 @@
+// The simulated multicomputer: a fixed set of virtual processors.
+//
+// The thesis maps processes and data to *virtual processors* — persistent
+// entities with distinct address spaces, identified by a processor number
+// (Preface, "Processes, processors, and virtual processors").  Machine
+// models that substrate on one host:
+//
+//  * `nprocs()` virtual processors, numbered 0..nprocs()-1;
+//  * each with its own Mailbox (distinct address spaces communicate only by
+//    typed messages);
+//  * a per-process "current processor" annotation (the `@p` placement of
+//    PCN), maintained as a thread-local so library code can tell on which
+//    virtual processor the calling process runs;
+//  * a monotonically-increasing communicator-id source used to give every
+//    distributed call a disjoint message-type set (§3.4.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vp/mailbox.hpp"
+
+namespace tdp::vp {
+
+class Machine {
+ public:
+  /// Creates a machine with `nprocs` virtual processors.
+  explicit Machine(int nprocs);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  int nprocs() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// True when p is a valid processor number of this machine.
+  bool valid_proc(int p) const { return p >= 0 && p < nprocs(); }
+
+  /// The incoming mailbox of processor `dst`.
+  Mailbox& mailbox(int dst);
+
+  /// Sends `m` to processor `dst`; `m.src` must already identify the sender.
+  void send(int dst, Message m);
+
+  /// A fresh communicator id (never 0); each distributed call draws one so
+  /// its data-parallel messages form a disjoint type set.
+  std::uint64_t next_comm() { return comm_counter_.fetch_add(1) + 1; }
+
+  /// Number of messages delivered through this machine (diagnostics).
+  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> comm_counter_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+/// The virtual processor the calling process is placed on, or -1 when the
+/// calling thread has no placement (e.g. the program main thread).
+int current_proc();
+
+/// RAII placement annotation: while alive, current_proc() on this thread
+/// returns `proc` (the `@p` annotation of the task-parallel notation).
+class ProcScope {
+ public:
+  explicit ProcScope(int proc);
+  ~ProcScope();
+  ProcScope(const ProcScope&) = delete;
+  ProcScope& operator=(const ProcScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace tdp::vp

@@ -1,0 +1,49 @@
+#include "vp/mailbox.hpp"
+
+namespace tdp::vp {
+
+void Mailbox::post(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::receive(const Predicate& match) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (match(*it)) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    if (closed_) throw MailboxClosed();
+    cv_.wait(lock);
+  }
+}
+
+Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
+                         int src) {
+  return receive([=](const Message& m) {
+    return m.cls == cls && m.comm == comm && m.tag == tag &&
+           (src < 0 || m.src == src);
+  });
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace tdp::vp

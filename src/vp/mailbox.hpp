@@ -1,0 +1,86 @@
+// Typed point-to-point messages with selective receive.
+//
+// The thesis (§3.4.1, §5.3) requires that, when both the task-parallel
+// notation and called data-parallel programs communicate via point-to-point
+// message passing, messages be *typed* and receives be *selective*, with the
+// task-parallel traffic and each data-parallel program's traffic using
+// disjoint type sets.  Our simulated multicomputer enforces exactly that:
+//
+//  * every message carries a `MessageClass` (task-parallel vs data-parallel
+//    traffic, the "PCN type" vs "data-parallel-program type" of §5.3),
+//  * data-parallel messages additionally carry the communicator id of the
+//    distributed call they belong to, so concurrent distributed calls can
+//    never intercept each other's messages (fig. 3.4), and
+//  * receive() is selective: it delivers the first queued message matching
+//    a caller-supplied predicate and leaves non-matching traffic queued.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace tdp::vp {
+
+/// The disjoint message "type" classes of §5.3.
+enum class MessageClass : int {
+  TaskParallel = 0,  ///< traffic of the task-parallel runtime ("PCN type")
+  DataParallel = 1,  ///< traffic of called SPMD programs
+};
+
+/// A typed message.  `comm` scopes data-parallel traffic to one distributed
+/// call; `tag` and `src` support MPI-style selective receive inside a call.
+struct Message {
+  MessageClass cls = MessageClass::TaskParallel;
+  std::uint64_t comm = 0;  ///< communicator (distributed-call) id; 0 = none
+  int tag = 0;             ///< user message type within the class
+  int src = -1;            ///< sending processor number
+  std::vector<std::byte> payload;
+};
+
+/// Thrown by receive() when the mailbox is closed while a receiver waits
+/// (machine teardown); well-formed programs never see this.
+class MailboxClosed : public std::runtime_error {
+ public:
+  MailboxClosed() : std::runtime_error("tdp::vp::Mailbox closed") {}
+};
+
+/// One processor's incoming message queue.  Many senders, selective
+/// receivers.  All operations are thread-safe.
+class Mailbox {
+ public:
+  using Predicate = std::function<bool(const Message&)>;
+
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message and wakes any waiting receivers.
+  void post(Message m);
+
+  /// Blocks until a queued message satisfies `match`, removes and returns
+  /// it.  Messages that do not match stay queued in arrival order.
+  Message receive(const Predicate& match);
+
+  /// Convenience selective receive on (class, comm, tag, src); a negative
+  /// src matches any sender.
+  Message receive(MessageClass cls, std::uint64_t comm, int tag, int src);
+
+  /// Number of queued (undelivered) messages; for tests and diagnostics.
+  std::size_t pending() const;
+
+  /// Wakes all waiting receivers with MailboxClosed; used at teardown.
+  void close();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace tdp::vp

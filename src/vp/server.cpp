@@ -1,0 +1,117 @@
+#include "vp/server.hpp"
+
+namespace tdp::vp {
+
+ServerSystem::ServerSystem(Machine& machine) : machine_(machine) {
+  nodes_.reserve(static_cast<std::size_t>(machine.nprocs()));
+  for (int p = 0; p < machine.nprocs(); ++p) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
+  for (int p = 0; p < machine.nprocs(); ++p) {
+    nodes_[static_cast<std::size_t>(p)]->server =
+        std::thread([this, p] { serve(p); });
+  }
+}
+
+ServerSystem::~ServerSystem() {
+  for (auto& node : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(node->mutex);
+      node->stopping = true;
+    }
+    node->cv.notify_all();
+  }
+  for (auto& node : nodes_) {
+    if (node->server.joinable()) node->server.join();
+    for (std::thread& w : node->workers) {
+      if (w.joinable()) w.join();
+    }
+  }
+}
+
+void ServerSystem::add_capability(int proc, const std::string& type,
+                                  Capability handler) {
+  Node& node = *nodes_.at(static_cast<std::size_t>(proc));
+  std::lock_guard<std::mutex> lock(node.mutex);
+  node.capabilities[type] = std::move(handler);
+}
+
+void ServerSystem::add_capability_all(const std::string& type,
+                                      Capability handler) {
+  for (int p = 0; p < machine_.nprocs(); ++p) {
+    add_capability(p, type, handler);
+  }
+}
+
+pcn::Def<std::any> ServerSystem::request(int proc, const std::string& type,
+                                         std::any parameters, int origin) {
+  auto req = std::make_shared<ServerRequest>();
+  req->type = type;
+  req->parameters = std::move(parameters);
+  req->origin = origin >= 0 ? origin : current_proc();
+  pcn::Def<std::any> reply = req->reply;
+
+  Node& node = *nodes_.at(static_cast<std::size_t>(proc));
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    if (node.stopping) {
+      reply.try_define(std::any{});
+      return reply;
+    }
+    node.queue.push_back(std::move(req));
+  }
+  node.cv.notify_all();
+  return reply;
+}
+
+std::any ServerSystem::request_wait(int proc, const std::string& type,
+                                    std::any parameters, int origin) {
+  return request(proc, type, std::move(parameters), origin).read();
+}
+
+bool ServerSystem::has_capability(int proc, const std::string& type) const {
+  const Node& node = *nodes_.at(static_cast<std::size_t>(proc));
+  std::lock_guard<std::mutex> lock(node.mutex);
+  return node.capabilities.count(type) != 0;
+}
+
+std::uint64_t ServerSystem::serviced(int proc) const {
+  const Node& node = *nodes_.at(static_cast<std::size_t>(proc));
+  std::lock_guard<std::mutex> lock(node.mutex);
+  return node.serviced;
+}
+
+void ServerSystem::serve(int proc) {
+  ProcScope scope(proc);
+  Node& node = *nodes_[static_cast<std::size_t>(proc)];
+  for (;;) {
+    std::shared_ptr<ServerRequest> req;
+    Capability handler;
+    {
+      std::unique_lock<std::mutex> lock(node.mutex);
+      node.cv.wait(lock, [&] { return node.stopping || !node.queue.empty(); });
+      if (node.queue.empty()) return;  // stopping and drained
+      req = std::move(node.queue.front());
+      node.queue.pop_front();
+      ++node.serviced;
+      auto it = node.capabilities.find(req->type);
+      if (it != node.capabilities.end()) handler = it->second;
+      if (handler) {
+        // PCN semantics: the server passes the request to the module's
+        // server program, which runs as its own process; the server loop
+        // stays free to accept further requests (so a handler may issue
+        // nested server requests without deadlock).
+        node.workers.emplace_back([proc, req, handler] {
+          ProcScope worker_scope(proc);
+          handler(*req);
+          req->reply.try_define(std::any{});  // guard against silent handlers
+        });
+      }
+    }
+    if (!handler) {
+      req->reply.try_define(std::any{});  // unknown capability
+    }
+  }
+}
+
+}  // namespace tdp::vp

@@ -1,0 +1,99 @@
+// The PCN server mechanism (§5.1.1).
+//
+// PCN 1.2 provides one server process per processor.  Any program can issue
+// a *server request* to its local server; loading a module with a
+// `capabilities` directive adds new request types, which the server then
+// routes to that module's server program.  Requests can be executed on
+// another processor with the `@Processor` annotation, and bidirectional
+// communication works by including an undefined definitional variable in
+// the request that the server program later defines.
+//
+// We reproduce that machinery: a ServerSystem has one server per virtual
+// processor; add_capability() plays the role of loading a module with a
+// capabilities directive (load_all of §C.3 = add_capability on every
+// processor); request() posts a typed request to a processor's server,
+// returning a definitional reply the handler defines.  Faithful to PCN's
+// process model, the server spawns a process per request, so a handler may
+// itself issue further server requests (as the array manager's global
+// operations do) without deadlock.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pcn/def.hpp"
+#include "vp/machine.hpp"
+
+namespace tdp::vp {
+
+/// A server request as delivered to a capability handler: the tuple
+/// {"request_type", parameters, reply} of §5.1.1.
+struct ServerRequest {
+  std::string type;
+  std::any parameters;
+  pcn::Def<std::any> reply;  ///< handler defines this to answer
+  int origin = -1;           ///< processor that issued the request
+};
+
+/// Handler for one capability.  Runs in its own process; must define
+/// request.reply exactly once (even on error) so requesters never hang.
+using Capability = std::function<void(ServerRequest&)>;
+
+class ServerSystem {
+ public:
+  explicit ServerSystem(Machine& machine);
+  ~ServerSystem();
+
+  ServerSystem(const ServerSystem&) = delete;
+  ServerSystem& operator=(const ServerSystem&) = delete;
+
+  /// Adds a capability on one processor.
+  void add_capability(int proc, const std::string& type, Capability handler);
+
+  /// Adds a capability on every processor (the load_all of §C.3).
+  void add_capability_all(const std::string& type, Capability handler);
+
+  /// Issues a request to processor `proc`'s server (the `! type(...)` with
+  /// an optional `@proc` annotation).  Returns immediately, like a PCN
+  /// server request; the reply definitional becomes defined when the
+  /// handler has serviced it.  An unknown request type yields a reply
+  /// holding std::monostate-like empty std::any.
+  pcn::Def<std::any> request(int proc, const std::string& type,
+                             std::any parameters, int origin = -1);
+
+  /// Convenience: issues the request and waits for the reply.
+  std::any request_wait(int proc, const std::string& type,
+                        std::any parameters, int origin = -1);
+
+  /// True when processor `proc` services `type`.
+  bool has_capability(int proc, const std::string& type) const;
+
+  /// Number of requests serviced by processor `proc`'s server so far.
+  std::uint64_t serviced(int proc) const;
+
+ private:
+  struct Node {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<ServerRequest>> queue;
+    std::map<std::string, Capability> capabilities;
+    std::vector<std::thread> workers;
+    std::uint64_t serviced = 0;
+    bool stopping = false;
+    std::thread server;
+  };
+
+  void serve(int proc);
+
+  Machine& machine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace tdp::vp

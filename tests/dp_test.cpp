@@ -1,0 +1,321 @@
+// Tests for the multiple-assignment semantics layer (§1.2.1, §1.2.5) and
+// the iterative solvers layered on the SPMD substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "dp/forall.hpp"
+#include "linalg/iterative.hpp"
+#include "pcn/process.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp {
+namespace {
+
+void run_group(vp::Machine& machine, int p,
+               const std::function<void(spmd::SpmdContext&)>& body) {
+  const std::uint64_t comm = machine.next_comm();
+  const std::vector<int> procs = util::iota_nodes(p);
+  pcn::ProcessGroup group;
+  for (int i = 0; i < p; ++i) {
+    group.spawn_on(machine, i, [&, i] {
+      spmd::SpmdContext ctx(machine, comm, procs, i);
+      body(ctx);
+    });
+  }
+  group.join();
+}
+
+TEST(MultipleAssign, RhsSeesPreStatementValues) {
+  // v[g] = old[g-1] (rotate right): correct only when every RHS reads the
+  // value from before the statement — the §1.2.5 semantic requirement.
+  const int p = 4;
+  const int nloc = 3;
+  const int n = p * nloc;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> local(static_cast<std::size_t>(nloc));
+    for (int i = 0; i < nloc; ++i) {
+      local[static_cast<std::size_t>(i)] = ctx.index() * nloc + i;
+    }
+    dp::multiple_assign(ctx, local, [](const dp::OldValues& old, long long g) {
+      const long long size = old.size();
+      return old((g - 1 + size) % size);
+    });
+    for (int i = 0; i < nloc; ++i) {
+      const long long g = ctx.index() * nloc + i;
+      EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(i)],
+                       static_cast<double>((g - 1 + n) % n));
+    }
+  });
+}
+
+TEST(MultipleAssign, NaiveInPlaceEvaluationViolatesSemantics) {
+  // The deliberately-broken variant shows exactly the hazard the thesis
+  // warns about: within one local section, late elements observe early
+  // writes, so a rotate produces wrong values.
+  const int p = 2;
+  const int nloc = 4;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> local(static_cast<std::size_t>(nloc));
+    for (int i = 0; i < nloc; ++i) {
+      local[static_cast<std::size_t>(i)] = ctx.index() * nloc + i;
+    }
+    dp::multiple_assign_naive_in_place(
+        ctx, local, [](const dp::OldValues& old, long long g) {
+          const long long size = old.size();
+          return old((g - 1 + size) % size);
+        });
+    // Element 1 of each section read element 0 *after* it was overwritten:
+    // local[1] should be g-1 = base, but the naive version wrote base-1
+    // there first, so local[1] == base - 1 (mod n).
+    const long long base = ctx.index() * nloc;
+    const long long n = static_cast<long long>(p) * nloc;
+    EXPECT_DOUBLE_EQ(local[1], static_cast<double>((base - 1 + n) % n));
+    EXPECT_NE(local[1], static_cast<double>(base));  // the correct value
+  });
+}
+
+TEST(MultipleAssign, SequenceOfStatements) {
+  // "A data-parallel computation is a sequence of multiple-assignment
+  // statements" (§1.2.1): three statements chained; each sees the previous
+  // statement's results.
+  const int p = 2;
+  const int nloc = 2;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> local(static_cast<std::size_t>(nloc));
+    for (int i = 0; i < nloc; ++i) {
+      local[static_cast<std::size_t>(i)] = ctx.index() * nloc + i;  // 0..3
+    }
+    dp::run_statements(
+        ctx, local,
+        {
+            [](const dp::OldValues& old, long long g) { return old(g) + 1; },
+            [](const dp::OldValues& old, long long g) {
+              return 2.0 * old(g);
+            },
+            [](const dp::OldValues& old, long long g) {
+              // sum of the two neighbours, wrap-around
+              const long long size = old.size();
+              return old((g + 1) % size) + old((g - 1 + size) % size);
+            },
+        });
+    // After +1 and *2: v = {2,4,6,8}; after neighbour sum: {12,8,12,16}...
+    const double expect[4] = {8.0 + 4.0, 2.0 + 6.0, 4.0 + 8.0, 6.0 + 2.0};
+    for (int i = 0; i < nloc; ++i) {
+      const long long g = ctx.index() * nloc + i;
+      EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(i)],
+                       expect[g]) << g;
+    }
+  });
+}
+
+TEST(MultipleAssign, WholeArrayOperationReverse) {
+  // A whole-array operation: v = reverse(v) — impossible without
+  // pre-statement semantics.
+  const int p = 4;
+  const int nloc = 2;
+  const int n = p * nloc;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> local(static_cast<std::size_t>(nloc));
+    for (int i = 0; i < nloc; ++i) {
+      local[static_cast<std::size_t>(i)] = ctx.index() * nloc + i;
+    }
+    dp::multiple_assign(ctx, local, [](const dp::OldValues& old, long long g) {
+      return old(old.size() - 1 - g);
+    });
+    for (int i = 0; i < nloc; ++i) {
+      const long long g = ctx.index() * nloc + i;
+      EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(i)],
+                       static_cast<double>(n - 1 - g));
+    }
+  });
+}
+
+TEST(ParallelFor, IndependentIterations) {
+  const int p = 3;
+  const int nloc = 4;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> local(static_cast<std::size_t>(nloc), 1.0);
+    dp::parallel_for(ctx, local, [](long long g, double own) {
+      return own + static_cast<double>(g * g);
+    });
+    for (int i = 0; i < nloc; ++i) {
+      const long long g = ctx.index() * nloc + i;
+      EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(i)],
+                       1.0 + static_cast<double>(g * g));
+    }
+  });
+}
+
+TEST(MultipleAssign, RegisteredRotateProgram) {
+  // Full-period rotation through a distributed call returns the identity.
+  core::Runtime rt(4);
+  dp::register_programs(rt.programs());
+  const int n = 12;
+  dist::ArrayId v;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                dist::Indexing::RowMajor, v),
+            Status::Ok);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(rt.arrays().write_element(0, v, std::vector<int>{i},
+                                        dist::Scalar{static_cast<double>(i)}),
+              Status::Ok);
+  }
+  // Rotate by 5, then by n-5: back to the identity.
+  ASSERT_EQ(
+      rt.call(rt.all_procs(), "dp_rotate").constant(5).local(v).run(),
+      kStatusOk);
+  dist::Scalar s;
+  ASSERT_EQ(rt.arrays().read_element(0, v, std::vector<int>{5}, s),
+            Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(s), 0.0);
+  ASSERT_EQ(
+      rt.call(rt.all_procs(), "dp_rotate").constant(n - 5).local(v).run(),
+      kStatusOk);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(rt.arrays().read_element(0, v, std::vector<int>{i}, s),
+              Status::Ok);
+    EXPECT_DOUBLE_EQ(std::get<double>(s), static_cast<double>(i));
+  }
+}
+
+class CgSolve : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CgSolve, ConvergesOnSpdSystem) {
+  const auto [p, n] = GetParam();
+  const int nloc = n / p;
+  // SPD system: diagonally dominant symmetric matrix.
+  std::mt19937 rng(900u + static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist01(0.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double v = dist01(rng);
+      a[static_cast<std::size_t>(i) * n + j] = v;
+      a[static_cast<std::size_t>(j) * n + i] = v;
+    }
+    a[static_cast<std::size_t>(i) * n + i] += n;
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = std::cos(static_cast<double>(i));
+  }
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b[static_cast<std::size_t>(i)] +=
+          a[static_cast<std::size_t>(i) * n + j] *
+          x_true[static_cast<std::size_t>(j)];
+    }
+  }
+
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a_local(
+        a.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        a.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    std::vector<double> b_local(
+        b.begin() + static_cast<std::size_t>(ctx.index()) * nloc,
+        b.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc);
+    std::vector<double> x_local(static_cast<std::size_t>(nloc), 0.0);
+    linalg::IterativeResult res = linalg::conjugate_gradient(
+        ctx, n, a_local, b_local, std::span<double>(x_local), 2 * n, 1e-12);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, 2 * n);
+    for (int i = 0; i < nloc; ++i) {
+      EXPECT_NEAR(x_local[static_cast<std::size_t>(i)],
+                  x_true[static_cast<std::size_t>(ctx.index() * nloc + i)],
+                  1e-8);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSolve,
+                         ::testing::Values(std::pair{1, 8}, std::pair{2, 8},
+                                           std::pair{4, 16},
+                                           std::pair{8, 32}));
+
+TEST(PowerMethod, FindsDominantEigenvalue) {
+  // Diagonal matrix: dominant eigenvalue is the largest diagonal entry.
+  const int p = 4;
+  const int n = 8;
+  const int nloc = n / p;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a_local(static_cast<std::size_t>(nloc) * n, 0.0);
+    for (int i = 0; i < nloc; ++i) {
+      const int g = ctx.index() * nloc + i;
+      a_local[static_cast<std::size_t>(i) * n + g] = g + 1.0;  // diag 1..8
+    }
+    std::vector<double> v(static_cast<std::size_t>(nloc), 1.0);
+    double lambda = 0.0;
+    linalg::IterativeResult res = linalg::power_method(
+        ctx, n, a_local, std::span<double>(v), 500, 1e-12, &lambda);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(lambda, 8.0, 1e-6);
+  });
+}
+
+TEST(CgSolve, RegisteredProgramThroughDistributedCall) {
+  core::Runtime rt(4);
+  linalg::register_iterative_programs(rt.programs());
+  const int n = 8;
+  dist::ArrayId a;
+  dist::ArrayId b;
+  dist::ArrayId x;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::none(), dist::Indexing::RowMajor, a),
+            Status::Ok);
+  for (dist::ArrayId* id : {&b, &x}) {
+    ASSERT_EQ(rt.arrays().create_array(
+                  0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                  {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                  dist::Indexing::RowMajor, *id),
+              Status::Ok);
+  }
+  // 1-D Laplacian (SPD) with x_true[i] = 1: b = A * 1.
+  for (int i = 0; i < n; ++i) {
+    double bi = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double aij = i == j ? 2.0 : (std::abs(i - j) == 1 ? -1.0 : 0.0);
+      rt.arrays().write_element(0, a, std::vector<int>{i, j},
+                                dist::Scalar{aij});
+      bi += aij;
+    }
+    rt.arrays().write_element(0, b, std::vector<int>{i}, dist::Scalar{bi});
+  }
+  std::vector<double> residual;
+  const int iters = rt.call(rt.all_procs(), "cg_solve")
+                        .constant(n)
+                        .constant(100)
+                        .constant(1e-12)
+                        .local(a)
+                        .local(b)
+                        .local(x)
+                        .status()
+                        .reduce_f64(1, core::f64_max(), &residual)
+                        .run();
+  EXPECT_GT(iters, 0);
+  EXPECT_LE(residual[0], 1e-12);
+  for (int i = 0; i < n; ++i) {
+    dist::Scalar s;
+    ASSERT_EQ(rt.arrays().read_element(0, x, std::vector<int>{i}, s),
+              Status::Ok);
+    EXPECT_NEAR(std::get<double>(s), 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace tdp

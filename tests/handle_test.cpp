@@ -1,0 +1,156 @@
+// Tests for the textual decomposition specs (§3.2.1.2 notation) and the
+// declaration-scoped Array handle (§3.2.2.1's "full syntactic support").
+#include <gtest/gtest.h>
+
+#include "core/array_handle.hpp"
+#include "dist/spec_parse.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(SpecParse, ThesisNotation) {
+  std::vector<dist::DimSpec> spec;
+  ASSERT_EQ(dist::parse_distrib("(block, block)", spec), Status::Ok);
+  ASSERT_EQ(spec.size(), 2u);
+  EXPECT_EQ(spec[0].kind, dist::DimSpec::Kind::Block);
+  EXPECT_EQ(spec[1].kind, dist::DimSpec::Kind::Block);
+
+  ASSERT_EQ(dist::parse_distrib("(block(2), block(8))", spec), Status::Ok);
+  EXPECT_EQ(spec[0].kind, dist::DimSpec::Kind::BlockN);
+  EXPECT_EQ(spec[0].n, 2);
+  EXPECT_EQ(spec[1].n, 8);
+
+  ASSERT_EQ(dist::parse_distrib("(block, *)", spec), Status::Ok);
+  EXPECT_EQ(spec[1].kind, dist::DimSpec::Kind::Star);
+}
+
+TEST(SpecParse, ParenthesesOptionalWhitespaceIgnored) {
+  std::vector<dist::DimSpec> spec;
+  ASSERT_EQ(dist::parse_distrib("  block( 4 ) ,*, block ", spec),
+            Status::Ok);
+  ASSERT_EQ(spec.size(), 3u);
+  EXPECT_EQ(spec[0].n, 4);
+  EXPECT_EQ(spec[1].kind, dist::DimSpec::Kind::Star);
+  EXPECT_EQ(spec[2].kind, dist::DimSpec::Kind::Block);
+}
+
+TEST(SpecParse, RejectsMalformedSpecs) {
+  std::vector<dist::DimSpec> spec;
+  EXPECT_EQ(dist::parse_distrib("", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("()", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("cyclic", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("block()", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("block(0)", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("block(-2)", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("block(2", spec), Status::Invalid);
+  EXPECT_EQ(dist::parse_distrib("block,,block", spec), Status::Invalid);
+}
+
+TEST(SpecParse, RoundTripsThroughToString) {
+  for (const char* text :
+       {"(block, block)", "(block(2), block(8))", "(block, *)",
+        "(*, block(3), block)"}) {
+    std::vector<dist::DimSpec> spec;
+    ASSERT_EQ(dist::parse_distrib(text, spec), Status::Ok) << text;
+    EXPECT_EQ(dist::to_string(spec), text);
+  }
+}
+
+TEST(SpecParse, IndexingNames) {
+  dist::Indexing ix;
+  ASSERT_EQ(dist::parse_indexing("row", ix), Status::Ok);
+  EXPECT_EQ(ix, dist::Indexing::RowMajor);
+  ASSERT_EQ(dist::parse_indexing("C", ix), Status::Ok);
+  EXPECT_EQ(ix, dist::Indexing::RowMajor);
+  ASSERT_EQ(dist::parse_indexing("column", ix), Status::Ok);
+  EXPECT_EQ(ix, dist::Indexing::ColumnMajor);
+  ASSERT_EQ(dist::parse_indexing("Fortran", ix), Status::Ok);
+  EXPECT_EQ(ix, dist::Indexing::ColumnMajor);
+  EXPECT_EQ(dist::parse_indexing("banana", ix), Status::Invalid);
+}
+
+TEST(ArrayHandle, DeclarationScopedLifetime) {
+  core::Runtime rt(4);
+  dist::ArrayId id;
+  {
+    core::Array a(rt, {16}, rt.all_procs());
+    id = a.id();
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(rt.arrays().records_on(0), 1u);
+  }
+  // Destroyed at end of scope, like a declared array (§3.2.2.1).
+  EXPECT_EQ(rt.arrays().records_on(0), 0u);
+  dist::Scalar v;
+  EXPECT_EQ(rt.arrays().read_element(0, id, std::vector<int>{0}, v),
+            Status::NotFound);
+}
+
+TEST(ArrayHandle, ElementAccessLikeOrdinaryArrays) {
+  core::Runtime rt(4);
+  core::Array a(rt, {4, 4}, rt.all_procs(), "(block, block)");
+  a.set({2, 3}, 6.5);
+  EXPECT_DOUBLE_EQ(a.at({2, 3}), 6.5);
+  EXPECT_DOUBLE_EQ(a.at({0, 0}), 0.0);  // zero-initialised
+  EXPECT_THROW(a.at({4, 0}), core::ArrayError);
+  EXPECT_THROW(a.set({0, -1}, 1.0), core::ArrayError);
+}
+
+TEST(ArrayHandle, InfoAccessors) {
+  core::Runtime rt(8);
+  core::Array a(rt, {8, 6}, rt.all_procs(), "(block(4), block(2))",
+                dist::BorderSpec::exact({1, 1, 0, 0}));
+  EXPECT_EQ(a.grid_dims(), (std::vector<int>{4, 2}));
+  EXPECT_EQ(a.local_dims(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(a.borders(), (std::vector<int>{1, 1, 0, 0}));
+  EXPECT_EQ(a.processors(), util::iota_nodes(8));
+}
+
+TEST(ArrayHandle, BadDeclarationThrowsWithStatus) {
+  core::Runtime rt(4);
+  try {
+    core::Array a(rt, {16}, rt.all_procs(), "cyclic");
+    FAIL() << "expected ArrayError";
+  } catch (const core::ArrayError& e) {
+    EXPECT_EQ(e.status(), Status::Invalid);
+  }
+  try {
+    // 3 does not divide 16 into the default square grid of 4.
+    core::Array a(rt, {15}, rt.all_procs(), "(block)");
+    FAIL() << "expected ArrayError";
+  } catch (const core::ArrayError& e) {
+    EXPECT_EQ(e.status(), Status::Invalid);
+  }
+}
+
+TEST(ArrayHandle, MoveTransfersOwnership) {
+  core::Runtime rt(2);
+  core::Array a(rt, {4}, rt.all_procs());
+  const dist::ArrayId id = a.id();
+  core::Array b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.id(), id);
+  b.set({1}, 3.0);
+  EXPECT_DOUBLE_EQ(b.at({1}), 3.0);
+  core::Array c(rt, {4}, rt.all_procs());
+  c = std::move(b);
+  EXPECT_EQ(c.id(), id);  // the old array of c was freed by the assignment
+}
+
+TEST(ArrayHandle, UsableFromDistributedCalls) {
+  core::Runtime rt(4);
+  rt.programs().add("fill_ones", [](spmd::SpmdContext&, core::CallArgs& args) {
+    const dist::LocalSectionView& v = args.local(0);
+    for (long long i = 0; i < v.interior_count(); ++i) v.f64()[i] = 1.0;
+  });
+  core::Array a(rt, {8}, rt.all_procs());
+  EXPECT_EQ(rt.call(rt.all_procs(), "fill_ones").local(a.id()).run(),
+            kStatusOk);
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) sum += a.at({i});
+  EXPECT_DOUBLE_EQ(sum, 8.0);
+}
+
+}  // namespace
+}  // namespace tdp

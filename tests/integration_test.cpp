@@ -1,0 +1,424 @@
+// Cross-module integration tests: the thesis's worked examples exercised
+// end-to-end through the public API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "fft/fft.hpp"
+#include "fft/reference.hpp"
+#include "linalg/stencil.hpp"
+#include "linalg/vector_ops.hpp"
+#include "pcn/process.hpp"
+#include "pcn/stream.hpp"
+#include "sim/event_sim.hpp"
+#include "util/bits.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Integration, Section427VerifyExample) {
+  // §4.2.7's worked example: array A created with row-major indexing and
+  // borders of size 2; pgmA expects borders of 2, pgmB borders of 1.
+  core::Runtime rt(4);
+  rt.programs().add("pgmA", [](spmd::SpmdContext&, core::CallArgs&) {},
+                    [](int parm_num, int ndims) {
+                      std::vector<int> b(static_cast<std::size_t>(2 * ndims),
+                                         0);
+                      if (parm_num == 1) {
+                        b.assign(static_cast<std::size_t>(2 * ndims), 2);
+                      }
+                      return b;
+                    });
+  rt.programs().add("pgmB", [](spmd::SpmdContext&, core::CallArgs&) {},
+                    [](int parm_num, int ndims) {
+                      std::vector<int> b(static_cast<std::size_t>(2 * ndims),
+                                         0);
+                      if (parm_num == 1) {
+                        b.assign(static_cast<std::size_t>(2 * ndims), 1);
+                      }
+                      return b;
+                    });
+
+  dist::ArrayId a;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {8, 8}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::block()},
+                dist::BorderSpec::exact({2, 2, 2, 2}),
+                dist::Indexing::RowMajor, a),
+            Status::Ok);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      ASSERT_EQ(rt.arrays().write_element(0, a, std::vector<int>{i, j},
+                                          dist::Scalar{i * 10.0 + j}),
+                Status::Ok);
+    }
+  }
+
+  // verify against pgmA (borders 2): Status OK, no change.
+  EXPECT_EQ(rt.arrays().verify_array(0, a, 2,
+                                     dist::BorderSpec::foreign("pgmA", 1),
+                                     dist::Indexing::RowMajor),
+            Status::Ok);
+  dist::InfoValue v;
+  ASSERT_EQ(rt.arrays().find_info(0, a, dist::InfoKind::Borders, v),
+            Status::Ok);
+  EXPECT_EQ(std::get<std::vector<int>>(v), (std::vector<int>{2, 2, 2, 2}));
+
+  // verify against pgmB (borders 1): borders change, interior preserved.
+  EXPECT_EQ(rt.arrays().verify_array(0, a, 2,
+                                     dist::BorderSpec::foreign("pgmB", 1),
+                                     dist::Indexing::RowMajor),
+            Status::Ok);
+  ASSERT_EQ(rt.arrays().find_info(0, a, dist::InfoKind::Borders, v),
+            Status::Ok);
+  EXPECT_EQ(std::get<std::vector<int>>(v), (std::vector<int>{1, 1, 1, 1}));
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      dist::Scalar s;
+      ASSERT_EQ(rt.arrays().read_element(0, a, std::vector<int>{i, j}, s),
+                Status::Ok);
+      EXPECT_DOUBLE_EQ(std::get<double>(s), i * 10.0 + j);
+    }
+  }
+
+  // verify against pgmA with column-major indexing: STATUS_INVALID.
+  EXPECT_EQ(rt.arrays().verify_array(0, a, 2,
+                                     dist::BorderSpec::foreign("pgmA", 1),
+                                     dist::Indexing::ColumnMajor),
+            Status::Invalid);
+}
+
+TEST(Integration, Section61InnerProductEndToEnd) {
+  // The complete §6.1 program as a test.
+  core::Runtime rt(8);
+  linalg::register_programs(rt.programs());
+  const int p = rt.nprocs();
+  const int local_m = 4;
+  const int m = p * local_m;
+  const std::vector<int> procs = rt.all_procs();
+  dist::ArrayId v1;
+  dist::ArrayId v2;
+  for (dist::ArrayId* id : {&v1, &v2}) {
+    ASSERT_EQ(rt.arrays().create_array(
+                  0, dist::ElemType::Float64, {m}, procs,
+                  {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                  dist::Indexing::RowMajor, *id),
+              Status::Ok);
+  }
+  std::vector<double> inprod;
+  ASSERT_EQ(rt.call(procs, "test_iprdv")
+                .constant(procs)
+                .constant(p)
+                .index()
+                .constant(m)
+                .constant(local_m)
+                .local(v1)
+                .local(v2)
+                .reduce_f64(1, core::f64_max(), &inprod)
+                .run(),
+            kStatusOk);
+  double expect = 0.0;
+  for (int i = 1; i <= m; ++i) expect += static_cast<double>(i) * i;
+  EXPECT_DOUBLE_EQ(inprod.at(0), expect);
+  // Postcondition on array contents: V1[i] == i+1 visible globally.
+  dist::Scalar s;
+  ASSERT_EQ(rt.arrays().read_element(0, v1, std::vector<int>{m - 1}, s),
+            Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(s), m);
+  ASSERT_EQ(rt.arrays().free_array(0, v1), Status::Ok);
+  ASSERT_EQ(rt.arrays().free_array(0, v2), Status::Ok);
+}
+
+TEST(Integration, Section62PolynomialPipelineOnePair) {
+  // One polynomial pair through the full §6.2 machinery: bit-reversed
+  // loads, two concurrent inverse FFTs on disjoint groups, task-parallel
+  // elementwise combine, forward FFT, bit-reversed read-out.
+  const int n = 16;
+  const int nn = 2 * n;
+  const int group = 2;
+  core::Runtime rt(3 * group);
+  fft::register_programs(rt.programs());
+
+  auto make_data = [&](const std::vector<int>& procs) {
+    dist::ArrayId id;
+    rt.arrays().create_array(0, dist::ElemType::Float64, {2 * nn}, procs,
+                             {dist::DimSpec::block()},
+                             dist::BorderSpec::none(),
+                             dist::Indexing::RowMajor, id);
+    return id;
+  };
+  auto make_eps = [&](const std::vector<int>& procs) {
+    dist::ArrayId id;
+    rt.arrays().create_array(0, dist::ElemType::Float64, {2 * nn, group},
+                             procs,
+                             {dist::DimSpec::star(), dist::DimSpec::block()},
+                             dist::BorderSpec::none(),
+                             dist::Indexing::ColumnMajor, id);
+    rt.call(procs, "compute_roots").constant(nn).local(id).run();
+    return id;
+  };
+
+  const std::vector<int> g1a = util::node_array(0, 1, group);
+  const std::vector<int> g1b = util::node_array(group, 1, group);
+  const std::vector<int> g2 = util::node_array(2 * group, 1, group);
+  dist::ArrayId a1a = make_data(g1a);
+  dist::ArrayId a1b = make_data(g1b);
+  dist::ArrayId a2 = make_data(g2);
+  dist::ArrayId e1a = make_eps(g1a);
+  dist::ArrayId e1b = make_eps(g1b);
+  dist::ArrayId e2 = make_eps(g2);
+
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist01(-1.0, 1.0);
+  std::vector<double> f(static_cast<std::size_t>(n));
+  std::vector<double> g(static_cast<std::size_t>(n));
+  for (auto& c : f) c = dist01(rng);
+  for (auto& c : g) c = dist01(rng);
+
+  const int bits = util::floor_log2(nn);
+  auto load = [&](dist::ArrayId id, const std::vector<double>& poly) {
+    for (int j = 0; j < nn; ++j) {
+      const int pos = static_cast<int>(util::bit_reverse(
+          bits, static_cast<std::uint64_t>(j)));
+      const double re =
+          j < n ? poly[static_cast<std::size_t>(j)] : 0.0;
+      rt.arrays().write_element(0, id, std::vector<int>{2 * pos},
+                                dist::Scalar{re});
+      rt.arrays().write_element(0, id, std::vector<int>{2 * pos + 1},
+                                dist::Scalar{0.0});
+    }
+  };
+  load(a1a, f);
+  load(a1b, g);
+
+  auto inverse_fft = [&](const std::vector<int>& procs, dist::ArrayId eps,
+                         dist::ArrayId data) {
+    ASSERT_EQ(rt.call(procs, "fft_reverse")
+                  .constant(procs)
+                  .constant(group)
+                  .index()
+                  .constant(nn)
+                  .constant(fft::kInverse)
+                  .local(eps)
+                  .local(data)
+                  .run(),
+              kStatusOk);
+  };
+  pcn::par([&] { inverse_fft(g1a, e1a, a1a); },
+           [&] { inverse_fft(g1b, e1b, a1b); });
+
+  // Combine: elementwise complex multiply through the global interface.
+  for (int j = 0; j < nn; ++j) {
+    dist::Scalar re1s;
+    dist::Scalar im1s;
+    dist::Scalar re2s;
+    dist::Scalar im2s;
+    rt.arrays().read_element(0, a1a, std::vector<int>{2 * j}, re1s);
+    rt.arrays().read_element(0, a1a, std::vector<int>{2 * j + 1}, im1s);
+    rt.arrays().read_element(0, a1b, std::vector<int>{2 * j}, re2s);
+    rt.arrays().read_element(0, a1b, std::vector<int>{2 * j + 1}, im2s);
+    const double re1 = std::get<double>(re1s);
+    const double im1 = std::get<double>(im1s);
+    const double re2 = std::get<double>(re2s);
+    const double im2 = std::get<double>(im2s);
+    rt.arrays().write_element(0, a2, std::vector<int>{2 * j},
+                              dist::Scalar{re1 * re2 - im1 * im2});
+    rt.arrays().write_element(0, a2, std::vector<int>{2 * j + 1},
+                              dist::Scalar{re2 * im1 + re1 * im2});
+  }
+
+  ASSERT_EQ(rt.call(g2, "fft_natural")
+                .constant(g2)
+                .constant(group)
+                .index()
+                .constant(nn)
+                .constant(fft::kForward)
+                .local(e2)
+                .local(a2)
+                .run(),
+            kStatusOk);
+
+  const std::vector<double> want = fft::poly_mul_naive(f, g);
+  for (int j = 0; j < 2 * n - 1; ++j) {
+    const int pos = static_cast<int>(util::bit_reverse(
+        bits, static_cast<std::uint64_t>(j)));
+    dist::Scalar re;
+    dist::Scalar im;
+    ASSERT_EQ(
+        rt.arrays().read_element(0, a2, std::vector<int>{2 * pos}, re),
+        Status::Ok);
+    ASSERT_EQ(
+        rt.arrays().read_element(0, a2, std::vector<int>{2 * pos + 1}, im),
+        Status::Ok);
+    EXPECT_NEAR(std::get<double>(re), want[static_cast<std::size_t>(j)],
+                1e-9)
+        << j;
+    EXPECT_NEAR(std::get<double>(im), 0.0, 1e-9) << j;
+  }
+}
+
+TEST(Integration, CoupledModelsConvergeToSharedInterface) {
+  // Figure 2.1 as a test: ocean (hot) and atmosphere (cold) couple through
+  // the caller; the interface settles strictly between the extremes and
+  // both models move monotonically toward it.
+  core::Runtime rt(4);
+  linalg::register_stencil_programs(rt.programs());
+  const int m = 16;
+  const std::vector<int> po = util::node_array(0, 1, 2);
+  const std::vector<int> pa = util::node_array(2, 1, 2);
+  dist::ArrayId ocean;
+  dist::ArrayId atmos;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {m}, po, {dist::DimSpec::block()},
+                dist::BorderSpec::foreign("heat_step_1d", 2),
+                dist::Indexing::RowMajor, ocean),
+            Status::Ok);
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {m}, pa, {dist::DimSpec::block()},
+                dist::BorderSpec::foreign("heat_step_1d", 2),
+                dist::Indexing::RowMajor, atmos),
+            Status::Ok);
+  for (int i = 0; i < m; ++i) {
+    rt.arrays().write_element(0, ocean, std::vector<int>{i},
+                              dist::Scalar{80.0});
+    rt.arrays().write_element(0, atmos, std::vector<int>{i},
+                              dist::Scalar{10.0});
+  }
+  for (int step = 0; step < 20; ++step) {
+    pcn::par(
+        [&] {
+          rt.call(po, "heat_step_1d")
+              .constant(0.2)
+              .constant(5)
+              .local(ocean)
+              .status()
+              .run();
+        },
+        [&] {
+          rt.call(pa, "heat_step_1d")
+              .constant(0.2)
+              .constant(5)
+              .local(atmos)
+              .status()
+              .run();
+        });
+    dist::Scalar sea;
+    dist::Scalar air;
+    rt.arrays().read_element(0, ocean, std::vector<int>{m - 1}, sea);
+    rt.arrays().read_element(0, atmos, std::vector<int>{0}, air);
+    const double t = 0.5 * (std::get<double>(sea) + std::get<double>(air));
+    rt.arrays().write_element(0, ocean, std::vector<int>{m - 1},
+                              dist::Scalar{t});
+    rt.arrays().write_element(0, atmos, std::vector<int>{0},
+                              dist::Scalar{t});
+  }
+  dist::Scalar sea;
+  dist::Scalar air;
+  rt.arrays().read_element(0, ocean, std::vector<int>{m - 1}, sea);
+  rt.arrays().read_element(0, atmos, std::vector<int>{0}, air);
+  EXPECT_GT(std::get<double>(sea), 10.0);
+  EXPECT_LT(std::get<double>(sea), 80.0);
+  EXPECT_GT(std::get<double>(air), 10.0);
+  EXPECT_LT(std::get<double>(air), 80.0);
+}
+
+TEST(Integration, ReactiveGraphDrivesDataParallelModel) {
+  // Figure 2.3 as a test: a source component's events trigger distributed
+  // calls on the sink component's processor group.
+  core::Runtime rt(4);
+  linalg::register_stencil_programs(rt.programs());
+  dist::ArrayId field;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {8, 8}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::foreign("jacobi_step_2d", 1),
+                dist::Indexing::RowMajor, field),
+            Status::Ok);
+  for (int j = 0; j < 8; ++j) {
+    rt.arrays().write_element(0, field, std::vector<int>{0, j},
+                              dist::Scalar{100.0});
+  }
+
+  sim::EventSimulation des;
+  int relaxations = 0;
+  const int src = des.add_component(
+      "driver", [](double now, const std::vector<sim::Event>&) {
+        std::vector<sim::Event> out;
+        if (now < 5.0) {
+          sim::Event tick;
+          tick.time = now;
+          out.push_back(tick);
+          sim::Event wake;
+          wake.time = now + 1.0;
+          wake.kind = sim::kSelfWake;
+          out.push_back(wake);
+        }
+        return out;
+      });
+  const int model = des.add_component(
+      "model",
+      [&](double, const std::vector<sim::Event>& in) {
+        for (const sim::Event& e : in) {
+          (void)e;
+          std::vector<double> residual;
+          EXPECT_EQ(rt.call(rt.all_procs(), "jacobi_step_2d")
+                        .constant(2)
+                        .local(field)
+                        .reduce_f64(1, core::f64_max(), &residual)
+                        .run(),
+                    kStatusOk);
+          ++relaxations;
+        }
+        return std::vector<sim::Event>{};
+      },
+      -1.0);
+  des.connect(src, model);
+  des.run(10.0);
+  EXPECT_EQ(relaxations, 5);  // ticks at t = 0..4 (the t=5 wake emits none)
+  dist::Scalar mid;
+  ASSERT_EQ(
+      rt.arrays().read_element(0, field, std::vector<int>{4, 4}, mid),
+      Status::Ok);
+  EXPECT_GT(std::get<double>(mid), 0.0);
+}
+
+TEST(Integration, StreamsCarryDatasetsBetweenStages) {
+  // The pipeline plumbing of §6.2 in isolation: producer, transformer and
+  // consumer connected by definitional streams of datasets.
+  pcn::Stream<std::vector<double>> raw;
+  pcn::Stream<std::vector<double>> doubled;
+  std::vector<double> sums;
+  pcn::par(
+      [&] {
+        pcn::Stream<std::vector<double>> t = raw;
+        for (int d = 0; d < 5; ++d) {
+          t = t.put({1.0 * d, 2.0 * d});
+        }
+        t.close();
+      },
+      [&] {
+        pcn::Stream<std::vector<double>> in = raw;
+        pcn::Stream<std::vector<double>> out = doubled;
+        for (std::optional<std::vector<double>> v; (v = in.next());) {
+          for (double& e : *v) e *= 2.0;
+          out = out.put(std::move(*v));
+        }
+        out.close();
+      },
+      [&] {
+        pcn::Stream<std::vector<double>> in = doubled;
+        for (std::optional<std::vector<double>> v; (v = in.next());) {
+          double s = 0.0;
+          for (double e : *v) s += e;
+          sums.push_back(s);
+        }
+      });
+  EXPECT_EQ(sums, (std::vector<double>{0.0, 6.0, 12.0, 18.0, 24.0}));
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,492 @@
+// Tests for the SPMD linear-algebra substrate (Appendix D) against
+// sequential references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix_ops.hpp"
+#include "linalg/stencil.hpp"
+#include "linalg/vector_ops.hpp"
+#include "pcn/process.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp::linalg {
+namespace {
+
+/// Runs `body` as one SPMD program over the first `p` processors.
+void run_group(vp::Machine& machine, int p,
+               const std::function<void(spmd::SpmdContext&)>& body) {
+  const std::uint64_t comm = machine.next_comm();
+  const std::vector<int> procs = util::iota_nodes(p);
+  pcn::ProcessGroup group;
+  for (int i = 0; i < p; ++i) {
+    group.spawn_on(machine, i, [&, i] {
+      spmd::SpmdContext ctx(machine, comm, procs, i);
+      body(ctx);
+    });
+  }
+  group.join();
+}
+
+TEST(VectorOps, InnerProductMatchesClosedForm) {
+  // §6.1: v1[i] == v2[i] == i+1, so the inner product is sum of squares.
+  vp::Machine machine(4);
+  const int m = 4;
+  const int big_m = 16;
+  run_group(machine, 4, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> v1(m);
+    std::vector<double> v2(m);
+    double ipr = 0.0;
+    test_iprdv(ctx, big_m, m, v1.data(), v2.data(), &ipr);
+    double expect = 0.0;
+    for (int i = 1; i <= big_m; ++i) expect += static_cast<double>(i) * i;
+    EXPECT_DOUBLE_EQ(ipr, expect);
+    // Postcondition: V1[i] == V2[i] == i+1 on this copy's block.
+    for (int i = 0; i < m; ++i) {
+      EXPECT_DOUBLE_EQ(v1[static_cast<std::size_t>(i)], ctx.index() * m + i + 1);
+      EXPECT_DOUBLE_EQ(v2[static_cast<std::size_t>(i)], ctx.index() * m + i + 1);
+    }
+  });
+}
+
+TEST(VectorOps, NormsAndSums) {
+  vp::Machine machine(4);
+  run_group(machine, 4, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> v(2);
+    init_iota_plus1(ctx, 2, v.data());  // global 1..8
+    EXPECT_DOUBLE_EQ(vec_sum(ctx, v), 36.0);
+    EXPECT_DOUBLE_EQ(norm_inf(ctx, v), 8.0);
+    EXPECT_DOUBLE_EQ(norm2(ctx, v), std::sqrt(204.0));
+  });
+}
+
+TEST(VectorOps, AxpyAndScaleAreLocal) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12.0, 24.0}));
+  scale(0.5, y);
+  EXPECT_EQ(y, (std::vector<double>{6.0, 12.0}));
+}
+
+TEST(MatrixOps, MatvecMatchesSequential) {
+  const int p = 4;
+  const int n = 8;
+  const int mloc = n / p;
+  vp::Machine machine(p);
+  // Global A[i][j] = i + 2j, x[j] = j+1.
+  std::vector<double> ax_expect(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ax_expect[static_cast<std::size_t>(i)] +=
+          (i + 2.0 * j) * (j + 1);
+    }
+  }
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a(static_cast<std::size_t>(mloc) * n);
+    init_matrix(ctx, mloc, n, a.data(),
+                [](long long i, long long j) {
+                  return static_cast<double>(i) + 2.0 * j;
+                });
+    std::vector<double> x(static_cast<std::size_t>(mloc));
+    init_iota_plus1(ctx, mloc, x.data());
+    std::vector<double> y(static_cast<std::size_t>(mloc));
+    matvec(ctx, mloc, n, a, x, y);
+    for (int i = 0; i < mloc; ++i) {
+      EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)],
+                       ax_expect[static_cast<std::size_t>(
+                           ctx.index() * mloc + i)]);
+    }
+  });
+}
+
+TEST(MatrixOps, MatmulMatchesSequential) {
+  const int p = 2;
+  const int n = 4;
+  const int mloc = n / p;
+  vp::Machine machine(p);
+  auto fa = [](long long i, long long j) {
+    return static_cast<double>(i * 4 + j + 1);
+  };
+  auto fb = [](long long i, long long j) {
+    return static_cast<double>((i + 1) * (j + 2));
+  };
+  // Sequential reference product.
+  std::vector<double> c_ref(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int l = 0; l < n; ++l) {
+      for (int j = 0; j < n; ++j) {
+        c_ref[static_cast<std::size_t>(i) * n + j] += fa(i, l) * fb(l, j);
+      }
+    }
+  }
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a(static_cast<std::size_t>(mloc) * n);
+    std::vector<double> b(static_cast<std::size_t>(mloc) * n);
+    std::vector<double> c(static_cast<std::size_t>(mloc) * n);
+    init_matrix(ctx, mloc, n, a.data(), fa);
+    init_matrix(ctx, mloc, n, b.data(), fb);
+    matmul(ctx, mloc, n, n, a, b, c);
+    for (int i = 0; i < mloc; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_DOUBLE_EQ(
+            c[static_cast<std::size_t>(i) * n + j],
+            c_ref[static_cast<std::size_t>(ctx.index() * mloc + i) * n + j]);
+      }
+    }
+  });
+}
+
+TEST(MatrixOps, FrobeniusNorm) {
+  vp::Machine machine(2);
+  run_group(machine, 2, [](spmd::SpmdContext& ctx) {
+    std::vector<double> a{ctx.index() == 0 ? 3.0 : 4.0};
+    EXPECT_DOUBLE_EQ(frobenius_norm(ctx, a), 5.0);
+  });
+}
+
+class LuSolve : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LuSolve, RecoversKnownSolution) {
+  const auto [p, n] = GetParam();
+  vp::Machine machine(p);
+  const int nloc = n / p;
+  std::mt19937 rng(1234 + n);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+
+  // A diagonally-perturbed random matrix (well-conditioned) and a known x.
+  std::vector<double> a_full(static_cast<std::size_t>(n) * n);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x_true[static_cast<std::size_t>(i)] = dist(rng);
+    for (int j = 0; j < n; ++j) {
+      a_full[static_cast<std::size_t>(i) * n + j] =
+          dist(rng) + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  }
+  std::vector<double> b_full(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b_full[static_cast<std::size_t>(i)] +=
+          a_full[static_cast<std::size_t>(i) * n + j] *
+          x_true[static_cast<std::size_t>(j)];
+    }
+  }
+
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a_local(
+        a_full.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        a_full.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    std::vector<double> b_local(
+        b_full.begin() + static_cast<std::size_t>(ctx.index()) * nloc,
+        b_full.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc);
+    std::vector<int> pivots;
+    ASSERT_EQ(lu_factor(ctx, n, std::span<double>(a_local), pivots), 0);
+    lu_solve(ctx, n, a_local, pivots, std::span<double>(b_local));
+    for (int i = 0; i < nloc; ++i) {
+      EXPECT_NEAR(b_local[static_cast<std::size_t>(i)],
+                  x_true[static_cast<std::size_t>(ctx.index() * nloc + i)],
+                  1e-9);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSolve,
+                         ::testing::Values(std::pair{1, 8}, std::pair{2, 8},
+                                           std::pair{4, 8}, std::pair{4, 16},
+                                           std::pair{8, 32}));
+
+TEST(Lu, SingularMatrixReported) {
+  vp::Machine machine(2);
+  run_group(machine, 2, [](spmd::SpmdContext& ctx) {
+    // Column 1 is identically zero => singular at step 1.
+    std::vector<double> a_local(static_cast<std::size_t>(2) * 4, 0.0);
+    for (int i = 0; i < 2; ++i) {
+      a_local[static_cast<std::size_t>(i) * 4 + 0] = 1.0;  // col 0 nonzero
+      a_local[static_cast<std::size_t>(i) * 4 + 2 + ctx.index()] = 1.0;
+    }
+    std::vector<int> pivots;
+    EXPECT_EQ(lu_factor(ctx, 4, std::span<double>(a_local), pivots), 2);
+  });
+}
+
+TEST(Lu, RegisteredProgramSolvesThroughDistributedCall) {
+  core::Runtime rt(4);
+  register_lu_programs(rt.programs());
+  const int n = 8;
+  dist::ArrayId a;
+  dist::ArrayId b;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::none(), dist::Indexing::RowMajor, a),
+            Status::Ok);
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                dist::Indexing::RowMajor, b),
+            Status::Ok);
+  // A = I + small off-diagonal; x_true[i] = i; b = A x.
+  std::vector<double> x_true(n);
+  for (int i = 0; i < n; ++i) x_true[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < n; ++i) {
+    double bi = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double aij = (i == j ? 4.0 : 0.0) + 0.1 * ((i + j) % 3);
+      ASSERT_EQ(rt.arrays().write_element(0, a, std::vector<int>{i, j},
+                                          dist::Scalar{aij}),
+                Status::Ok);
+      bi += aij * x_true[static_cast<std::size_t>(j)];
+    }
+    ASSERT_EQ(rt.arrays().write_element(0, b, std::vector<int>{i},
+                                        dist::Scalar{bi}),
+              Status::Ok);
+  }
+  const int status = rt.call(rt.all_procs(), "lu_solve_system")
+                         .constant(n)
+                         .local(a)
+                         .local(b)
+                         .status()
+                         .run();
+  EXPECT_EQ(status, 0);
+  for (int i = 0; i < n; ++i) {
+    dist::Scalar v;
+    ASSERT_EQ(rt.arrays().read_element(0, b, std::vector<int>{i}, v),
+              Status::Ok);
+    EXPECT_NEAR(std::get<double>(v), x_true[static_cast<std::size_t>(i)],
+                1e-9);
+  }
+}
+
+TEST(Stencil, HaloExchangeMovesEdgeValues) {
+  vp::Machine machine(4);
+  const int m = 3;
+  run_group(machine, 4, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> field(static_cast<std::size_t>(m) + 2, -1.0);
+    for (int i = 1; i <= m; ++i) {
+      field[static_cast<std::size_t>(i)] = ctx.index() * 10.0 + i;
+    }
+    exchange_halo_1d(ctx, field, m);
+    if (ctx.index() > 0) {
+      EXPECT_DOUBLE_EQ(field[0], (ctx.index() - 1) * 10.0 + m);
+    } else {
+      EXPECT_DOUBLE_EQ(field[0], -1.0);  // boundary untouched
+    }
+    if (ctx.index() < ctx.nprocs() - 1) {
+      EXPECT_DOUBLE_EQ(field[static_cast<std::size_t>(m) + 1],
+                       (ctx.index() + 1) * 10.0 + 1);
+    } else {
+      EXPECT_DOUBLE_EQ(field[static_cast<std::size_t>(m) + 1], -1.0);
+    }
+  });
+}
+
+TEST(Stencil, HeatStepMatchesSequentialReference) {
+  const int p = 4;
+  const int m = 4;
+  const int n = p * m;
+  const double alpha = 0.2;
+  // Sequential reference on the full rod with insulated (reflecting) ends.
+  std::vector<double> ref(static_cast<std::size_t>(n) + 2, 0.0);
+  for (int i = 1; i <= n; ++i) ref[static_cast<std::size_t>(i)] = i;
+  for (int step = 0; step < 5; ++step) {
+    ref[0] = ref[1];
+    ref[static_cast<std::size_t>(n) + 1] = ref[static_cast<std::size_t>(n)];
+    std::vector<double> next = ref;
+    for (int i = 1; i <= n; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          ref[static_cast<std::size_t>(i)] +
+          alpha * (ref[static_cast<std::size_t>(i) - 1] -
+                   2.0 * ref[static_cast<std::size_t>(i)] +
+                   ref[static_cast<std::size_t>(i) + 1]);
+    }
+    ref = next;
+  }
+
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> field(static_cast<std::size_t>(m) + 2, 0.0);
+    for (int i = 1; i <= m; ++i) {
+      field[static_cast<std::size_t>(i)] = ctx.index() * m + i;
+    }
+    std::vector<double> scratch(static_cast<std::size_t>(m));
+    for (int step = 0; step < 5; ++step) {
+      heat_step_1d(ctx, field, m, alpha, scratch, 2 * step);
+    }
+    for (int i = 1; i <= m; ++i) {
+      EXPECT_NEAR(field[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(ctx.index() * m + i)], 1e-12);
+    }
+  });
+}
+
+TEST(Stencil, JacobiConvergesTowardHarmonicInterior) {
+  // A coarse sanity check: Jacobi on a square with hot top edge relaxes the
+  // interior monotonically toward values between the boundary extremes, and
+  // the residual decreases.
+  core::Runtime rt(4);
+  register_stencil_programs(rt.programs());
+  const int n = 8;
+  dist::ArrayId u;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::foreign("jacobi_step_2d", 1),
+                dist::Indexing::RowMajor, u),
+            Status::Ok);
+  for (int j = 0; j < n; ++j) {
+    ASSERT_EQ(rt.arrays().write_element(0, u, std::vector<int>{0, j},
+                                        dist::Scalar{100.0}),
+              Status::Ok);
+  }
+  std::vector<double> res1;
+  std::vector<double> res2;
+  ASSERT_EQ(rt.call(rt.all_procs(), "jacobi_step_2d")
+                .constant(5)
+                .local(u)
+                .reduce_f64(1, core::f64_max(), &res1)
+                .run(),
+            kStatusOk);
+  ASSERT_EQ(rt.call(rt.all_procs(), "jacobi_step_2d")
+                .constant(40)
+                .local(u)
+                .reduce_f64(1, core::f64_max(), &res2)
+                .run(),
+            kStatusOk);
+  EXPECT_LT(res2[0], res1[0]);  // residual shrinks as it converges
+  dist::Scalar mid;
+  ASSERT_EQ(rt.arrays().read_element(0, u, std::vector<int>{n / 2, n / 2},
+                                     mid),
+            Status::Ok);
+  EXPECT_GT(std::get<double>(mid), 0.0);
+  EXPECT_LT(std::get<double>(mid), 100.0);
+}
+
+TEST(Stencil, Jacobi2dGridMatchesSequentialReference) {
+  // 8x8 grid over a 2x2 processor grid; hot top edge; compare 3 sweeps
+  // against a sequential Jacobi.
+  const int n = 8;
+  const int pr = 2;
+  const int pc = 2;
+  const int mloc = n / pr;
+  const int nloc = n / pc;
+  std::vector<double> ref(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) ref[static_cast<std::size_t>(j)] = 100.0;
+  for (int step = 0; step < 3; ++step) {
+    std::vector<double> next = ref;
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        next[static_cast<std::size_t>(i) * n + j] =
+            0.25 * (ref[static_cast<std::size_t>(i - 1) * n + j] +
+                    ref[static_cast<std::size_t>(i + 1) * n + j] +
+                    ref[static_cast<std::size_t>(i) * n + j - 1] +
+                    ref[static_cast<std::size_t>(i) * n + j + 1]);
+      }
+    }
+    ref = next;
+  }
+
+  vp::Machine machine(4);
+  run_group(machine, 4, [&](spmd::SpmdContext& ctx) {
+    const int gr = ctx.index() / pc;
+    const int gc = ctx.index() % pc;
+    std::vector<double> field(
+        static_cast<std::size_t>(mloc + 2) * (nloc + 2), 0.0);
+    for (int r = 0; r < mloc; ++r) {
+      for (int c = 0; c < nloc; ++c) {
+        const int gi = gr * mloc + r;
+        field[static_cast<std::size_t>(r + 1) * (nloc + 2) + c + 1] =
+            gi == 0 ? 100.0 : 0.0;
+      }
+    }
+    std::vector<double> scratch(static_cast<std::size_t>(mloc) * nloc);
+    for (int step = 0; step < 3; ++step) {
+      jacobi_step_2d_grid(ctx, field, mloc, nloc, pr, pc, scratch, 4 * step);
+    }
+    for (int r = 0; r < mloc; ++r) {
+      for (int c = 0; c < nloc; ++c) {
+        const int gi = gr * mloc + r;
+        const int gj = gc * nloc + c;
+        EXPECT_NEAR(
+            field[static_cast<std::size_t>(r + 1) * (nloc + 2) + c + 1],
+            ref[static_cast<std::size_t>(gi) * n + gj], 1e-12)
+            << gi << "," << gj;
+      }
+    }
+  });
+}
+
+TEST(Stencil, Jacobi2dGridRegisteredProgramOnBlockBlockArray) {
+  // The same model driven through a distributed call on a (block, block)
+  // array whose halos come from the program's border routine.
+  core::Runtime rt(4);
+  register_stencil_programs(rt.programs());
+  const int n = 8;
+  dist::ArrayId u;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::block()},
+                dist::BorderSpec::foreign("jacobi_step_2d_grid", 3),
+                dist::Indexing::RowMajor, u),
+            Status::Ok);
+  for (int j = 0; j < n; ++j) {
+    ASSERT_EQ(rt.arrays().write_element(0, u, std::vector<int>{0, j},
+                                        dist::Scalar{100.0}),
+              Status::Ok);
+  }
+  std::vector<double> residual;
+  ASSERT_EQ(rt.call(rt.all_procs(), "jacobi_step_2d_grid")
+                .constant(10)
+                .constant(2)
+                .constant(2)
+                .local(u)
+                .reduce_f64(1, core::f64_max(), &residual)
+                .run(),
+            kStatusOk);
+  EXPECT_GT(residual[0], 0.0);
+  dist::Scalar mid;
+  ASSERT_EQ(rt.arrays().read_element(0, u, std::vector<int>{n / 2, n / 2},
+                                     mid),
+            Status::Ok);
+  EXPECT_GT(std::get<double>(mid), 0.0);
+  EXPECT_LT(std::get<double>(mid), 100.0);
+}
+
+TEST(RegisteredPrograms, InnerProductViaDistributedCall) {
+  // The full §6.1 example through the registered "test_iprdv".
+  core::Runtime rt(4);
+  register_programs(rt.programs());
+  const int p = rt.nprocs();
+  const int local_m = 4;
+  const int big_m = p * local_m;
+  dist::ArrayId v1;
+  dist::ArrayId v2;
+  for (dist::ArrayId* id : {&v1, &v2}) {
+    ASSERT_EQ(rt.arrays().create_array(
+                  0, dist::ElemType::Float64, {big_m}, rt.all_procs(),
+                  {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                  dist::Indexing::RowMajor, *id),
+              Status::Ok);
+  }
+  std::vector<double> inprod;
+  const int status = rt.call(rt.all_procs(), "test_iprdv")
+                         .constant(rt.all_procs())
+                         .constant(p)
+                         .index()
+                         .constant(big_m)
+                         .constant(local_m)
+                         .local(v1)
+                         .local(v2)
+                         .reduce_f64(1, core::f64_max(), &inprod)
+                         .run();
+  EXPECT_EQ(status, kStatusOk);
+  double expect = 0.0;
+  for (int i = 1; i <= big_m; ++i) expect += static_cast<double>(i) * i;
+  EXPECT_DOUBLE_EQ(inprod[0], expect);
+}
+
+}  // namespace
+}  // namespace tdp::linalg

@@ -1,0 +1,220 @@
+// Edge cases and cross-cutting behaviours not covered by the per-module
+// suites: call reuse, degenerate group sizes, atomic printing, event-graph
+// corner cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/do_all.hpp"
+#include "core/runtime.hpp"
+#include "linalg/lu.hpp"
+#include "pcn/process.hpp"
+#include "sim/event_sim.hpp"
+#include "util/atomic_print.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(CallReuse, SameBuilderRunsRepeatedly) {
+  // A DistributedCall is a value; running it twice performs two calls with
+  // fresh communicators each time.
+  core::Runtime rt(4);
+  std::atomic<int> copies{0};
+  rt.programs().add("bump", [&](spmd::SpmdContext&, core::CallArgs&) {
+    ++copies;
+  });
+  core::DistributedCall call = rt.call(rt.all_procs(), "bump");
+  EXPECT_EQ(call.run(), kStatusOk);
+  EXPECT_EQ(call.run(), kStatusOk);
+  EXPECT_EQ(copies.load(), 8);
+}
+
+TEST(CallReuse, ReduceOutputOverwrittenEachRun) {
+  core::Runtime rt(2);
+  std::atomic<int> round{0};
+  rt.programs().add("round_val",
+                    [&](spmd::SpmdContext&, core::CallArgs& args) {
+                      args.reduce_f64(0)[0] = round.load();
+                    });
+  std::vector<double> out;
+  core::DistributedCall call = rt.call(rt.all_procs(), "round_val")
+                                   .reduce_f64(1, core::f64_max(), &out);
+  round = 1;
+  EXPECT_EQ(call.run(), kStatusOk);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  round = 2;
+  EXPECT_EQ(call.run(), kStatusOk);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(SingleProcessor, WholeStackWorksOnOneNode) {
+  // Degenerate machine: every substrate must work with nprocs == 1.
+  core::Runtime rt(1);
+  rt.programs().add("solo", [](spmd::SpmdContext& ctx, core::CallArgs& args) {
+    EXPECT_EQ(ctx.nprocs(), 1);
+    ctx.barrier();
+    EXPECT_DOUBLE_EQ(ctx.allreduce_sum(2.5), 2.5);
+    args.status(0) = 5;
+  });
+  dist::ArrayId id;
+  ASSERT_EQ(rt.arrays().create_array(0, dist::ElemType::Float64, {4},
+                                     {0}, {dist::DimSpec::block()},
+                                     dist::BorderSpec::none(),
+                                     dist::Indexing::RowMajor, id),
+            Status::Ok);
+  EXPECT_EQ(rt.call({0}, "solo").status().run(), 5);
+  dist::LocalSectionView view;
+  EXPECT_EQ(rt.arrays().find_local(0, id, view), Status::Ok);
+  EXPECT_EQ(view.interior_count(), 4);
+}
+
+TEST(DoAll, StridedAndReversedGroups) {
+  vp::Machine machine(8);
+  std::vector<int> where(4, -1);
+  const int status = core::do_all(
+      machine, util::node_array(6, -2, 4),  // 6, 4, 2, 0
+      [&](int index) {
+        where[static_cast<std::size_t>(index)] = vp::current_proc();
+        return 0;
+      },
+      core::status_combine_max);
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(where, (std::vector<int>{6, 4, 2, 0}));
+}
+
+TEST(Lu, OneRowPerProcessor) {
+  // nloc == 1: every pivot broadcast and row swap crosses processors.
+  core::Runtime rt(4);
+  linalg::register_lu_programs(rt.programs());
+  const int n = 4;
+  dist::ArrayId a;
+  dist::ArrayId b;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::none(), dist::Indexing::RowMajor, a),
+            Status::Ok);
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                dist::Indexing::RowMajor, b),
+            Status::Ok);
+  // A matrix that *requires* pivoting: zero on the first diagonal entry.
+  const double mat[4][4] = {{0, 2, 1, 0},
+                            {1, 0, 0, 1},
+                            {2, 1, 0, 0},
+                            {0, 0, 1, 2}};
+  const double x_true[4] = {1.0, -2.0, 3.0, -4.0};
+  for (int i = 0; i < n; ++i) {
+    double bi = 0.0;
+    for (int j = 0; j < n; ++j) {
+      rt.arrays().write_element(0, a, std::vector<int>{i, j},
+                                dist::Scalar{mat[i][j]});
+      bi += mat[i][j] * x_true[j];
+    }
+    rt.arrays().write_element(0, b, std::vector<int>{i}, dist::Scalar{bi});
+  }
+  ASSERT_EQ(rt.call(rt.all_procs(), "lu_solve_system")
+                .constant(n)
+                .local(a)
+                .local(b)
+                .status()
+                .run(),
+            0);
+  for (int i = 0; i < n; ++i) {
+    dist::Scalar v;
+    ASSERT_EQ(rt.arrays().read_element(0, b, std::vector<int>{i}, v),
+              Status::Ok);
+    EXPECT_NEAR(std::get<double>(v), x_true[i], 1e-12);
+  }
+}
+
+TEST(AtomicPrint, LinesAreNotInterleaved) {
+  ::testing::internal::CaptureStdout();
+  {
+    pcn::ProcessGroup group;
+    for (int t = 0; t < 4; ++t) {
+      group.spawn([t] {
+        for (int i = 0; i < 25; ++i) {
+          util::atomic_print_items("thread-", t, "-line-", i, "-",
+                                   std::string(40, 'x'));
+        }
+      });
+    }
+  }
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Every line must match the full pattern; interleaving would corrupt it.
+  std::size_t lines = 0;
+  std::size_t begin = 0;
+  while (begin < out.size()) {
+    std::size_t end = out.find('\n', begin);
+    if (end == std::string::npos) break;
+    const std::string line = out.substr(begin, end - begin);
+    EXPECT_EQ(line.rfind("thread-", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 40), std::string(40, 'x')) << line;
+    ++lines;
+    begin = end + 1;
+  }
+  EXPECT_EQ(lines, 100u);
+}
+
+TEST(EventSim, EventsToComponentWithoutSuccessorsAreDropped) {
+  sim::EventSimulation des;
+  des.add_component("sink_less", [](double, const std::vector<sim::Event>&) {
+    sim::Event e;
+    e.time = 1.0;
+    return std::vector<sim::Event>{e};
+  });
+  const auto stats = des.run(5.0);
+  EXPECT_EQ(stats.events_delivered, 0);
+}
+
+TEST(EventSim, MultipleSelfWakesCoalesceAtSameInstant) {
+  sim::EventSimulation des;
+  int wakes = 0;
+  des.add_component("multi", [&](double now, const std::vector<sim::Event>& in) {
+    ++wakes;
+    std::vector<sim::Event> out;
+    if (now == 0.0) {
+      // Two self-wakes for the same future instant: delivered together.
+      for (int k = 0; k < 2; ++k) {
+        sim::Event e;
+        e.time = 1.0;
+        e.kind = sim::kSelfWake;
+        out.push_back(e);
+      }
+    } else {
+      EXPECT_EQ(in.size(), 2u);
+    }
+    return out;
+  });
+  des.run(2.0);
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(Runtime, AllProcsAndProgramsAccessors) {
+  core::Runtime rt(3);
+  EXPECT_EQ(rt.nprocs(), 3);
+  EXPECT_EQ(rt.all_procs(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rt.programs().size(), 0u);
+  rt.programs().add("x", [](spmd::SpmdContext&, core::CallArgs&) {});
+  EXPECT_EQ(rt.programs().size(), 1u);
+  const core::Runtime& cref = rt;
+  EXPECT_TRUE(cref.programs().contains("x"));
+}
+
+TEST(Machine, MessageCountsAccumulate) {
+  core::Runtime rt(4);
+  rt.programs().add("chatter", [](spmd::SpmdContext& ctx, core::CallArgs&) {
+    ctx.barrier();
+  });
+  const std::uint64_t before = rt.machine().messages_sent();
+  ASSERT_EQ(rt.call(rt.all_procs(), "chatter").run(), kStatusOk);
+  // Barrier over 4 copies: 3 up + 3 down messages.
+  EXPECT_EQ(rt.machine().messages_sent() - before, 6u);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,234 @@
+// Tests for the SPMD Householder QR decomposition (Appendix D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "linalg/qr.hpp"
+#include "pcn/process.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp::linalg {
+namespace {
+
+void run_group(vp::Machine& machine, int p,
+               const std::function<void(spmd::SpmdContext&)>& body) {
+  const std::uint64_t comm = machine.next_comm();
+  const std::vector<int> procs = util::iota_nodes(p);
+  pcn::ProcessGroup group;
+  for (int i = 0; i < p; ++i) {
+    group.spawn_on(machine, i, [&, i] {
+      spmd::SpmdContext ctx(machine, comm, procs, i);
+      body(ctx);
+    });
+  }
+  group.join();
+}
+
+/// Builds a well-conditioned random system A x = b with known x.
+struct System {
+  int n;
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> x;
+
+  explicit System(int n_, unsigned seed) : n(n_) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    a.resize(static_cast<std::size_t>(n) * n);
+    x.resize(static_cast<std::size_t>(n));
+    b.assign(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = dist(rng);
+      for (int j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(i) * n + j] =
+            dist(rng) + (i == j ? static_cast<double>(n) : 0.0);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        b[static_cast<std::size_t>(i)] +=
+            a[static_cast<std::size_t>(i) * n + j] *
+            x[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+};
+
+class QrSolve : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrSolve, RecoversKnownSolution) {
+  const auto [p, n] = GetParam();
+  const int nloc = n / p;
+  System sys(n, 500u + static_cast<unsigned>(n));
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    std::vector<double> a_local(
+        sys.a.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        sys.a.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    std::vector<double> b_local(
+        sys.b.begin() + static_cast<std::size_t>(ctx.index()) * nloc,
+        sys.b.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc);
+    ASSERT_EQ(qr_solve(ctx, n, std::span<double>(a_local),
+                       std::span<double>(b_local)),
+              0);
+    for (int i = 0; i < nloc; ++i) {
+      EXPECT_NEAR(b_local[static_cast<std::size_t>(i)],
+                  sys.x[static_cast<std::size_t>(ctx.index() * nloc + i)],
+                  1e-9);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrSolve,
+                         ::testing::Values(std::pair{1, 8}, std::pair{2, 8},
+                                           std::pair{4, 8}, std::pair{4, 16},
+                                           std::pair{8, 32}));
+
+TEST(Qr, FactorsProduceUpperTriangularR) {
+  const int p = 2;
+  const int n = 6;
+  System sys(n, 77);
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    const int nloc = n / p;
+    std::vector<double> a_local(
+        sys.a.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        sys.a.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    QrFactors f;
+    ASSERT_EQ(qr_factor(ctx, n, std::span<double>(a_local), f), 0);
+    EXPECT_EQ(f.beta.size(), static_cast<std::size_t>(n));
+    // R's diagonal is nonzero for a nonsingular matrix.
+    for (int k = 0; k < n; ++k) {
+      EXPECT_NE(f.diag[static_cast<std::size_t>(k)], 0.0);
+    }
+  });
+}
+
+TEST(Qr, QtPreservesNorm) {
+  // Q' is orthogonal: applying it must preserve the Euclidean norm.
+  const int p = 4;
+  const int n = 16;
+  System sys(n, 91);
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    const int nloc = n / p;
+    std::vector<double> a_local(
+        sys.a.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        sys.a.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    QrFactors f;
+    ASSERT_EQ(qr_factor(ctx, n, std::span<double>(a_local), f), 0);
+    std::vector<double> v(static_cast<std::size_t>(nloc));
+    for (int i = 0; i < nloc; ++i) {
+      v[static_cast<std::size_t>(i)] = ctx.index() * nloc + i + 1.0;
+    }
+    double before = 0.0;
+    for (double e : v) before += e * e;
+    before = ctx.allreduce_sum(before);
+    qr_apply_qt(ctx, n, a_local, f, std::span<double>(v));
+    double after = 0.0;
+    for (double e : v) after += e * e;
+    after = ctx.allreduce_sum(after);
+    EXPECT_NEAR(after, before, 1e-8 * before);
+  });
+}
+
+TEST(Qr, RankDeficiencyReported) {
+  const int p = 2;
+  const int n = 4;
+  vp::Machine machine(p);
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    // Column 2 identically zero => breakdown at step 2 (status 3).
+    std::vector<double> a_local(static_cast<std::size_t>(2) * n, 0.0);
+    for (int i = 0; i < 2; ++i) {
+      a_local[static_cast<std::size_t>(i) * n + 0] = 1.0 + ctx.index() + i;
+      a_local[static_cast<std::size_t>(i) * n + 1] = 2.0 + i;
+      a_local[static_cast<std::size_t>(i) * n + 3] = 1.0;
+    }
+    // Make columns 0,1 independent enough that steps 0,1 succeed.
+    if (ctx.index() == 0) a_local[1] = 7.0;
+    QrFactors f;
+    const int rc = qr_factor(ctx, n, std::span<double>(a_local), f);
+    EXPECT_EQ(rc, 3);
+  });
+}
+
+TEST(Qr, RegisteredProgramSolvesThroughDistributedCall) {
+  core::Runtime rt(4);
+  register_qr_programs(rt.programs());
+  const int n = 8;
+  System sys(n, 123);
+  dist::ArrayId a;
+  dist::ArrayId b;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n, n}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::star()},
+                dist::BorderSpec::none(), dist::Indexing::RowMajor, a),
+            Status::Ok);
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {n}, rt.all_procs(),
+                {dist::DimSpec::block()}, dist::BorderSpec::none(),
+                dist::Indexing::RowMajor, b),
+            Status::Ok);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(rt.arrays().write_element(
+                    0, a, std::vector<int>{i, j},
+                    dist::Scalar{sys.a[static_cast<std::size_t>(i) * n + j]}),
+                Status::Ok);
+    }
+    ASSERT_EQ(rt.arrays().write_element(
+                  0, b, std::vector<int>{i},
+                  dist::Scalar{sys.b[static_cast<std::size_t>(i)]}),
+              Status::Ok);
+  }
+  EXPECT_EQ(rt.call(rt.all_procs(), "qr_solve_system")
+                .constant(n)
+                .local(a)
+                .local(b)
+                .status()
+                .run(),
+            0);
+  for (int i = 0; i < n; ++i) {
+    dist::Scalar v;
+    ASSERT_EQ(rt.arrays().read_element(0, b, std::vector<int>{i}, v),
+              Status::Ok);
+    EXPECT_NEAR(std::get<double>(v), sys.x[static_cast<std::size_t>(i)],
+                1e-9);
+  }
+}
+
+TEST(Qr, AgreesWithLuOnSameSystem) {
+  // Cross-validation of the two factorizations on one machine.
+  core::Runtime rt(2);
+  register_qr_programs(rt.programs());
+  const int p = 2;
+  const int n = 8;
+  System sys(n, 321);
+  vp::Machine& machine = rt.machine();
+  std::vector<double> qr_x(static_cast<std::size_t>(n));
+  run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+    const int nloc = n / p;
+    std::vector<double> a_local(
+        sys.a.begin() + static_cast<std::size_t>(ctx.index()) * nloc * n,
+        sys.a.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc * n);
+    std::vector<double> b_local(
+        sys.b.begin() + static_cast<std::size_t>(ctx.index()) * nloc,
+        sys.b.begin() + static_cast<std::size_t>(ctx.index() + 1) * nloc);
+    ASSERT_EQ(qr_solve(ctx, n, std::span<double>(a_local),
+                       std::span<double>(b_local)),
+              0);
+    for (int i = 0; i < nloc; ++i) {
+      qr_x[static_cast<std::size_t>(ctx.index() * nloc + i)] =
+          b_local[static_cast<std::size_t>(i)];
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(qr_x[static_cast<std::size_t>(i)],
+                sys.x[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::linalg

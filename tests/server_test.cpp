@@ -1,0 +1,223 @@
+// Tests for the PCN server mechanism (§5.1.1) and the array-manager
+// capabilities installed on it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "dist/array_server.hpp"
+#include "pcn/process.hpp"
+#include "util/node_array.hpp"
+#include "vp/server.hpp"
+
+namespace tdp::vp {
+namespace {
+
+TEST(Server, RequestRoutesToCapabilityHandler) {
+  Machine machine(2);
+  ServerSystem servers(machine);
+  servers.add_capability(1, "double_it", [](ServerRequest& req) {
+    const int v = std::any_cast<int>(req.parameters);
+    req.reply.define(std::any{2 * v});
+  });
+  EXPECT_TRUE(servers.has_capability(1, "double_it"));
+  EXPECT_FALSE(servers.has_capability(0, "double_it"));
+
+  std::any reply = servers.request_wait(1, "double_it", 21);
+  EXPECT_EQ(std::any_cast<int>(reply), 42);
+  EXPECT_EQ(servers.serviced(1), 1u);
+  EXPECT_EQ(servers.serviced(0), 0u);
+}
+
+TEST(Server, UnknownCapabilityRepliesEmpty) {
+  Machine machine(1);
+  ServerSystem servers(machine);
+  std::any reply = servers.request_wait(0, "no_such_thing", 0);
+  EXPECT_FALSE(reply.has_value());
+}
+
+TEST(Server, RequestCompletesImmediatelyReplyIsDefinitional) {
+  // §5.1.2: "considered as a program statement, a server request completes
+  // immediately"; the caller synchronises on the reply variable.
+  Machine machine(1);
+  ServerSystem servers(machine);
+  pcn::Def<int> release;
+  servers.add_capability(0, "slow", [release](ServerRequest& req) {
+    req.reply.define(std::any{release.read()});
+  });
+  pcn::Def<std::any> reply = servers.request(0, "slow", 0);
+  EXPECT_EQ(reply.read_for(std::chrono::milliseconds(20)), nullptr);
+  release.define(5);
+  EXPECT_EQ(std::any_cast<int>(reply.read()), 5);
+}
+
+TEST(Server, HandlerRunsOnItsProcessor) {
+  Machine machine(4);
+  ServerSystem servers(machine);
+  servers.add_capability_all("whoami", [](ServerRequest& req) {
+    req.reply.define(std::any{current_proc()});
+  });
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(std::any_cast<int>(servers.request_wait(p, "whoami", 0)), p);
+  }
+}
+
+TEST(Server, OriginIsTheRequestingProcessor) {
+  Machine machine(3);
+  ServerSystem servers(machine);
+  servers.add_capability_all("origin", [](ServerRequest& req) {
+    req.reply.define(std::any{req.origin});
+  });
+  pcn::ProcessGroup group;
+  group.spawn_on(machine, 2, [&] {
+    EXPECT_EQ(std::any_cast<int>(servers.request_wait(0, "origin", 0)), 2);
+  });
+  group.join();
+}
+
+TEST(Server, NestedRequestsDoNotDeadlock) {
+  // A handler may itself issue a server request — even to its own server —
+  // because each request is serviced by its own process (PCN semantics).
+  Machine machine(2);
+  ServerSystem servers(machine);
+  servers.add_capability_all("leaf", [](ServerRequest& req) {
+    req.reply.define(std::any{std::any_cast<int>(req.parameters) + 1});
+  });
+  servers.add_capability_all("nested", [&servers](ServerRequest& req) {
+    const int v = std::any_cast<int>(req.parameters);
+    // Nested request to the *same* processor's server.
+    const int leaf =
+        std::any_cast<int>(servers.request_wait(current_proc(), "leaf", v));
+    req.reply.define(std::any{leaf * 10});
+  });
+  EXPECT_EQ(std::any_cast<int>(servers.request_wait(0, "nested", 3)), 40);
+  EXPECT_EQ(std::any_cast<int>(servers.request_wait(1, "nested", 6)), 70);
+}
+
+TEST(Server, ConcurrentRequestsAllServiced) {
+  Machine machine(2);
+  ServerSystem servers(machine);
+  std::atomic<int> sum{0};
+  servers.add_capability_all("add", [&sum](ServerRequest& req) {
+    sum += std::any_cast<int>(req.parameters);
+    req.reply.define(std::any{0});
+  });
+  std::vector<pcn::Def<std::any>> replies;
+  for (int i = 1; i <= 50; ++i) {
+    replies.push_back(servers.request(i % 2, "add", i));
+  }
+  for (auto& r : replies) r.read();
+  EXPECT_EQ(sum.load(), 50 * 51 / 2);
+}
+
+TEST(Server, SilentHandlerStillDefinesReply) {
+  // A buggy handler that never defines the reply must not hang requesters.
+  Machine machine(1);
+  ServerSystem servers(machine);
+  servers.add_capability(0, "silent", [](ServerRequest&) {});
+  std::any reply = servers.request_wait(0, "silent", 0);
+  EXPECT_FALSE(reply.has_value());
+}
+
+}  // namespace
+}  // namespace tdp::vp
+
+namespace tdp::dist {
+namespace {
+
+class ArrayServerTest : public ::testing::Test {
+ protected:
+  ArrayServerTest() : machine_(4), am_(machine_), servers_(machine_) {
+    install_array_manager(servers_, am_);
+  }
+
+  vp::Machine machine_;
+  ArrayManager am_;
+  vp::ServerSystem servers_;
+};
+
+TEST_F(ArrayServerTest, CreateWriteReadFreeThroughServerRequests) {
+  CreateArrayRequest create;
+  create.type = ElemType::Float64;
+  create.dims = {8};
+  create.processors = util::iota_nodes(4);
+  create.distrib = {DimSpec::block()};
+  create.borders = BorderSpec::none();
+  create.indexing = Indexing::RowMajor;
+  auto created = std::any_cast<CreateArrayReply>(
+      servers_.request_wait(0, "create_array", create));
+  ASSERT_EQ(created.status, Status::Ok);
+
+  WriteElementRequest write;
+  write.id = created.id;
+  write.indices = {5};
+  write.value = Scalar{6.5};
+  auto wrote = std::any_cast<StatusReply>(
+      servers_.request_wait(0, "write_element", write));
+  EXPECT_EQ(wrote.status, Status::Ok);
+
+  // Read on another participating processor's server (the `@Processor`
+  // annotation): identical result.
+  ReadElementRequest read;
+  read.id = created.id;
+  read.indices = {5};
+  for (int p = 0; p < 4; ++p) {
+    auto got = std::any_cast<ReadElementReply>(
+        servers_.request_wait(p, "read_element", read));
+    ASSERT_EQ(got.status, Status::Ok) << p;
+    EXPECT_DOUBLE_EQ(std::get<double>(got.value), 6.5);
+  }
+
+  FindInfoRequest info;
+  info.id = created.id;
+  info.which = InfoKind::GridDimensions;
+  auto inf = std::any_cast<FindInfoReply>(
+      servers_.request_wait(2, "find_info", info));
+  ASSERT_EQ(inf.status, Status::Ok);
+  EXPECT_EQ(std::get<std::vector<int>>(inf.value), (std::vector<int>{4}));
+
+  FreeArrayRequest free_req;
+  free_req.id = created.id;
+  auto freed = std::any_cast<StatusReply>(
+      servers_.request_wait(3, "free_array", free_req));
+  EXPECT_EQ(freed.status, Status::Ok);
+  auto gone = std::any_cast<ReadElementReply>(
+      servers_.request_wait(0, "read_element", read));
+  EXPECT_EQ(gone.status, Status::NotFound);
+}
+
+TEST_F(ArrayServerTest, VerifyThroughServer) {
+  CreateArrayRequest create;
+  create.dims = {8};
+  create.processors = util::iota_nodes(4);
+  create.distrib = {DimSpec::block()};
+  create.borders = BorderSpec::exact({1, 1});
+  auto created = std::any_cast<CreateArrayReply>(
+      servers_.request_wait(0, "create_array", create));
+  ASSERT_EQ(created.status, Status::Ok);
+
+  VerifyArrayRequest verify;
+  verify.id = created.id;
+  verify.n_dims = 1;
+  verify.expected = BorderSpec::exact({2, 2});
+  verify.indexing = Indexing::RowMajor;
+  auto verified = std::any_cast<StatusReply>(
+      servers_.request_wait(1, "verify_array", verify));
+  EXPECT_EQ(verified.status, Status::Ok);
+
+  FindInfoRequest info;
+  info.id = created.id;
+  info.which = InfoKind::Borders;
+  auto inf = std::any_cast<FindInfoReply>(
+      servers_.request_wait(0, "find_info", info));
+  ASSERT_EQ(inf.status, Status::Ok);
+  EXPECT_EQ(std::get<std::vector<int>>(inf.value), (std::vector<int>{2, 2}));
+}
+
+TEST_F(ArrayServerTest, MalformedPayloadIsInvalid) {
+  auto reply = std::any_cast<StatusReply>(
+      servers_.request_wait(0, "free_array", std::string("nonsense")));
+  EXPECT_EQ(reply.status, Status::Invalid);
+}
+
+}  // namespace
+}  // namespace tdp::dist

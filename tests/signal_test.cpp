@@ -1,0 +1,219 @@
+// Tests for the §2.3.2 signal-processing operations and the §2.2
+// alternative integration model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "core/apply.hpp"
+#include "core/runtime.hpp"
+#include "fft/reference.hpp"
+#include "fft/signal.hpp"
+#include "pcn/def.hpp"
+#include "pcn/process.hpp"
+#include "util/node_array.hpp"
+
+namespace tdp {
+namespace {
+
+std::vector<double> random_seq(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = d(rng);
+  return out;
+}
+
+class Convolve : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Convolve, MatchesNaiveConvolution) {
+  const auto [na, nb] = GetParam();
+  core::Runtime rt(4);
+  const std::vector<double> a = random_seq(na, 11u + na);
+  const std::vector<double> b = random_seq(nb, 13u + nb);
+  const std::vector<double> got = fft::convolve(rt, rt.all_procs(), a, b);
+  const std::vector<double> want = fft::poly_mul_naive(a, b);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Convolve,
+                         ::testing::Values(std::pair{4, 4}, std::pair{16, 16},
+                                           std::pair{13, 7},
+                                           std::pair{1, 32},
+                                           std::pair{33, 31}));
+
+TEST(Correlate, MatchesNaiveCrossCorrelation) {
+  core::Runtime rt(4);
+  const std::vector<double> a = random_seq(12, 5);
+  const std::vector<double> b = random_seq(8, 6);
+  const std::vector<double> got = fft::correlate(rt, rt.all_procs(), a, b);
+  // Naive: correlate == convolve(a, reverse(b)).
+  std::vector<double> rb(b.rbegin(), b.rend());
+  const std::vector<double> want = fft::poly_mul_naive(a, rb);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-9) << i;
+  }
+}
+
+TEST(Correlate, PeaksAtTheEmbeddedDelay) {
+  // A pattern embedded in a longer signal at offset 9: the correlation
+  // with the pattern must peak exactly there.
+  core::Runtime rt(2);
+  const std::vector<double> pattern = random_seq(6, 21);
+  std::vector<double> signal(32, 0.0);
+  const int offset = 9;
+  for (int i = 0; i < 6; ++i) {
+    signal[static_cast<std::size_t>(offset + i)] =
+        pattern[static_cast<std::size_t>(i)];
+  }
+  const std::vector<double> corr =
+      fft::correlate(rt, rt.all_procs(), signal, pattern);
+  // corr[k] = sum_i signal[i] pattern[i - k + len(pattern) - 1]; the match
+  // lands at k = offset + len(pattern) - 1.
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < corr.size(); ++k) {
+    if (corr[k] > corr[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, static_cast<std::size_t>(offset + 6 - 1));
+}
+
+TEST(LowpassFilter, RemovesHighToneKeepsLowTone) {
+  core::Runtime rt(4);
+  const int n = 64;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / n;
+    x[static_cast<std::size_t>(i)] =
+        std::sin(2.0 * t) + 0.5 * std::sin(19.0 * t);
+  }
+  const std::vector<double> y =
+      fft::lowpass_filter(rt, rt.all_procs(), x, /*keep_bins=*/4);
+  for (int i = 0; i < n; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / n;
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], std::sin(2.0 * t), 1e-9)
+        << i;
+  }
+}
+
+TEST(LowpassFilter, KeepAllBinsIsIdentity) {
+  core::Runtime rt(2);
+  const std::vector<double> x = random_seq(16, 33);
+  const std::vector<double> y =
+      fft::lowpass_filter(rt, rt.all_procs(), x, /*keep_bins=*/8);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-10);
+  }
+}
+
+TEST(LowpassFilter, RejectsBadLengths) {
+  core::Runtime rt(4);
+  EXPECT_THROW(fft::lowpass_filter(rt, rt.all_procs(),
+                                   std::vector<double>(12, 0.0), 2),
+               std::invalid_argument);
+  EXPECT_THROW(fft::lowpass_filter(rt, {0, 1, 2},
+                                   std::vector<double>(16, 0.0), 2),
+               std::invalid_argument);
+}
+
+TEST(ApplyTaskParallel, RunsOncePerElementWithGlobalIndices) {
+  core::Runtime rt(4);
+  dist::ArrayId id;
+  ASSERT_EQ(rt.arrays().create_array(
+                0, dist::ElemType::Float64, {4, 4}, rt.all_procs(),
+                {dist::DimSpec::block(), dist::DimSpec::block()},
+                dist::BorderSpec::none(), dist::Indexing::RowMajor, id),
+            Status::Ok);
+  std::atomic<int> invocations{0};
+  const int status = core::apply_task_parallel(
+      rt, id, [&](const std::vector<int>& gidx, double value) {
+        ++invocations;
+        EXPECT_DOUBLE_EQ(value, 0.0);
+        return gidx[0] * 10.0 + gidx[1];
+      });
+  EXPECT_EQ(status, kStatusOk);
+  EXPECT_EQ(invocations.load(), 16);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      dist::Scalar v;
+      ASSERT_EQ(rt.arrays().read_element(0, id, std::vector<int>{i, j}, v),
+                Status::Ok);
+      EXPECT_DOUBLE_EQ(std::get<double>(v), i * 10.0 + j);
+    }
+  }
+}
+
+TEST(ApplyTaskParallel, ElementTasksRunConcurrently) {
+  // §2.2: the copies of the task-parallel program run concurrently — two
+  // element tasks exchange values through definitional variables, which
+  // only terminates if they truly overlap.
+  core::Runtime rt(2);
+  dist::ArrayId id;
+  ASSERT_EQ(rt.arrays().create_array(0, dist::ElemType::Float64, {2},
+                                     {0}, {dist::DimSpec::star()},
+                                     dist::BorderSpec::none(),
+                                     dist::Indexing::RowMajor, id),
+            Status::Ok);
+  pcn::Def<double> from0;
+  pcn::Def<double> from1;
+  const int status = core::apply_task_parallel(
+      rt, id, [&](const std::vector<int>& gidx, double) {
+        if (gidx[0] == 0) {
+          from0.define(1.5);
+          return from1.read();  // suspends until element 1's task runs
+        }
+        from1.define(2.5);
+        return from0.read();
+      });
+  EXPECT_EQ(status, kStatusOk);
+  dist::Scalar v;
+  ASSERT_EQ(rt.arrays().read_element(0, id, std::vector<int>{0}, v),
+            Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 2.5);
+  ASSERT_EQ(rt.arrays().read_element(0, id, std::vector<int>{1}, v),
+            Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 1.5);
+}
+
+TEST(ApplyTaskParallel, TasksMaySpawnSubProcesses) {
+  core::Runtime rt(2);
+  dist::ArrayId id;
+  ASSERT_EQ(rt.arrays().create_array(0, dist::ElemType::Float64, {4},
+                                     rt.all_procs(),
+                                     {dist::DimSpec::block()},
+                                     dist::BorderSpec::none(),
+                                     dist::Indexing::RowMajor, id),
+            Status::Ok);
+  const int status = core::apply_task_parallel(
+      rt, id, [](const std::vector<int>& gidx, double) {
+        // Each element task is itself a parallel composition.
+        pcn::Def<double> partial;
+        double other = 0.0;
+        pcn::par([&] { partial.define(gidx[0] * 2.0); },
+                 [&] { other = 1.0; });
+        return partial.read() + other;
+      });
+  EXPECT_EQ(status, kStatusOk);
+  for (int i = 0; i < 4; ++i) {
+    dist::Scalar v;
+    ASSERT_EQ(rt.arrays().read_element(0, id, std::vector<int>{i}, v),
+              Status::Ok);
+    EXPECT_DOUBLE_EQ(std::get<double>(v), i * 2.0 + 1.0);
+  }
+}
+
+TEST(ApplyTaskParallel, UnknownArrayReportsNotFound) {
+  core::Runtime rt(2);
+  dist::ArrayId bogus{0, 999};
+  EXPECT_EQ(core::apply_task_parallel(
+                rt, bogus, [](const std::vector<int>&, double) { return 0.0; }),
+            kStatusNotFound);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,161 @@
+// Tests for the discrete-event simulation substrate (§2.3.3).
+#include <gtest/gtest.h>
+
+#include "sim/event_sim.hpp"
+
+namespace tdp::sim {
+namespace {
+
+TEST(EventSim, DeliversAlongConnections) {
+  EventSimulation sim;
+  std::vector<double> received;
+  const int src = sim.add_component("src", [&](double now,
+                                               const std::vector<Event>&) {
+    std::vector<Event> out;
+    if (now < 3.0) {
+      Event e;
+      e.time = now;
+      e.payload = {now * 10.0};
+      out.push_back(e);
+      Event wake;
+      wake.time = now + 1.0;
+      wake.kind = kSelfWake;
+      out.push_back(wake);
+    }
+    return out;
+  });
+  const int dst = sim.add_component(
+      "dst",
+      [&](double, const std::vector<Event>& inputs) {
+        for (const Event& e : inputs) received.push_back(e.payload.at(0));
+        return std::vector<Event>{};
+      },
+      /*first_wake=*/-1.0);
+  sim.connect(src, dst);
+  EXPECT_EQ(sim.name(src), "src");
+  EXPECT_EQ(sim.name(dst), "dst");
+
+  const auto stats = sim.run(10.0);
+  EXPECT_EQ(received, (std::vector<double>{0.0, 10.0, 20.0}));
+  EXPECT_EQ(stats.events_delivered, 3);
+  EXPECT_GE(stats.wakes, 4);
+}
+
+TEST(EventSim, EventsProcessedInTimeOrder) {
+  EventSimulation sim;
+  std::vector<double> times;
+  const int a = sim.add_component("a", [&](double now,
+                                           const std::vector<Event>&) {
+    std::vector<Event> out;
+    if (now == 0.0) {
+      for (double t : {5.0, 1.0, 3.0}) {
+        Event e;
+        e.time = t;
+        out.push_back(e);
+      }
+    }
+    return out;
+  });
+  const int b = sim.add_component(
+      "b",
+      [&](double now, const std::vector<Event>&) {
+        times.push_back(now);
+        return std::vector<Event>{};
+      },
+      -1.0);
+  sim.connect(a, b);
+  sim.run(10.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(EventSim, FanOutReachesAllSuccessors) {
+  EventSimulation sim;
+  int hits_b = 0;
+  int hits_c = 0;
+  const int a = sim.add_component("a", [](double, const std::vector<Event>&) {
+    Event e;
+    e.time = 1.0;
+    return std::vector<Event>{e};
+  });
+  const int b = sim.add_component(
+      "b",
+      [&](double, const std::vector<Event>& in) {
+        hits_b += static_cast<int>(in.size());
+        return std::vector<Event>{};
+      },
+      -1.0);
+  const int c = sim.add_component(
+      "c",
+      [&](double, const std::vector<Event>& in) {
+        hits_c += static_cast<int>(in.size());
+        return std::vector<Event>{};
+      },
+      -1.0);
+  sim.connect(a, b);
+  sim.connect(a, c);
+  sim.run(2.0);
+  EXPECT_EQ(hits_b, 1);
+  EXPECT_EQ(hits_c, 1);
+}
+
+TEST(EventSim, StopsAtHorizon) {
+  EventSimulation sim;
+  int wakes = 0;
+  sim.add_component("clock", [&](double now, const std::vector<Event>&) {
+    ++wakes;
+    Event e;
+    e.time = now + 1.0;
+    e.kind = kSelfWake;
+    return std::vector<Event>{e};
+  });
+  const auto stats = sim.run(4.5);
+  EXPECT_EQ(wakes, 5);  // t = 0,1,2,3,4
+  EXPECT_DOUBLE_EQ(stats.end_time, 4.0);
+}
+
+TEST(EventSim, RejectsEventsInThePast) {
+  EventSimulation sim;
+  sim.add_component("bad", [](double now, const std::vector<Event>&) {
+    Event e;
+    e.time = now - 1.0;
+    return std::vector<Event>{e};
+  });
+  EXPECT_THROW(sim.run(5.0), std::logic_error);
+}
+
+TEST(EventSim, ConnectValidatesIds) {
+  EventSimulation sim;
+  const int a =
+      sim.add_component("a", [](double, const std::vector<Event>&) {
+        return std::vector<Event>{};
+      });
+  EXPECT_THROW(sim.connect(a, 5), std::out_of_range);
+  EXPECT_THROW(sim.connect(-1, a), std::out_of_range);
+}
+
+TEST(EventSim, SimultaneousWakesSeeAllDueEvents) {
+  EventSimulation sim;
+  std::size_t batch = 0;
+  const int a = sim.add_component("a", [](double, const std::vector<Event>&) {
+    Event e1;
+    e1.time = 2.0;
+    e1.kind = 1;
+    Event e2;
+    e2.time = 2.0;
+    e2.kind = 2;
+    return std::vector<Event>{e1, e2};
+  });
+  const int b = sim.add_component(
+      "b",
+      [&](double, const std::vector<Event>& in) {
+        batch = in.size();
+        return std::vector<Event>{};
+      },
+      -1.0);
+  sim.connect(a, b);
+  sim.run(3.0);
+  EXPECT_EQ(batch, 2u);  // both events delivered in one wake
+}
+
+}  // namespace
+}  // namespace tdp::sim

@@ -1,0 +1,128 @@
+// Unit tests for the util module: status codes (§4.1.2), integer helpers
+// (find_log2, rho_proc), and node_array (§C.2).
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/node_array.hpp"
+#include "util/status.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Status, CodesMatchThesisTable) {
+  EXPECT_EQ(to_int(Status::Ok), 0);
+  EXPECT_EQ(to_int(Status::Invalid), 1);
+  EXPECT_EQ(to_int(Status::NotFound), 2);
+  EXPECT_EQ(to_int(Status::Error), 99);
+}
+
+TEST(Status, Names) {
+  EXPECT_EQ(to_string(Status::Ok), "STATUS_OK");
+  EXPECT_EQ(to_string(Status::Invalid), "STATUS_INVALID");
+  EXPECT_EQ(to_string(Status::NotFound), "STATUS_NOT_FOUND");
+  EXPECT_EQ(to_string(Status::Error), "STATUS_ERROR");
+}
+
+TEST(Status, RoundTripThroughInt) {
+  for (Status s : {Status::Ok, Status::Invalid, Status::NotFound,
+                   Status::Error}) {
+    EXPECT_EQ(status_from_int(to_int(s)), s);
+  }
+  EXPECT_EQ(status_from_int(42), Status::Error);
+}
+
+TEST(Status, OkPredicate) {
+  EXPECT_TRUE(ok(Status::Ok));
+  EXPECT_FALSE(ok(Status::Invalid));
+  EXPECT_FALSE(ok(Status::NotFound));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(util::floor_log2(1), 0);
+  EXPECT_EQ(util::floor_log2(2), 1);
+  EXPECT_EQ(util::floor_log2(3), 1);
+  EXPECT_EQ(util::floor_log2(4), 2);
+  EXPECT_EQ(util::floor_log2(1024), 10);
+  EXPECT_EQ(util::floor_log2(1023), 9);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(util::is_pow2(1));
+  EXPECT_TRUE(util::is_pow2(2));
+  EXPECT_TRUE(util::is_pow2(64));
+  EXPECT_FALSE(util::is_pow2(0));
+  EXPECT_FALSE(util::is_pow2(3));
+  EXPECT_FALSE(util::is_pow2(-4));
+}
+
+TEST(Bits, BitReverseSmall) {
+  // rho_proc postcondition: rightmost `bits` bits reversed, right-justified.
+  EXPECT_EQ(util::bit_reverse(3, 0b000), 0b000u);
+  EXPECT_EQ(util::bit_reverse(3, 0b001), 0b100u);
+  EXPECT_EQ(util::bit_reverse(3, 0b011), 0b110u);
+  EXPECT_EQ(util::bit_reverse(3, 0b101), 0b101u);
+  EXPECT_EQ(util::bit_reverse(4, 0b0001), 0b1000u);
+}
+
+TEST(Bits, BitReverseDiscardsHighBits) {
+  EXPECT_EQ(util::bit_reverse(2, 0b111), 0b11u);
+  EXPECT_EQ(util::bit_reverse(1, 0b10), 0u);
+}
+
+class BitReverseInvolution : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitReverseInvolution, ReverseTwiceIsIdentity) {
+  const int bits = GetParam();
+  const std::uint64_t n = 1ull << bits;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_EQ(util::bit_reverse(bits, util::bit_reverse(bits, v)), v);
+  }
+}
+
+TEST_P(BitReverseInvolution, ReverseIsPermutation) {
+  const int bits = GetParam();
+  const std::uint64_t n = 1ull << bits;
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint64_t r = util::bit_reverse(bits, v);
+    ASSERT_LT(r, n);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitReverseInvolution,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+TEST(Bits, IntegerRoots) {
+  std::int64_t r = 0;
+  EXPECT_TRUE(util::exact_iroot(16, 2, &r));
+  EXPECT_EQ(r, 4);
+  EXPECT_TRUE(util::exact_iroot(32, 5, &r));
+  EXPECT_EQ(r, 2);
+  EXPECT_FALSE(util::exact_iroot(15, 2, &r));
+  EXPECT_EQ(r, 3);  // floor root still reported
+  EXPECT_TRUE(util::exact_iroot(1, 3, &r));
+  EXPECT_EQ(r, 1);
+}
+
+TEST(Bits, IPow) {
+  EXPECT_EQ(util::ipow(2, 10), 1024);
+  EXPECT_EQ(util::ipow(5, 0), 1);
+  EXPECT_EQ(util::ipow(1, 7), 1);
+}
+
+TEST(NodeArray, Pattern) {
+  // §C.2: {first, first+stride, first+2*stride, ...}
+  EXPECT_EQ(util::node_array(0, 1, 4), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(util::node_array(0, 2, 4), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(util::node_array(5, 3, 3), (std::vector<int>{5, 8, 11}));
+}
+
+TEST(NodeArray, EmptyAndIota) {
+  EXPECT_TRUE(util::node_array(0, 1, 0).empty());
+  EXPECT_EQ(util::iota_nodes(3), (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace tdp
