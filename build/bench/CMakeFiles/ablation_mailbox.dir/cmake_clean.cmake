@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mailbox.dir/ablation_mailbox.cpp.o"
+  "CMakeFiles/ablation_mailbox.dir/ablation_mailbox.cpp.o.d"
+  "ablation_mailbox"
+  "ablation_mailbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_channels.dir/ext_channels.cpp.o"
+  "CMakeFiles/ext_channels.dir/ext_channels.cpp.o.d"
+  "ext_channels"
+  "ext_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_1_coupled.dir/fig2_1_coupled.cpp.o"
+  "CMakeFiles/fig2_1_coupled.dir/fig2_1_coupled.cpp.o.d"
+  "fig2_1_coupled"
+  "fig2_1_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_1_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

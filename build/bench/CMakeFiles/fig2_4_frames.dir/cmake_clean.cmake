@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_4_frames.dir/fig2_4_frames.cpp.o"
+  "CMakeFiles/fig2_4_frames.dir/fig2_4_frames.cpp.o.d"
+  "fig2_4_frames"
+  "fig2_4_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_4_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

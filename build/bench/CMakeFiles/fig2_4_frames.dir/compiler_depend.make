@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_4_frames.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_10_reductions.dir/fig3_10_reductions.cpp.o"
+  "CMakeFiles/fig3_10_reductions.dir/fig3_10_reductions.cpp.o.d"
+  "fig3_10_reductions"
+  "fig3_10_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_10_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

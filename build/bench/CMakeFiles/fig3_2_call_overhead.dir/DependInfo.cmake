@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_2_call_overhead.cpp" "bench/CMakeFiles/fig3_2_call_overhead.dir/fig3_2_call_overhead.cpp.o" "gcc" "bench/CMakeFiles/fig3_2_call_overhead.dir/fig3_2_call_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_pcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_spmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

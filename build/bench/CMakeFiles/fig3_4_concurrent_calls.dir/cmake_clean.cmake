@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_concurrent_calls.dir/fig3_4_concurrent_calls.cpp.o"
+  "CMakeFiles/fig3_4_concurrent_calls.dir/fig3_4_concurrent_calls.cpp.o.d"
+  "fig3_4_concurrent_calls"
+  "fig3_4_concurrent_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_concurrent_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_5_decomposition.dir/fig3_5_decomposition.cpp.o"
+  "CMakeFiles/fig3_5_decomposition.dir/fig3_5_decomposition.cpp.o.d"
+  "fig3_5_decomposition"
+  "fig3_5_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_5_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

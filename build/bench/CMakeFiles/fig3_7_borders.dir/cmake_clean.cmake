@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_7_borders.dir/fig3_7_borders.cpp.o"
+  "CMakeFiles/fig3_7_borders.dir/fig3_7_borders.cpp.o.d"
+  "fig3_7_borders"
+  "fig3_7_borders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_7_borders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_9_array_manager.dir/fig3_9_array_manager.cpp.o"
+  "CMakeFiles/fig3_9_array_manager.dir/fig3_9_array_manager.cpp.o.d"
+  "fig3_9_array_manager"
+  "fig3_9_array_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_9_array_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_1_fft.dir/fig6_1_fft.cpp.o"
+  "CMakeFiles/fig6_1_fft.dir/fig6_1_fft.cpp.o.d"
+  "fig6_1_fft"
+  "fig6_1_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animation.dir/animation.cpp.o"
+  "CMakeFiles/animation.dir/animation.cpp.o.d"
+  "animation"
+  "animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

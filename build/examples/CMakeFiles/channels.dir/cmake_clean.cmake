@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channels.dir/channels.cpp.o"
+  "CMakeFiles/channels.dir/channels.cpp.o.d"
+  "channels"
+  "channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate.dir/climate.cpp.o"
+  "CMakeFiles/climate.dir/climate.cpp.o.d"
+  "climate"
+  "climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_pipeline.dir/fft_pipeline.cpp.o"
+  "CMakeFiles/fft_pipeline.dir/fft_pipeline.cpp.o.d"
+  "fft_pipeline"
+  "fft_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactor.dir/reactor.cpp.o"
+  "CMakeFiles/reactor.dir/reactor.cpp.o.d"
+  "reactor"
+  "reactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal.dir/signal.cpp.o"
+  "CMakeFiles/signal.dir/signal.cpp.o.d"
+  "signal"
+  "signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

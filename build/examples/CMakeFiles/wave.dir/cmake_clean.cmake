@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave.dir/wave.cpp.o"
+  "CMakeFiles/wave.dir/wave.cpp.o.d"
+  "wave"
+  "wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

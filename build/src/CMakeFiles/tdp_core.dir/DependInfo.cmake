@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apply.cpp" "src/CMakeFiles/tdp_core.dir/core/apply.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/apply.cpp.o.d"
+  "/root/repo/src/core/array_handle.cpp" "src/CMakeFiles/tdp_core.dir/core/array_handle.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/array_handle.cpp.o.d"
+  "/root/repo/src/core/call_args.cpp" "src/CMakeFiles/tdp_core.dir/core/call_args.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/call_args.cpp.o.d"
+  "/root/repo/src/core/channels.cpp" "src/CMakeFiles/tdp_core.dir/core/channels.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/channels.cpp.o.d"
+  "/root/repo/src/core/distributed_call.cpp" "src/CMakeFiles/tdp_core.dir/core/distributed_call.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/distributed_call.cpp.o.d"
+  "/root/repo/src/core/do_all.cpp" "src/CMakeFiles/tdp_core.dir/core/do_all.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/do_all.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/tdp_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/tdp_core.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/tdp_core.dir/core/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_spmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_pcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

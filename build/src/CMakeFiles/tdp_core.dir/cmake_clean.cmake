@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core.dir/core/apply.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/apply.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/array_handle.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/array_handle.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/call_args.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/call_args.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/channels.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/channels.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/distributed_call.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/distributed_call.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/do_all.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/do_all.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/registry.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/core/runtime.cpp.o"
+  "CMakeFiles/tdp_core.dir/core/runtime.cpp.o.d"
+  "libtdp_core.a"
+  "libtdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

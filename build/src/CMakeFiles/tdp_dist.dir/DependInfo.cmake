@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/array_manager.cpp" "src/CMakeFiles/tdp_dist.dir/dist/array_manager.cpp.o" "gcc" "src/CMakeFiles/tdp_dist.dir/dist/array_manager.cpp.o.d"
+  "/root/repo/src/dist/array_server.cpp" "src/CMakeFiles/tdp_dist.dir/dist/array_server.cpp.o" "gcc" "src/CMakeFiles/tdp_dist.dir/dist/array_server.cpp.o.d"
+  "/root/repo/src/dist/layout.cpp" "src/CMakeFiles/tdp_dist.dir/dist/layout.cpp.o" "gcc" "src/CMakeFiles/tdp_dist.dir/dist/layout.cpp.o.d"
+  "/root/repo/src/dist/spec_parse.cpp" "src/CMakeFiles/tdp_dist.dir/dist/spec_parse.cpp.o" "gcc" "src/CMakeFiles/tdp_dist.dir/dist/spec_parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdp_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_dist.dir/dist/array_manager.cpp.o"
+  "CMakeFiles/tdp_dist.dir/dist/array_manager.cpp.o.d"
+  "CMakeFiles/tdp_dist.dir/dist/array_server.cpp.o"
+  "CMakeFiles/tdp_dist.dir/dist/array_server.cpp.o.d"
+  "CMakeFiles/tdp_dist.dir/dist/layout.cpp.o"
+  "CMakeFiles/tdp_dist.dir/dist/layout.cpp.o.d"
+  "CMakeFiles/tdp_dist.dir/dist/spec_parse.cpp.o"
+  "CMakeFiles/tdp_dist.dir/dist/spec_parse.cpp.o.d"
+  "libtdp_dist.a"
+  "libtdp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_dp.dir/dp/forall.cpp.o"
+  "CMakeFiles/tdp_dp.dir/dp/forall.cpp.o.d"
+  "libtdp_dp.a"
+  "libtdp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

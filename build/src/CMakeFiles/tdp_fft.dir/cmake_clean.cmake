@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_fft.dir/fft/fft.cpp.o"
+  "CMakeFiles/tdp_fft.dir/fft/fft.cpp.o.d"
+  "CMakeFiles/tdp_fft.dir/fft/reference.cpp.o"
+  "CMakeFiles/tdp_fft.dir/fft/reference.cpp.o.d"
+  "CMakeFiles/tdp_fft.dir/fft/roots.cpp.o"
+  "CMakeFiles/tdp_fft.dir/fft/roots.cpp.o.d"
+  "CMakeFiles/tdp_fft.dir/fft/signal.cpp.o"
+  "CMakeFiles/tdp_fft.dir/fft/signal.cpp.o.d"
+  "libtdp_fft.a"
+  "libtdp_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

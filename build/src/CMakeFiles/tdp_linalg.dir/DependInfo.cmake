@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/halo.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/halo.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/halo.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/iterative.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/iterative.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix_ops.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/matrix_ops.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/matrix_ops.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/stencil.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/stencil.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/stencil.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/tdp_linalg.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/tdp_linalg.dir/linalg/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdp_spmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_pcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

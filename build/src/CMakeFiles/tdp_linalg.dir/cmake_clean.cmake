@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_linalg.dir/linalg/halo.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/halo.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/iterative.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/iterative.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/matrix_ops.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/matrix_ops.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/stencil.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/stencil.cpp.o.d"
+  "CMakeFiles/tdp_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/tdp_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "libtdp_linalg.a"
+  "libtdp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

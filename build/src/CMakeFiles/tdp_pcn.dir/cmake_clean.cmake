@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_pcn.dir/pcn/process.cpp.o"
+  "CMakeFiles/tdp_pcn.dir/pcn/process.cpp.o.d"
+  "libtdp_pcn.a"
+  "libtdp_pcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_pcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_sim.dir/sim/event_sim.cpp.o"
+  "CMakeFiles/tdp_sim.dir/sim/event_sim.cpp.o.d"
+  "libtdp_sim.a"
+  "libtdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

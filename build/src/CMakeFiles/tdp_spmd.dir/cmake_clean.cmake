@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_spmd.dir/spmd/context.cpp.o"
+  "CMakeFiles/tdp_spmd.dir/spmd/context.cpp.o.d"
+  "libtdp_spmd.a"
+  "libtdp_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

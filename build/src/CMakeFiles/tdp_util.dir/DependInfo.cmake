@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/atomic_print.cpp" "src/CMakeFiles/tdp_util.dir/util/atomic_print.cpp.o" "gcc" "src/CMakeFiles/tdp_util.dir/util/atomic_print.cpp.o.d"
+  "/root/repo/src/util/bits.cpp" "src/CMakeFiles/tdp_util.dir/util/bits.cpp.o" "gcc" "src/CMakeFiles/tdp_util.dir/util/bits.cpp.o.d"
+  "/root/repo/src/util/node_array.cpp" "src/CMakeFiles/tdp_util.dir/util/node_array.cpp.o" "gcc" "src/CMakeFiles/tdp_util.dir/util/node_array.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/tdp_util.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/tdp_util.dir/util/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

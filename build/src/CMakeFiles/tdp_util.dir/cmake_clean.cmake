@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_util.dir/util/atomic_print.cpp.o"
+  "CMakeFiles/tdp_util.dir/util/atomic_print.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/util/bits.cpp.o"
+  "CMakeFiles/tdp_util.dir/util/bits.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/util/node_array.cpp.o"
+  "CMakeFiles/tdp_util.dir/util/node_array.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/util/status.cpp.o"
+  "CMakeFiles/tdp_util.dir/util/status.cpp.o.d"
+  "libtdp_util.a"
+  "libtdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vp/machine.cpp" "src/CMakeFiles/tdp_vp.dir/vp/machine.cpp.o" "gcc" "src/CMakeFiles/tdp_vp.dir/vp/machine.cpp.o.d"
+  "/root/repo/src/vp/mailbox.cpp" "src/CMakeFiles/tdp_vp.dir/vp/mailbox.cpp.o" "gcc" "src/CMakeFiles/tdp_vp.dir/vp/mailbox.cpp.o.d"
+  "/root/repo/src/vp/server.cpp" "src/CMakeFiles/tdp_vp.dir/vp/server.cpp.o" "gcc" "src/CMakeFiles/tdp_vp.dir/vp/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

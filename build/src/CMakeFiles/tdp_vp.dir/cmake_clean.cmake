@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_vp.dir/vp/machine.cpp.o"
+  "CMakeFiles/tdp_vp.dir/vp/machine.cpp.o.d"
+  "CMakeFiles/tdp_vp.dir/vp/mailbox.cpp.o"
+  "CMakeFiles/tdp_vp.dir/vp/mailbox.cpp.o.d"
+  "CMakeFiles/tdp_vp.dir/vp/server.cpp.o"
+  "CMakeFiles/tdp_vp.dir/vp/server.cpp.o.d"
+  "libtdp_vp.a"
+  "libtdp_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_manager_test.dir/array_manager_test.cpp.o"
+  "CMakeFiles/array_manager_test.dir/array_manager_test.cpp.o.d"
+  "array_manager_test"
+  "array_manager_test.pdb"
+  "array_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handle_test.dir/handle_test.cpp.o"
+  "CMakeFiles/handle_test.dir/handle_test.cpp.o.d"
+  "handle_test"
+  "handle_test.pdb"
+  "handle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcn_test.dir/pcn_test.cpp.o"
+  "CMakeFiles/pcn_test.dir/pcn_test.cpp.o.d"
+  "pcn_test"
+  "pcn_test.pdb"
+  "pcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_test.dir/vp_test.cpp.o"
+  "CMakeFiles/vp_test.dir/vp_test.cpp.o.d"
+  "vp_test"
+  "vp_test.pdb"
+  "vp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
