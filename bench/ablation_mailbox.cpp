@@ -83,4 +83,4 @@ BENCHMARK(BM_DistributedCallWithForeignTrafficQueued)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

@@ -95,4 +95,4 @@ BENCHMARK(BM_NaiveInPlaceRotate)->Arg(256)->Arg(4096)->Arg(65536)->UseRealTime()
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

@@ -1,7 +1,13 @@
 // Shared setup helpers for the figure-reproduction benchmarks.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,4 +55,58 @@ inline void simulated_node_work(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// Machine-readable result lines for the perf trajectory.  In addition to
+/// the normal console table, every finished (non-aggregate) run prints one
+///
+///   BENCH_JSON {"name":...,"iterations":N,"ns_per_op":X,"procs":P,...}
+///
+/// line to stdout, carrying every user counter the benchmark set (the
+/// figure benches set "procs"; message-counting benches set "messages").
+/// Set TDP_BENCH_JSON=0 to suppress the lines.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    const char* env = std::getenv("TDP_BENCH_JSON");
+    if (env != nullptr && std::strcmp(env, "0") == 0) return;
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 /
+                    static_cast<double>(run.iterations)
+              : 0.0;
+      std::string line = "BENCH_JSON {\"name\":\"" + run.benchmark_name() +
+                         "\",\"iterations\":" + std::to_string(run.iterations) +
+                         ",\"ns_per_op\":" + fmt(ns_per_op);
+      for (const auto& [name, counter] : run.counters) {
+        line += ",\"" + name + "\":" + fmt(counter.value);
+      }
+      line += "}";
+      std::fprintf(stdout, "%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+ private:
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+};
+
 }  // namespace tdp::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes results through
+/// JsonLineReporter.
+#define TDP_BENCH_MAIN()                                                   \
+  int main(int argc, char** argv) {                                        \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::tdp::bench::JsonLineReporter reporter;                               \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                        \
+    ::benchmark::Shutdown();                                               \
+    return 0;                                                              \
+  }                                                                        \
+  int main(int, char**)

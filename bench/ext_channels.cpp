@@ -136,4 +136,4 @@ BENCHMARK(BM_CouplingThroughChannels)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

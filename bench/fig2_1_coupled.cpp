@@ -101,4 +101,4 @@ BENCHMARK(BM_CoupledConcurrent)->Arg(4)->Arg(16)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

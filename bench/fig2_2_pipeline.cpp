@@ -130,4 +130,4 @@ BENCHMARK(BM_PipelinedStages)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillise
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

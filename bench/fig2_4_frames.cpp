@@ -100,4 +100,4 @@ BENCHMARK(BM_FramesConcurrent)->Arg(1)->Arg(2)->Arg(4)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

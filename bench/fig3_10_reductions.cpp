@@ -100,4 +100,4 @@ BENCHMARK(BM_ManyReduceVariables)->Arg(1)->Arg(8)->Arg(64)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

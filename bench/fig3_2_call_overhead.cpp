@@ -21,10 +21,14 @@ void BM_EmptyCall(benchmark::State& state) {
   core::Runtime rt(p);
   rt.programs().add("noop", [](spmd::SpmdContext&, core::CallArgs&) {});
   const std::vector<int> procs = rt.all_procs();
+  const std::uint64_t msgs_before = rt.machine().messages_sent();
   for (auto _ : state) {
     benchmark::DoNotOptimize(rt.call(procs, "noop").run());
   }
   state.counters["procs"] = p;
+  state.counters["messages"] = benchmark::Counter(
+      static_cast<double>(rt.machine().messages_sent() - msgs_before),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_EmptyCall)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->UseRealTime();
 
@@ -42,6 +46,7 @@ void BM_CallWithAllParameterKinds(benchmark::State& state) {
   const std::vector<int> procs = rt.all_procs();
   dist::ArrayId a = bench::make_vector(rt, 64 * p, procs);
   std::vector<double> out;
+  const std::uint64_t msgs_before = rt.machine().messages_sent();
   for (auto _ : state) {
     benchmark::DoNotOptimize(rt.call(procs, "touch_all")
                                  .constant(7)
@@ -52,6 +57,9 @@ void BM_CallWithAllParameterKinds(benchmark::State& state) {
                                  .run());
   }
   state.counters["procs"] = p;
+  state.counters["messages"] = benchmark::Counter(
+      static_cast<double>(rt.machine().messages_sent() - msgs_before),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CallWithAllParameterKinds)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
@@ -66,6 +74,7 @@ void BM_CallerSuspendsUntilAllCopiesReturn(benchmark::State& state) {
   dist::ArrayId v1 = bench::make_vector(rt, p * local_m, procs);
   dist::ArrayId v2 = bench::make_vector(rt, p * local_m, procs);
   std::vector<double> out;
+  const std::uint64_t msgs_before = rt.machine().messages_sent();
   for (auto _ : state) {
     rt.call(procs, "test_iprdv")
         .constant(procs)
@@ -79,6 +88,9 @@ void BM_CallerSuspendsUntilAllCopiesReturn(benchmark::State& state) {
         .run();
   }
   state.counters["local_m"] = local_m;
+  state.counters["messages"] = benchmark::Counter(
+      static_cast<double>(rt.machine().messages_sent() - msgs_before),
+      benchmark::Counter::kAvgIterations);
   state.SetItemsProcessed(state.iterations() * p * local_m);
 }
 BENCHMARK(BM_CallerSuspendsUntilAllCopiesReturn)
@@ -89,4 +101,4 @@ BENCHMARK(BM_CallerSuspendsUntilAllCopiesReturn)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

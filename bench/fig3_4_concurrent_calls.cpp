@@ -110,4 +110,4 @@ BENCHMARK(BM_FourCallsConcurrent)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

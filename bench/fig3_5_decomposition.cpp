@@ -115,6 +115,7 @@ BENCHMARK(BM_JacobiSweepByDecomposition)->Arg(0)->Arg(2)
 int main(int argc, char** argv) {
   print_decomposition_table();
   ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
+  ::tdp::bench::JsonLineReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

@@ -100,4 +100,4 @@ BENCHMARK(BM_Verify2D)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

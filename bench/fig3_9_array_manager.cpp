@@ -117,4 +117,4 @@ BENCHMARK(BM_ElementSweepByIndexing)->Arg(1)->Arg(0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

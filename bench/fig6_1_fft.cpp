@@ -147,4 +147,4 @@ BENCHMARK(BM_PairInverseFftsConcurrent)->Unit(benchmark::kMillisecond)->UseRealT
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDP_BENCH_MAIN();

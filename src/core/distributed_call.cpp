@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spmd/context.hpp"
 
 namespace tdp::core {
@@ -259,33 +261,53 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   const int n = static_cast<int>(processors_.size());
   const std::uint64_t comm = machine_.next_comm();
 
-  // Shared, immutable view of the call for all copies; the spawned
-  // processes must not reference *this, which may be destroyed while the
-  // asynchronous call is still running.
-  auto shared = std::make_shared<std::vector<Param>>(params_);
-  auto procs = std::make_shared<std::vector<int>>(processors_);
-  auto results = std::make_shared<std::vector<pcn::Def<WrapperResult>>>(
-      static_cast<std::size_t>(n));
+  static obs::ShardedCounter& call_count =
+      obs::Registry::instance().counter("call.count");
+  call_count.add();
+
+  // Phase 1 of the call machinery (§3.3.2.2): marshal the argument list
+  // into the shared, immutable view all copies use.  The spawned processes
+  // must not reference *this, which may be destroyed while the asynchronous
+  // call is still running.
+  std::shared_ptr<std::vector<Param>> shared;
+  std::shared_ptr<std::vector<int>> procs;
+  std::shared_ptr<std::vector<pcn::Def<WrapperResult>>> results;
+  {
+    obs::Span marshal(obs::Op::CallMarshal, comm,
+                      static_cast<std::uint64_t>(n), nullptr);
+    marshal.set_arg1(params_.size());
+    shared = std::make_shared<std::vector<Param>>(params_);
+    procs = std::make_shared<std::vector<int>>(processors_);
+    results = std::make_shared<std::vector<pcn::Def<WrapperResult>>>(
+        static_cast<std::size_t>(n));
+  }
   const bool has_status = status_params_ == 1;
   vp::Machine* machine = &machine_;
   dist::ArrayManager* arrays = &arrays_;
 
+  // Phase 2: one SPMD execute per copy, placed on its processor.
+  static obs::Histogram& execute_hist =
+      obs::Registry::instance().histogram("call.execute_ns");
   for (int i = 0; i < n; ++i) {
     group.spawn_on(
         machine_, processors_[static_cast<std::size_t>(i)],
         [machine, arrays, shared, procs, results, program, comm, i,
          has_status] {
+          obs::Span exec(obs::Op::CallExecute, comm,
+                         static_cast<std::uint64_t>(i), &execute_hist);
           spmd::SpmdContext ctx(*machine, comm, *procs, i);
           (*results)[static_cast<std::size_t>(i)].define(Wrapper::run_copy(
               *arrays, ctx, *shared, program, has_status));
         });
   }
 
-  // The combine process (fig. 3.10): merges local statuses and reduction
-  // variables pairwise in copy order, delivers merged reductions, and only
-  // then defines the call's status.
+  // Phase 3 — the combine process (fig. 3.10): merges local statuses and
+  // reduction variables pairwise in copy order, delivers merged reductions,
+  // and only then defines the call's status.
   StatusCombine scombine = status_combine_;
-  group.spawn([shared, results, status, scombine, n] {
+  group.spawn([shared, results, status, scombine, comm, n] {
+    obs::Span comb(obs::Op::CallCombine, comm, static_cast<std::uint64_t>(n),
+                   nullptr);
     WrapperResult merged = (*results)[0].read();
     for (int i = 1; i < n; ++i) {
       const WrapperResult& next =

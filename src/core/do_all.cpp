@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tdp::core {
 
 int do_all(vp::Machine& machine, const std::vector<int>& processors,
@@ -24,11 +27,17 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
     return status;
   }
 
+  static obs::ShardedCounter& copies =
+      obs::Registry::instance().counter("do_all.copies");
+  copies.add(static_cast<std::uint64_t>(n));
+
   auto locals = std::make_shared<std::vector<pcn::Def<int>>>(
       static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     group.spawn_on(machine, processors[static_cast<std::size_t>(i)],
                    [body, locals, i] {
+                     obs::Span copy(obs::Op::DoAllCopy, 0,
+                                    static_cast<std::uint64_t>(i));
                      (*locals)[static_cast<std::size_t>(i)].define(body(i));
                    });
   }

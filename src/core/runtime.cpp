@@ -1,5 +1,7 @@
 #include "core/runtime.hpp"
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "util/node_array.hpp"
 
 namespace tdp::core {
@@ -8,6 +10,14 @@ Runtime::Runtime(int nprocs)
     : machine_(std::make_unique<vp::Machine>(nprocs)),
       arrays_(std::make_unique<dist::ArrayManager>(
           *machine_, registry_.border_lookup())) {}
+
+Runtime::~Runtime() {
+  if (!obs::enabled()) return;
+  obs::MachineStats stats;
+  stats.per_vp_messages = machine_->messages_by_vp();
+  stats.total_messages = machine_->messages_sent();
+  obs::flush_at_shutdown(&stats);
+}
 
 std::vector<int> Runtime::all_procs() const {
   return util::iota_nodes(machine_->nprocs());

@@ -32,6 +32,11 @@ class Runtime {
   /// resolves foreign_borders specifications against the program registry.
   explicit Runtime(int nprocs);
 
+  /// With TDP_OBS=1, teardown writes the Chrome trace to $TDP_OBS_TRACE
+  /// (default "tdp_trace.json") and prints the metrics summary — including
+  /// the per-VP message table — to stderr.
+  ~Runtime();
+
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 

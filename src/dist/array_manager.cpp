@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tdp::dist {
+
+namespace {
+
+obs::Histogram& am_service_hist() {
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("am.service_ns");
+  return h;
+}
+
+obs::ShardedCounter& am_bytes_moved() {
+  static obs::ShardedCounter& c =
+      obs::Registry::instance().counter("am.bytes_moved");
+  return c;
+}
+
+}  // namespace
 
 ArrayManager::ArrayManager(vp::Machine& machine, BorderLookup border_lookup)
     : machine_(machine),
@@ -21,6 +40,9 @@ void ArrayManager::set_trace(TraceFn trace) {
 
 Status ArrayManager::traced(std::string_view op, int on_proc, ArrayId id,
                             Status status) const {
+  static obs::ShardedCounter& requests =
+      obs::Registry::instance().counter("am.requests");
+  if (obs::enabled()) requests.add();
   TraceFn trace;
   {
     std::lock_guard<std::mutex> lock(trace_mutex_);
@@ -67,6 +89,9 @@ Status ArrayManager::create_array(int on_proc, ElemType type,
                                   const std::vector<DimSpec>& distrib,
                                   const BorderSpec& borders, Indexing indexing,
                                   ArrayId& id_out) {
+  obs::Span span(obs::Op::AmCreate, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       id_out = ArrayId{};
       if (!machine_.valid_proc(on_proc)) return Status::Invalid;
@@ -119,6 +144,15 @@ Status ArrayManager::create_array(int on_proc, ElemType type,
         create_local(on_proc, meta, /*owner=*/false);
       }
 
+      if (obs::enabled()) {
+        std::uint64_t bytes = elem_size(type);
+        for (const int d : meta.dims_plus) {
+          bytes *= static_cast<std::uint64_t>(d);
+        }
+        bytes *= static_cast<std::uint64_t>(owners.size());
+        span.set_arg1(bytes);
+        am_bytes_moved().add(bytes);
+      }
       id_out = meta.id;
       return Status::Ok;
 
@@ -148,6 +182,9 @@ Status ArrayManager::fetch_record(int on_proc, ArrayId id,
 }
 
 Status ArrayManager::free_array(int on_proc, ArrayId id) {
+  obs::Span span(obs::Op::AmFree, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       ArrayRecord meta;
       if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
@@ -168,6 +205,9 @@ Status ArrayManager::free_array(int on_proc, ArrayId id) {
 
 Status ArrayManager::read_element(int on_proc, ArrayId id,
                                   std::span<const int> indices, Scalar& out) {
+  obs::Span span(obs::Op::AmRead, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       ArrayRecord meta;
       if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
@@ -191,6 +231,11 @@ Status ArrayManager::read_element(int on_proc, ArrayId id,
       } else {
         out = it->second.local->read_i32(off);
       }
+      if (obs::enabled()) {
+        const std::uint64_t bytes = elem_size(it->second.type);
+        span.set_arg1(bytes);
+        am_bytes_moved().add(bytes);
+      }
       return Status::Ok;
 
   }();
@@ -200,6 +245,9 @@ Status ArrayManager::read_element(int on_proc, ArrayId id,
 Status ArrayManager::write_element(int on_proc, ArrayId id,
                                    std::span<const int> indices,
                                    const Scalar& value) {
+  obs::Span span(obs::Op::AmWrite, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       ArrayRecord meta;
       if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
@@ -223,6 +271,11 @@ Status ArrayManager::write_element(int on_proc, ArrayId id,
       } else {
         it->second.local->write_i32(off, scalar_to_int(value));
       }
+      if (obs::enabled()) {
+        const std::uint64_t bytes = elem_size(it->second.type);
+        span.set_arg1(bytes);
+        am_bytes_moved().add(bytes);
+      }
       return Status::Ok;
 
   }();
@@ -231,6 +284,9 @@ Status ArrayManager::write_element(int on_proc, ArrayId id,
 
 Status ArrayManager::find_local(int on_proc, ArrayId id,
                                 LocalSectionView& out) {
+  obs::Span span(obs::Op::AmFindLocal, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       out = LocalSectionView{};
       if (!machine_.valid_proc(on_proc)) return Status::Invalid;
@@ -255,6 +311,9 @@ Status ArrayManager::find_local(int on_proc, ArrayId id,
 
 Status ArrayManager::find_info(int on_proc, ArrayId id, InfoKind which,
                                InfoValue& out) {
+  obs::Span span(obs::Op::AmFindInfo, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       ArrayRecord meta;
       if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
@@ -296,6 +355,9 @@ Status ArrayManager::find_info(int on_proc, ArrayId id, InfoKind which,
 Status ArrayManager::verify_array(int on_proc, ArrayId id, int n_dims,
                                   const BorderSpec& expected,
                                   Indexing indexing) {
+  obs::Span span(obs::Op::AmVerify, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
   const Status st = [&]() -> Status {
       ArrayRecord meta;
       if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;

@@ -1,9 +1,24 @@
 #include "dp/forall.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tdp::dp {
+
+namespace {
+
+obs::ShardedCounter& statement_count() {
+  static obs::ShardedCounter& c =
+      obs::Registry::instance().counter("dp.statements");
+  return c;
+}
+
+}  // namespace
 
 void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
                      const Rhs& rhs) {
+  obs::Span span(obs::Op::DpAssign, ctx.comm(), local.size());
+  if (obs::enabled()) statement_count().add();
   // Phase 1: freeze the pre-statement values of the whole vector.
   std::vector<double> snapshot =
       ctx.allgather(std::span<const double>(local.data(), local.size()));
@@ -20,6 +35,8 @@ void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
 
 void parallel_for(spmd::SpmdContext& ctx, std::span<double> local,
                   const std::function<double(long long g, double own)>& body) {
+  obs::Span span(obs::Op::DpParallelFor, ctx.comm(), local.size());
+  if (obs::enabled()) statement_count().add();
   const long long base =
       static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());
   for (std::size_t i = 0; i < local.size(); ++i) {

@@ -1,0 +1,144 @@
+#include "obs/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tdp::obs {
+
+namespace {
+
+// Trace rows: virtual processors keep their number; unplaced (external)
+// threads share one row at the bottom of the view.
+constexpr std::int64_t kExternalTid = 1000000;
+
+std::int64_t tid_of(int vp) { return vp >= 0 ? vp : kExternalTid; }
+
+void write_event(std::ostream& os, const EventRecord& e, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << op_name(e.op) << "\",\"cat\":\"" << op_category(e.op)
+     << "\",\"pid\":1,\"tid\":" << tid_of(e.vp) << ",\"ts\":" << std::fixed
+     << std::setprecision(3) << static_cast<double>(e.ts_ns) / 1000.0;
+  switch (e.kind) {
+    case EventKind::Span:
+      os << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+      break;
+    case EventKind::Instant:
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case EventKind::Counter:
+      os << ",\"ph\":\"C\"";
+      break;
+  }
+  os << ",\"args\":{";
+  if (e.kind == EventKind::Counter) {
+    os << "\"value\":" << e.arg0;
+  } else {
+    os << "\"comm\":" << e.comm << ",\"arg0\":" << e.arg0
+       << ",\"arg1\":" << e.arg1;
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<EventRecord> events = Tracer::instance().snapshot();
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  std::set<std::int64_t> tids;
+  for (const EventRecord& e : events) tids.insert(tid_of(e.vp));
+  for (const std::int64_t tid : tids) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\""
+       << (tid == kExternalTid ? std::string("external")
+                               : "vp " + std::to_string(tid))
+       << "\"}}";
+  }
+
+  for (const EventRecord& e : events) write_event(os, e, first);
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_summary(std::ostream& os, const MachineStats* machine) {
+  Tracer& tracer = Tracer::instance();
+  os << "== tdp::obs summary ==\n";
+  os << "trace events: " << tracer.recorded() << " recorded, "
+     << tracer.dropped() << " dropped (capacity " << tracer.capacity()
+     << ")\n";
+
+  std::ostringstream counters;
+  std::ostringstream histograms;
+  Registry::instance().visit(
+      [&](const std::string& name, const ShardedCounter& c) {
+        counters << "  " << std::left << std::setw(28) << name << std::right
+                 << std::setw(14) << c.value() << "\n";
+      },
+      [&](const std::string& name, const Histogram& h) {
+        if (h.count() == 0) return;
+        histograms << "  " << std::left << std::setw(28) << name << std::right
+                   << std::setw(10) << h.count() << std::setw(12)
+                   << h.percentile(0.50) << std::setw(12) << h.percentile(0.90)
+                   << std::setw(12) << h.percentile(0.99) << std::setw(12)
+                   << h.max() << "\n";
+      });
+  if (!counters.str().empty()) {
+    os << "counters:\n" << counters.str();
+  }
+  if (!histograms.str().empty()) {
+    os << "histograms:" << std::string(17, ' ') << std::right << std::setw(10)
+       << "count" << std::setw(12) << "p50" << std::setw(12) << "p90"
+       << std::setw(12) << "p99" << std::setw(12) << "max" << "\n"
+       << histograms.str();
+  }
+
+  if (machine != nullptr) {
+    os << "messages delivered per VP (sum must equal machine total):\n";
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < machine->per_vp_messages.size(); ++i) {
+      const std::uint64_t n = machine->per_vp_messages[i];
+      sum += n;
+      if (n != 0) os << "  vp" << i << "=" << n;
+    }
+    os << "\n  sum=" << sum << " machine_total=" << machine->total_messages
+       << (sum == machine->total_messages ? " (consistent)"
+                                          : " (INCONSISTENT)")
+       << "\n";
+  }
+}
+
+void flush_at_shutdown(const MachineStats* machine) {
+  if (!enabled()) return;
+  const char* path = std::getenv("TDP_OBS_TRACE");
+  if (path == nullptr || path[0] == '\0') path = "tdp_trace.json";
+  bool wrote = false;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    if (out) {
+      write_chrome_trace(out);
+      wrote = out.good();
+    }
+  }
+  write_summary(std::cerr, machine);
+  if (wrote) {
+    std::cerr << "chrome trace written to " << path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "chrome trace NOT written: cannot open " << path
+              << " (set TDP_OBS_TRACE to a writable path)\n";
+  }
+}
+
+}  // namespace tdp::obs

@@ -1,0 +1,37 @@
+// tdp::obs exporters — Chrome trace_event JSON and a plain-text summary.
+//
+// The Chrome trace loads directly in chrome://tracing or https://ui.perfetto.dev:
+// one row ("tid") per virtual processor, spans as complete events, receive
+// misses as instants, queue depths as counter tracks.  The summary is a
+// terminal table of every registered counter and histogram, printed at
+// Runtime shutdown when TDP_OBS=1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace tdp::obs {
+
+/// Per-machine message statistics supplied by the caller (the obs layer has
+/// no dependency on vp::Machine).  per_vp_messages[i] counts messages
+/// delivered to virtual processor i; the canonical Machine counter.
+struct MachineStats {
+  std::vector<std::uint64_t> per_vp_messages;
+  std::uint64_t total_messages = 0;
+};
+
+/// Writes the tracer's snapshot as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& os);
+
+/// Writes the plain-text summary: event/drop counts, every registry counter
+/// and histogram (count, p50/p90/p99, max), and — when `machine` is given —
+/// the per-VP message table.
+void write_summary(std::ostream& os, const MachineStats* machine = nullptr);
+
+/// Shutdown hook used by core::Runtime when enabled(): writes the Chrome
+/// trace to $TDP_OBS_TRACE (default "tdp_trace.json") and the summary to
+/// stderr.
+void flush_at_shutdown(const MachineStats* machine = nullptr);
+
+}  // namespace tdp::obs

@@ -1,0 +1,55 @@
+#include "obs/metrics.hpp"
+
+namespace tdp::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+ShardedCounter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<ShardedCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::visit(
+    const std::function<void(const std::string&, const ShardedCounter&)>&
+        on_counter,
+    const std::function<void(const std::string&, const Histogram&)>&
+        on_histogram) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (on_counter) {
+    for (const auto& [name, counter] : counters_) {
+      on_counter(name, *counter);
+    }
+  }
+  if (on_histogram) {
+    for (const auto& [name, histogram] : histograms_) {
+      on_histogram(name, *histogram);
+    }
+  }
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace tdp::obs

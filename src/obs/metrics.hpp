@@ -1,0 +1,213 @@
+// tdp::obs metrics — named counters and log-scale latency histograms.
+//
+// All metric primitives are sharded by the emitting thread's virtual
+// processor (obs::current_vp) so concurrent virtual processors never
+// contend on a cache line; values are merged on read.  Everything is
+// relaxed atomics: metrics are statistical, not synchronising.
+//
+// The registry hands out process-global metrics by name.  Instrumentation
+// sites cache the returned reference (references are stable for the process
+// lifetime), so the registry mutex is off the hot path:
+//
+//   static obs::ShardedCounter& c =
+//       obs::Registry::instance().counter("am.requests");
+//   c.add();
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tdp::obs {
+
+/// Number of counter/histogram shards.  Virtual processor p maps to shard
+/// p % kMetricShards (exact per-VP attribution for machines of up to 64
+/// processors — far beyond what the simulated multicomputer runs);
+/// unplaced threads share the last shard.
+inline constexpr std::size_t kMetricShards = 64;
+
+inline std::size_t metric_shard(int vp) {
+  return vp >= 0 ? static_cast<std::size_t>(vp) % kMetricShards
+                 : kMetricShards - 1;
+}
+
+/// A monotonically-increasing counter, per-VP sharded, merged on read.
+class ShardedCounter {
+ public:
+  void add(std::uint64_t n = 1) { add_at(current_vp(), n); }
+
+  /// Attributes `n` to an explicit virtual processor (e.g. the destination
+  /// of a message rather than the sending thread).
+  void add_at(int vp, std::uint64_t n = 1) {
+    shards_[metric_shard(vp)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (relaxed loads).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : shards_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// The first `n` per-shard values (per-VP counts when vp < kMetricShards).
+  std::vector<std::uint64_t> per_shard(std::size_t n = kMetricShards) const {
+    if (n > kMetricShards) n = kMetricShards;
+    std::vector<std::uint64_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = shards_[i].v.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (Cell& c : shards_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> shards_{};
+};
+
+/// A log2-scale histogram of non-negative samples (typically latencies in
+/// ns).  Bucket b holds samples whose bit width is b, i.e. values in
+/// [2^(b-1), 2^b - 1]; bucket 0 holds zeros.  Per-VP sharded, merged on
+/// read; percentiles report the upper bound of the containing bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  Histogram() : cells_(kMetricShards) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) {
+    Cell& c = cells_[metric_shard(current_vp())];
+    const auto b = static_cast<std::size_t>(std::bit_width(value));
+    c.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    c.sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prev = c.max.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !c.max.compare_exchange_weak(prev, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::uint64_t, kBuckets> merged() const {
+    std::array<std::uint64_t, kBuckets> out{};
+    for (const Cell& c : cells_) {
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out[b] += c.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : merged()) total += n;
+    return total;
+  }
+
+  std::uint64_t sum() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.sum.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t max() const {
+    std::uint64_t m = 0;
+    for (const Cell& c : cells_) {
+      m = std::max(m, c.max.load(std::memory_order_relaxed));
+    }
+    return m;
+  }
+
+  /// The upper bound of the bucket containing the p-quantile (0 < p <= 1)
+  /// of the recorded distribution; 0 when empty.
+  std::uint64_t percentile(double p) const {
+    const std::array<std::uint64_t, kBuckets> buckets = merged();
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : buckets) total += n;
+    if (total == 0) return 0;
+    auto target = static_cast<std::uint64_t>(p * static_cast<double>(total));
+    if (target < 1) target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= target) return bucket_upper_bound(b);
+    }
+    return bucket_upper_bound(kBuckets - 1);
+  }
+
+  /// Largest value that falls into bucket b.
+  static std::uint64_t bucket_upper_bound(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void reset() {
+    for (Cell& c : cells_) {
+      for (auto& bucket : c.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      c.sum.store(0, std::memory_order_relaxed);
+      c.max.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  std::vector<Cell> cells_;  // never resized; references stay valid
+};
+
+/// Process-global registry of named metrics.  Lookup takes a mutex; cache
+/// the returned reference at the instrumentation site.
+class Registry {
+ public:
+  static Registry& instance();
+
+  ShardedCounter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Visits every metric in name order (for the summary exporter).
+  void visit(
+      const std::function<void(const std::string&, const ShardedCounter&)>&
+          on_counter,
+      const std::function<void(const std::string&, const Histogram&)>&
+          on_histogram) const;
+
+  /// Zeroes every metric's value.  Metric objects (and references to them)
+  /// survive; tests use this between cases.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace tdp::obs

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace tdp::obs {
+
+namespace detail {
+
+thread_local int t_current_vp = -1;
+std::atomic<int> g_enabled{-1};
+
+bool init_enabled() {
+  const char* env = std::getenv("TDP_OBS");
+  const bool on =
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t arg0,
+                std::uint64_t arg1, int vp) {
+  EventRecord rec;
+  rec.ts_ns = now_ns();
+  rec.dur_ns = 0;
+  rec.comm = comm;
+  rec.arg0 = arg0;
+  rec.arg1 = arg1;
+  rec.vp = vp;
+  rec.op = op;
+  rec.kind = kind;
+  Tracer::instance().emit(rec);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::None: return "none";
+    case Op::MsgSend: return "vp.send";
+    case Op::MsgRecv: return "vp.recv";
+    case Op::RecvMiss: return "vp.recv_miss";
+    case Op::QueueDepth: return "vp.queue_depth";
+    case Op::CallMarshal: return "call.marshal";
+    case Op::CallExecute: return "call.execute";
+    case Op::CallCombine: return "call.combine";
+    case Op::AmCreate: return "am.create_array";
+    case Op::AmFree: return "am.free_array";
+    case Op::AmRead: return "am.read_element";
+    case Op::AmWrite: return "am.write_element";
+    case Op::AmFindLocal: return "am.find_local";
+    case Op::AmFindInfo: return "am.find_info";
+    case Op::AmVerify: return "am.verify_array";
+    case Op::DoAllCopy: return "do_all.copy";
+    case Op::DpAssign: return "dp.multiple_assign";
+    case Op::DpParallelFor: return "dp.parallel_for";
+    case Op::kCount_: break;
+  }
+  return "unknown";
+}
+
+const char* op_category(Op op) {
+  switch (op) {
+    case Op::MsgSend:
+    case Op::MsgRecv:
+    case Op::RecvMiss:
+    case Op::QueueDepth:
+      return "vp";
+    case Op::CallMarshal:
+    case Op::CallExecute:
+    case Op::CallCombine:
+      return "call";
+    case Op::AmCreate:
+    case Op::AmFree:
+    case Op::AmRead:
+    case Op::AmWrite:
+    case Op::AmFindLocal:
+    case Op::AmFindInfo:
+    case Op::AmVerify:
+      return "am";
+    case Op::DoAllCopy:
+      return "do_all";
+    case Op::DpAssign:
+    case Op::DpParallelFor:
+      return "dp";
+    default:
+      return "misc";
+  }
+}
+
+namespace {
+
+std::size_t default_shard_capacity() {
+  // TDP_OBS_CAPACITY is the total record budget across all shards.
+  std::size_t total = std::size_t{1} << 19;  // 512Ki records ≈ 24 MiB max
+  if (const char* env = std::getenv("TDP_OBS_CAPACITY")) {
+    const long long v = std::atoll(env);
+    if (v > 0) total = static_cast<std::size_t>(v);
+  }
+  const std::size_t per_shard = total / Tracer::kShards;
+  return per_shard < 1024 ? 1024 : per_shard;
+}
+
+}  // namespace
+
+Tracer::Tracer() : shard_capacity_(default_shard_capacity()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+EventRecord* Tracer::slots_for(Shard& s) {
+  EventRecord* p = s.slots.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  // Lazy allocation keeps the disabled/unused footprint at zero; a losing
+  // CAS frees its buffer, so each shard allocates exactly once.
+  EventRecord* fresh = new EventRecord[shard_capacity_]();
+  if (s.slots.compare_exchange_strong(p, fresh, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete[] fresh;
+  return p;
+}
+
+void Tracer::emit(const EventRecord& rec) {
+  Shard& s = shards_[shard_index(rec.vp)];
+  const std::uint64_t claim = s.head.fetch_add(1, std::memory_order_relaxed);
+  if (claim >= shard_capacity_) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_for(s)[claim] = rec;
+  // Release RMW: a reader that observes committed == n synchronises with
+  // every writer in the release sequence, making all n records visible.
+  s.committed.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<EventRecord> Tracer::snapshot() const {
+  std::vector<EventRecord> out;
+  for (const Shard& s : shards_) {
+    const std::uint64_t head = s.head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, shard_capacity_);
+    if (n == 0) continue;
+    // At a quiescent point committed catches up to n; bound the wait so a
+    // misuse (snapshot during emission) degrades instead of hanging.
+    for (int spin = 0;
+         s.committed.load(std::memory_order_acquire) < n && spin < 10000;
+         ++spin) {
+      std::this_thread::yield();
+    }
+    const EventRecord* slots = s.slots.load(std::memory_order_acquire);
+    if (slots == nullptr) continue;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (slots[i].op != Op::None) out.push_back(slots[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.committed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::reset(std::size_t capacity_per_shard) {
+  if (capacity_per_shard > 0) shard_capacity_ = capacity_per_shard;
+  for (Shard& s : shards_) {
+    delete[] s.slots.exchange(nullptr, std::memory_order_acq_rel);
+    s.head.store(0, std::memory_order_relaxed);
+    s.committed.store(0, std::memory_order_relaxed);
+    s.dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Span::finish_impl() {
+  armed_ = false;
+  const std::uint64_t end = now_ns();
+  EventRecord rec;
+  rec.ts_ns = start_;
+  rec.dur_ns = end - start_;
+  rec.comm = comm_;
+  rec.arg0 = arg0_;
+  rec.arg1 = arg1_;
+  rec.vp = current_vp();
+  rec.op = op_;
+  rec.kind = EventKind::Span;
+  Tracer::instance().emit(rec);
+  if (latency_ != nullptr) latency_->record(rec.dur_ns);
+}
+
+}  // namespace tdp::obs

@@ -1,0 +1,224 @@
+// tdp::obs — low-overhead event tracing for the whole runtime.
+//
+// The thesis's performance chapters (distributed-call overhead, array-manager
+// cost, reduction trees) attribute cost to a virtual processor, a
+// communicator, and a phase of a distributed call.  This module is the
+// substrate for that attribution: a sharded, lock-free buffer of fixed-size
+// POD event records plus RAII span helpers, designed so that
+//
+//  * the *disabled* path is a single relaxed atomic load and branch
+//    (TDP_OBS unset), and can be compiled out entirely (-DTDP_OBS_DISABLED,
+//    CMake -DTDP_OBS_ENABLE=OFF);
+//  * the *enabled* path is wait-free per event: claim a slot with one
+//    fetch_add, write the record, publish with one release fetch_add.  No
+//    mutex is ever taken while emitting, so instrumentation may run inside
+//    the mailbox monitor without lock-order concerns;
+//  * records are kept first-come: once a shard is full further events are
+//    counted as dropped rather than overwriting earlier ones, which keeps
+//    every slot single-writer (the property that makes the tracer TSan-clean
+//    and loss-free up to capacity).
+//
+// Shards are selected by the emitting thread's virtual-processor placement
+// (obs::current_vp — the canonical thread-local behind vp::current_proc),
+// so concurrent virtual processors do not contend on one buffer head.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tdp::obs {
+
+class Histogram;  // metrics.hpp; spans can feed a latency histogram
+
+#ifdef TDP_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Every traced operation in the runtime; keep in sync with op_name().
+enum class Op : std::uint16_t {
+  None = 0,        ///< zero-initialised (unwritten) slot; never exported
+  MsgSend,         ///< vp::Machine::send delivered a message
+  MsgRecv,         ///< vp::Mailbox::receive span (duration = wait + match)
+  RecvMiss,        ///< selective receive scanned the queue and had to block
+  QueueDepth,      ///< mailbox queue-depth gauge sample (counter event)
+  CallMarshal,     ///< distributed call: argument marshal phase
+  CallExecute,     ///< distributed call: one copy's SPMD execute phase
+  CallCombine,     ///< distributed call: status/reduction combine phase
+  AmCreate,        ///< array manager: create_array
+  AmFree,          ///< array manager: free_array
+  AmRead,          ///< array manager: read_element
+  AmWrite,         ///< array manager: write_element
+  AmFindLocal,     ///< array manager: find_local
+  AmFindInfo,      ///< array manager: find_info
+  AmVerify,        ///< array manager: verify_array
+  DoAllCopy,       ///< core::do_all: one fanned-out copy
+  DpAssign,        ///< dp::multiple_assign statement
+  DpParallelFor,   ///< dp::parallel_for statement
+  kCount_
+};
+
+const char* op_name(Op op);      ///< e.g. "call.execute"
+const char* op_category(Op op);  ///< e.g. "call" (Chrome trace "cat")
+
+enum class EventKind : std::uint8_t {
+  Instant = 0,  ///< point event ("ph":"i")
+  Span = 1,     ///< complete event with duration ("ph":"X")
+  Counter = 2,  ///< gauge sample ("ph":"C")
+};
+
+/// Fixed-size POD trace record.  48 bytes; written exactly once per slot.
+struct EventRecord {
+  std::uint64_t ts_ns = 0;   ///< start time, ns since trace epoch
+  std::uint64_t dur_ns = 0;  ///< span duration; 0 for instants/counters
+  std::uint64_t comm = 0;    ///< communicator (distributed-call) id; 0 = none
+  std::uint64_t arg0 = 0;    ///< op-specific payload (dst proc, bytes, ...)
+  std::uint64_t arg1 = 0;    ///< op-specific payload (tag, depth, ...)
+  std::int32_t vp = -1;      ///< emitting virtual processor; -1 = external
+  Op op = Op::None;
+  EventKind kind = EventKind::Instant;
+};
+
+namespace detail {
+extern thread_local int t_current_vp;
+bool init_enabled();
+extern std::atomic<int> g_enabled;  // -1 = uninitialised, else 0/1
+}  // namespace detail
+
+/// The virtual processor the calling thread is placed on (-1 = none).  This
+/// is the canonical placement thread-local; vp::current_proc() forwards here
+/// so tracing needs no dependency on the vp layer.
+inline int current_vp() { return detail::t_current_vp; }
+
+/// Sets the calling thread's placement; returns the previous value
+/// (vp::ProcScope uses this pair).
+inline int set_current_vp(int vp) {
+  const int old = detail::t_current_vp;
+  detail::t_current_vp = vp;
+  return old;
+}
+
+/// True when observability is on: TDP_OBS=1 in the environment (cached on
+/// first call) or set_enabled(true).  Always false when compiled out.
+inline bool enabled() {
+  if constexpr (!kCompiledIn) return false;
+  const int v = detail::g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return detail::init_enabled();
+}
+
+/// Programmatic override of the TDP_OBS kill switch (tests, embedders).
+void set_enabled(bool on);
+
+/// Nanoseconds since the process's trace epoch (steady clock).
+std::uint64_t now_ns();
+
+/// The process-wide trace buffer: kShards independent fixed-capacity
+/// single-use buffers.  Emitting is wait-free; reading (snapshot) is meant
+/// for quiescent points — export at Runtime shutdown, tests after join.
+class Tracer {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  static Tracer& instance();
+
+  /// Records one event (caller has already checked enabled()).
+  void emit(const EventRecord& rec);
+
+  /// All committed records, merged across shards and sorted by timestamp.
+  /// Call only when emitters are quiescent.
+  std::vector<EventRecord> snapshot() const;
+
+  std::uint64_t recorded() const;  ///< events stored
+  std::uint64_t dropped() const;   ///< events lost past capacity
+
+  /// Total record capacity across shards.
+  std::size_t capacity() const { return shard_capacity_ * kShards; }
+
+  /// Clears all shards; `capacity_per_shard` > 0 also resizes them.
+  /// NOT thread-safe versus concurrent emitters — tests and startup only.
+  void reset(std::size_t capacity_per_shard = 0);
+
+ private:
+  Tracer();
+
+  struct alignas(64) Shard {
+    std::atomic<EventRecord*> slots{nullptr};  // lazily allocated
+    std::atomic<std::uint64_t> head{0};        // claims (may exceed capacity)
+    std::atomic<std::uint64_t> committed{0};   // fully-written records
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  EventRecord* slots_for(Shard& s);
+  static std::size_t shard_index(int vp) {
+    return vp >= 0 ? static_cast<std::size_t>(vp) % kShards : kShards - 1;
+  }
+
+  std::size_t shard_capacity_;
+  Shard shards_[kShards];
+};
+
+namespace detail {
+void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t arg0,
+                std::uint64_t arg1, int vp);
+}  // namespace detail
+
+/// Point event on the calling thread's virtual processor.
+inline void instant(Op op, std::uint64_t comm = 0, std::uint64_t arg0 = 0,
+                    std::uint64_t arg1 = 0) {
+  if (!kCompiledIn || !enabled()) return;
+  detail::emit_event(op, EventKind::Instant, comm, arg0, arg1, current_vp());
+}
+
+/// Gauge sample attributed to an explicit virtual processor (e.g. a mailbox
+/// owner, regardless of which thread posted).
+inline void counter_sample(Op op, std::uint64_t value, int vp) {
+  if (!kCompiledIn || !enabled()) return;
+  detail::emit_event(op, EventKind::Counter, 0, value, 0, vp);
+}
+
+/// RAII span: captures the start time on construction and emits one complete
+/// event (and optionally a latency histogram sample) on destruction.  When
+/// observability is off, construction is one branch and destruction another.
+class Span {
+ public:
+  explicit Span(Op op, std::uint64_t comm = 0, std::uint64_t arg0 = 0,
+                Histogram* latency = nullptr)
+      : op_(op),
+        comm_(comm),
+        arg0_(arg0),
+        latency_(latency),
+        armed_(kCompiledIn && enabled()) {
+    if (armed_) start_ = now_ns();
+  }
+  ~Span() {
+    if (armed_) finish_impl();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Late-bound payload (e.g. the communicator of the matched message).
+  void set_comm(std::uint64_t comm) { comm_ = comm; }
+  void set_arg0(std::uint64_t v) { arg0_ = v; }
+  void set_arg1(std::uint64_t v) { arg1_ = v; }
+
+  /// Ends the span now (idempotent; the destructor then does nothing).
+  void finish() {
+    if (armed_) finish_impl();
+  }
+
+ private:
+  void finish_impl();  // out-of-line: touches Tracer and Histogram
+
+  Op op_;
+  std::uint64_t comm_;
+  std::uint64_t arg0_;
+  std::uint64_t arg1_ = 0;
+  std::uint64_t start_ = 0;
+  Histogram* latency_;
+  bool armed_;
+};
+
+}  // namespace tdp::obs

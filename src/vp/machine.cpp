@@ -2,11 +2,9 @@
 
 #include <stdexcept>
 
-namespace tdp::vp {
+#include "obs/trace.hpp"
 
-namespace {
-thread_local int t_current_proc = -1;
-}  // namespace
+namespace tdp::vp {
 
 Machine::Machine(int nprocs) {
   if (nprocs <= 0) {
@@ -14,7 +12,7 @@ Machine::Machine(int nprocs) {
   }
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(i));
   }
 }
 
@@ -30,16 +28,20 @@ Mailbox& Machine::mailbox(int dst) {
 }
 
 void Machine::send(int dst, Message m) {
+  const std::uint64_t comm = m.comm;
+  const int tag = m.tag;
   mailbox(dst).post(std::move(m));
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.add_at(dst);
+  obs::instant(obs::Op::MsgSend, comm, static_cast<std::uint64_t>(dst),
+               static_cast<std::uint64_t>(static_cast<unsigned>(tag)));
 }
 
-int current_proc() { return t_current_proc; }
+// The canonical placement thread-local lives in the obs layer so tracing
+// can attribute events to virtual processors without depending on vp.
+int current_proc() { return obs::current_vp(); }
 
-ProcScope::ProcScope(int proc) : saved_(t_current_proc) {
-  t_current_proc = proc;
-}
+ProcScope::ProcScope(int proc) : saved_(obs::set_current_vp(proc)) {}
 
-ProcScope::~ProcScope() { t_current_proc = saved_; }
+ProcScope::~ProcScope() { obs::set_current_vp(saved_); }
 
 }  // namespace tdp::vp

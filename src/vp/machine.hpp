@@ -15,11 +15,13 @@
 //    distributed call a disjoint message-type set (§3.4.1).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "vp/mailbox.hpp"
 
 namespace tdp::vp {
@@ -45,16 +47,32 @@ class Machine {
   void send(int dst, Message m);
 
   /// A fresh communicator id (never 0); each distributed call draws one so
-  /// its data-parallel messages form a disjoint type set.
-  std::uint64_t next_comm() { return comm_counter_.fetch_add(1) + 1; }
+  /// its data-parallel messages form a disjoint type set.  The source is
+  /// process-global so communicator ids stay unique across Machine
+  /// instances — trace records from different runtimes never alias.
+  static std::uint64_t next_comm() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1) + 1;
+  }
 
-  /// Number of messages delivered through this machine (diagnostics).
-  std::uint64_t messages_sent() const { return messages_sent_.load(); }
+  /// Number of messages delivered through this machine (diagnostics).  The
+  /// canonical message counter is the obs metrics primitive: per-VP sharded
+  /// by destination, merged here with relaxed loads.
+  std::uint64_t messages_sent() const { return messages_sent_.value(); }
+
+  /// Messages delivered per destination virtual processor; entries sum to
+  /// messages_sent().  (Exact per-VP attribution for machines of up to
+  /// obs::kMetricShards processors; larger machines fold modulo the shard
+  /// count, which preserves the sum.)
+  std::vector<std::uint64_t> messages_by_vp() const {
+    return messages_sent_.per_shard(
+        std::min<std::size_t>(static_cast<std::size_t>(nprocs()),
+                              obs::kMetricShards));
+  }
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::atomic<std::uint64_t> comm_counter_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
+  obs::ShardedCounter messages_sent_;
 };
 
 /// The virtual processor the calling process is placed on, or -1 when the

@@ -1,26 +1,55 @@
 #include "vp/mailbox.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tdp::vp {
 
 void Mailbox::post(Message m) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(m));
+    depth = queue_.size();
   }
   cv_.notify_all();
+  if (obs::enabled()) {
+    obs::counter_sample(obs::Op::QueueDepth, depth, owner_);
+    static obs::Histogram& depth_hist =
+        obs::Registry::instance().histogram("mailbox.queue_depth");
+    depth_hist.record(depth);
+  }
 }
 
 Message Mailbox::receive(const Predicate& match) {
+  static obs::Histogram& wait_hist =
+      obs::Registry::instance().histogram("mailbox.recv_wait_ns");
+  static obs::ShardedCounter& miss_count =
+      obs::Registry::instance().counter("mailbox.recv_miss");
+  obs::Span span(obs::Op::MsgRecv, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+                 &wait_hist);
+
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (match(*it)) {
         Message out = std::move(*it);
         queue_.erase(it);
+        span.set_comm(out.comm);
+        span.set_arg1(out.payload.size());
         return out;
       }
     }
     if (closed_) throw MailboxClosed();
+    // A selective-receive miss: nothing queued matches and the receiver
+    // must block — the §3.4.1 hazard the disjoint type sets exist to bound.
+    if (obs::enabled()) {
+      obs::instant(obs::Op::RecvMiss, 0,
+                   static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+                   queue_.size());
+      miss_count.add();
+    }
     cv_.wait(lock);
   }
 }

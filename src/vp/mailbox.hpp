@@ -55,7 +55,10 @@ class Mailbox {
  public:
   using Predicate = std::function<bool(const Message&)>;
 
-  Mailbox() = default;
+  /// `owner` is the processor number this mailbox belongs to (-1 when the
+  /// mailbox is free-standing, e.g. in tests); used only to attribute
+  /// observability events to the owning virtual processor.
+  explicit Mailbox(int owner = -1) : owner_(owner) {}
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
@@ -77,6 +80,7 @@ class Mailbox {
   void close();
 
  private:
+  const int owner_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
