@@ -62,13 +62,23 @@ inline void simulated_node_work(double ms) {
 ///
 /// line to stdout, carrying every user counter the benchmark set (the
 /// figure benches set "procs"; message-counting benches set "messages").
-/// Set TDP_BENCH_JSON=0 to suppress the lines.
+/// TDP_BENCH_JSON steers the lines: unset or "1" prints to stdout only,
+/// "0" suppresses them, and any other value is a file path the lines are
+/// appended to (in addition to stdout) — so a sweep driver can accumulate
+/// results across many benchmark binaries into one file.
 class JsonLineReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& report) override {
     benchmark::ConsoleReporter::ReportRuns(report);
     const char* env = std::getenv("TDP_BENCH_JSON");
     if (env != nullptr && std::strcmp(env, "0") == 0) return;
+    std::FILE* sink = nullptr;
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "1") != 0) {
+      sink = std::fopen(env, "a");
+      if (sink == nullptr) {
+        std::fprintf(stderr, "bench: cannot append BENCH_JSON to %s\n", env);
+      }
+    }
     for (const Run& run : report) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
       const double ns_per_op =
@@ -85,7 +95,9 @@ class JsonLineReporter : public benchmark::ConsoleReporter {
       line += "}";
       std::fprintf(stdout, "%s\n", line.c_str());
       std::fflush(stdout);
+      if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
     }
+    if (sink != nullptr) std::fclose(sink);
   }
 
  private:

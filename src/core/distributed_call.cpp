@@ -285,19 +285,52 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   vp::Machine* machine = &machine_;
   dist::ArrayManager* arrays = &arrays_;
 
+  // Causal chaining of the call's phases: one flow id per copy links the
+  // caller's spawn point to that copy's execute span ("call.execute"
+  // arrows fanning out), and a second links the copy's completion to the
+  // combine process's read ("call.combine" arrows fanning back in).  All
+  // of a call's spans and arrows additionally share the call-scoped comm.
+  std::shared_ptr<std::vector<std::uint64_t>> spawn_flows;
+  std::shared_ptr<std::vector<std::uint64_t>> join_flows;
+  if (obs::enabled()) {
+    spawn_flows = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(n));
+    join_flows = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      (*spawn_flows)[static_cast<std::size_t>(i)] = obs::next_flow_id();
+      (*join_flows)[static_cast<std::size_t>(i)] = obs::next_flow_id();
+    }
+  }
+
   // Phase 2: one SPMD execute per copy, placed on its processor.
   static obs::Histogram& execute_hist =
       obs::Registry::instance().histogram("call.execute_ns");
   for (int i = 0; i < n; ++i) {
+    if (spawn_flows) {
+      obs::flow_start(obs::Op::CallExecute,
+                      (*spawn_flows)[static_cast<std::size_t>(i)], comm);
+    }
     group.spawn_on(
         machine_, processors_[static_cast<std::size_t>(i)],
         [machine, arrays, shared, procs, results, program, comm, i,
-         has_status] {
+         has_status, spawn_flows, join_flows] {
           obs::Span exec(obs::Op::CallExecute, comm,
                          static_cast<std::uint64_t>(i), &execute_hist);
+          if (spawn_flows) {
+            obs::flow_end(obs::Op::CallExecute,
+                          (*spawn_flows)[static_cast<std::size_t>(i)], comm);
+          }
           spmd::SpmdContext ctx(*machine, comm, *procs, i);
-          (*results)[static_cast<std::size_t>(i)].define(Wrapper::run_copy(
-              *arrays, ctx, *shared, program, has_status));
+          WrapperResult result =
+              Wrapper::run_copy(*arrays, ctx, *shared, program, has_status);
+          // Flow origin before define(): the combine process may emit the
+          // matching flow end the instant the result becomes readable.
+          if (join_flows) {
+            obs::flow_start(obs::Op::CallCombine,
+                            (*join_flows)[static_cast<std::size_t>(i)], comm);
+          }
+          (*results)[static_cast<std::size_t>(i)].define(std::move(result));
         });
   }
 
@@ -305,13 +338,20 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   // reduction variables pairwise in copy order, delivers merged reductions,
   // and only then defines the call's status.
   StatusCombine scombine = status_combine_;
-  group.spawn([shared, results, status, scombine, comm, n] {
+  group.spawn([shared, results, status, scombine, comm, n, join_flows] {
     obs::Span comb(obs::Op::CallCombine, comm, static_cast<std::uint64_t>(n),
                    nullptr);
     WrapperResult merged = (*results)[0].read();
+    if (join_flows) {
+      obs::flow_end(obs::Op::CallCombine, (*join_flows)[0], comm);
+    }
     for (int i = 1; i < n; ++i) {
       const WrapperResult& next =
           (*results)[static_cast<std::size_t>(i)].read();
+      if (join_flows) {
+        obs::flow_end(obs::Op::CallCombine,
+                      (*join_flows)[static_cast<std::size_t>(i)], comm);
+      }
       merged.status = scombine(merged.status, next.status);
       std::size_t r = 0;
       for (const Param& p : *shared) {

@@ -31,24 +31,60 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
       obs::Registry::instance().counter("do_all.copies");
   copies.add(static_cast<std::uint64_t>(n));
 
+  // Causal chaining, mirroring distributed_call: spawn→copy and copy→merge
+  // arrows so the trace shows the fan-out/fan-in structure of the §4.3.1
+  // fork/join even though do_all has no communicator.
+  std::shared_ptr<std::vector<std::uint64_t>> spawn_flows;
+  std::shared_ptr<std::vector<std::uint64_t>> join_flows;
+  if (obs::enabled()) {
+    spawn_flows = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(n));
+    join_flows = std::make_shared<std::vector<std::uint64_t>>(
+        static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      (*spawn_flows)[static_cast<std::size_t>(i)] = obs::next_flow_id();
+      (*join_flows)[static_cast<std::size_t>(i)] = obs::next_flow_id();
+    }
+  }
+
   auto locals = std::make_shared<std::vector<pcn::Def<int>>>(
       static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
+    if (spawn_flows) {
+      obs::flow_start(obs::Op::DoAllCopy,
+                      (*spawn_flows)[static_cast<std::size_t>(i)]);
+    }
     group.spawn_on(machine, processors[static_cast<std::size_t>(i)],
-                   [body, locals, i] {
+                   [body, locals, i, spawn_flows, join_flows] {
                      obs::Span copy(obs::Op::DoAllCopy, 0,
                                     static_cast<std::uint64_t>(i));
-                     (*locals)[static_cast<std::size_t>(i)].define(body(i));
+                     if (spawn_flows) {
+                       obs::flow_end(
+                           obs::Op::DoAllCopy,
+                           (*spawn_flows)[static_cast<std::size_t>(i)]);
+                     }
+                     const int local = body(i);
+                     if (join_flows) {
+                       obs::flow_start(
+                           obs::Op::DoAllCopy,
+                           (*join_flows)[static_cast<std::size_t>(i)]);
+                     }
+                     (*locals)[static_cast<std::size_t>(i)].define(local);
                    });
   }
 
   // The merge process suspends on each local status in turn and combines
   // them pairwise; the result defines `status` only after every copy has
   // terminated (§4.3.1 postcondition).
-  group.spawn([locals, combine, status, n] {
+  group.spawn([locals, combine, status, n, join_flows] {
     int merged = (*locals)[0].read();
+    if (join_flows) obs::flow_end(obs::Op::DoAllCopy, (*join_flows)[0]);
     for (int i = 1; i < n; ++i) {
       merged = combine(merged, (*locals)[static_cast<std::size_t>(i)].read());
+      if (join_flows) {
+        obs::flow_end(obs::Op::DoAllCopy,
+                      (*join_flows)[static_cast<std::size_t>(i)]);
+      }
     }
     status.define(merged);
   });

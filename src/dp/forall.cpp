@@ -13,12 +13,24 @@ obs::ShardedCounter& statement_count() {
   return c;
 }
 
+/// Monotonic per-process-thread statement sequence, carried in each dp
+/// span's arg1: within one copy of a called program the statements of
+/// §1.2.4 execute in order, and the sequence lets the trace analyzer
+/// recover that order even when spans from many copies interleave.
+std::uint64_t next_statement_seq() {
+  thread_local std::uint64_t t_seq = 0;
+  return ++t_seq;
+}
+
 }  // namespace
 
 void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
                      const Rhs& rhs) {
   obs::Span span(obs::Op::DpAssign, ctx.comm(), local.size());
-  if (obs::enabled()) statement_count().add();
+  if (obs::enabled()) {
+    span.set_arg1(next_statement_seq());
+    statement_count().add();
+  }
   // Phase 1: freeze the pre-statement values of the whole vector.
   std::vector<double> snapshot =
       ctx.allgather(std::span<const double>(local.data(), local.size()));
@@ -36,7 +48,10 @@ void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
 void parallel_for(spmd::SpmdContext& ctx, std::span<double> local,
                   const std::function<double(long long g, double own)>& body) {
   obs::Span span(obs::Op::DpParallelFor, ctx.comm(), local.size());
-  if (obs::enabled()) statement_count().add();
+  if (obs::enabled()) {
+    span.set_arg1(next_statement_seq());
+    statement_count().add();
+  }
   const long long base =
       static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());
   for (std::size_t i = 0; i < local.size(); ++i) {

@@ -1,0 +1,632 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace tdp::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader.  The exporter's output is a small, regular subset of
+// JSON (no exotic escapes, numbers that fit a double), but the parser below
+// accepts general JSON so hand-edited synthetic traces also load.
+
+struct JValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const JValue* v = find(key);
+    return v != nullptr && v->type == Type::Number ? v->number : fallback;
+  }
+  std::string str_or(const std::string& key) const {
+    const JValue* v = find(key);
+    return v != nullptr && v->type == Type::String ? v->string : std::string();
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool peek(char& c) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    c = text_[pos_];
+    return true;
+  }
+
+  bool consume(char expected) {
+    char c = 0;
+    if (!peek(c) || c != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u':
+          // The exporter never emits \u escapes; decode as '?' to stay
+          // total on foreign input.
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          pos_ += 4;
+          out.push_back('?');
+          break;
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JValue& out) {
+    char c = 0;
+    if (!peek(c)) return fail("unexpected end of input");
+    switch (c) {
+      case '{': {
+        out.type = JValue::Type::Object;
+        ++pos_;
+        if (peek(c) && c == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          std::string key;
+          if (!parse_string(key)) return false;
+          if (!consume(':')) return false;
+          JValue value;
+          if (!parse_value(value)) return false;
+          out.object.emplace_back(std::move(key), std::move(value));
+          if (!peek(c)) return fail("unterminated object");
+          if (c == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume('}');
+        }
+      }
+      case '[': {
+        out.type = JValue::Type::Array;
+        ++pos_;
+        if (peek(c) && c == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JValue value;
+          if (!parse_value(value)) return false;
+          out.array.push_back(std::move(value));
+          if (!peek(c)) return fail("unterminated array");
+          if (c == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume(']');
+        }
+      }
+      case '"':
+        out.type = JValue::Type::String;
+        return parse_string(out.string);
+      case 't':
+        out.type = JValue::Type::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = JValue::Type::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = JValue::Type::Null;
+        return literal("null");
+      default: {
+        out.type = JValue::Type::Number;
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        out.number = std::strtod(begin, &end);
+        if (end == begin) return fail("bad number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return true;
+      }
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return fail(std::string("bad literal, expected ") + word);
+      }
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::uint64_t as_u64(double v) {
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+void convert_event(const JValue& j, LoadedEvent& e) {
+  e.name = j.str_or("name");
+  e.cat = j.str_or("cat");
+  e.ph = j.str_or("ph");
+  e.tid = static_cast<std::int64_t>(j.num_or("tid", 0.0));
+  e.ts_us = j.num_or("ts", 0.0);
+  e.dur_us = j.num_or("dur", 0.0);
+  e.id = as_u64(j.num_or("id", 0.0));
+  if (const JValue* args = j.find("args");
+      args != nullptr && args->type == JValue::Type::Object) {
+    e.comm = as_u64(args->num_or("comm", 0.0));
+    e.flow = as_u64(args->num_or("flow", 0.0));
+    e.arg0 = as_u64(args->num_or("arg0", 0.0));
+    e.arg1 = as_u64(args->num_or("arg1", 0.0));
+  }
+}
+
+/// Streams the elements of the traceEvents array without building a DOM for
+/// the whole document: one small JValue per event, converted and discarded.
+bool parse_event_array(JsonReader& reader, std::vector<LoadedEvent>& out) {
+  if (!reader.consume('[')) return false;
+  char c = 0;
+  if (reader.peek(c) && c == ']') {
+    return reader.consume(']');
+  }
+  while (true) {
+    JValue element;
+    if (!reader.parse_value(element)) return false;
+    if (element.type == JValue::Type::Object) {
+      LoadedEvent e;
+      convert_event(element, e);
+      if (e.ph != "M") out.push_back(std::move(e));  // skip metadata rows
+    }
+    if (!reader.peek(c)) return reader.fail("unterminated traceEvents");
+    if (c == ',') {
+      reader.consume(',');
+      continue;
+    }
+    return reader.consume(']');
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic for the utilization table.
+
+double union_length_us(std::vector<std::pair<double, double>>& intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double lo = intervals.front().first;
+  double hi = intervals.front().second;
+  for (const auto& [s, e] : intervals) {
+    if (s > hi) {
+      total += hi - lo;
+      lo = s;
+      hi = e;
+    } else {
+      hi = std::max(hi, e);
+    }
+  }
+  return total + (hi - lo);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path reconstruction.
+
+struct CallSpans {
+  const LoadedEvent* marshal = nullptr;
+  const LoadedEvent* combine = nullptr;
+  std::vector<const LoadedEvent*> executes;
+};
+
+double span_end(const LoadedEvent& e) { return e.ts_us + e.dur_us; }
+
+/// The execute span of this call that contains the given time on the given
+/// row — how a send or receive is attributed to the copy that issued it.
+const LoadedEvent* enclosing_execute(const CallSpans& call, std::int64_t tid,
+                                     double ts_us) {
+  const LoadedEvent* best = nullptr;
+  for (const LoadedEvent* e : call.executes) {
+    if (e->tid != tid || ts_us < e->ts_us || ts_us > span_end(*e)) continue;
+    // Prefer the tightest enclosing span if nested (re-entrant calls).
+    if (best == nullptr || e->dur_us < best->dur_us) best = e;
+  }
+  return best;
+}
+
+std::string fmt_ms(double us) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << us / 1000.0 << " ms";
+  return os.str();
+}
+
+std::string fmt_pct(double ratio) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ratio * 100.0 << "%";
+  return os.str();
+}
+
+std::string row_name(std::int64_t tid) {
+  // Matches the exporter's thread_name metadata scheme.
+  return tid >= 1000000 ? std::string("ext") : "vp" + std::to_string(tid);
+}
+
+}  // namespace
+
+bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
+                       std::string* error) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonReader reader(text);
+
+  char c = 0;
+  if (!reader.peek(c)) {
+    if (error != nullptr) *error = "empty input";
+    return false;
+  }
+  bool ok = false;
+  if (c == '[') {
+    ok = parse_event_array(reader, out);
+  } else if (c == '{') {
+    // Object form: scan keys, stream "traceEvents", skip everything else.
+    ok = reader.consume('{');
+    bool found = false;
+    while (ok) {
+      if (reader.peek(c) && c == '}') {
+        reader.consume('}');
+        break;
+      }
+      std::string key;
+      ok = reader.parse_string(key) && reader.consume(':');
+      if (!ok) break;
+      if (key == "traceEvents") {
+        ok = parse_event_array(reader, out);
+        found = true;
+      } else {
+        JValue skipped;
+        ok = reader.parse_value(skipped);
+      }
+      if (ok && reader.peek(c) && c == ',') reader.consume(',');
+    }
+    if (ok && !found) {
+      if (error != nullptr) *error = "no traceEvents array in document";
+      return false;
+    }
+  } else {
+    reader.fail("expected '[' or '{'");
+  }
+  if (!ok) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  return true;
+}
+
+TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
+  TraceReport report;
+  report.events = events.size();
+
+  // --- wall clock ---------------------------------------------------------
+  double t0 = 0.0, t1 = 0.0;
+  bool have_time = false;
+  for (const LoadedEvent& e : events) {
+    if (e.ph != "X" && e.ph != "i" && e.ph != "s" && e.ph != "f") continue;
+    const double end = e.ph == "X" ? span_end(e) : e.ts_us;
+    if (!have_time) {
+      t0 = e.ts_us;
+      t1 = end;
+      have_time = true;
+    } else {
+      t0 = std::min(t0, e.ts_us);
+      t1 = std::max(t1, end);
+    }
+  }
+  report.wall_us = have_time ? t1 - t0 : 0.0;
+
+  // --- flow pairing -------------------------------------------------------
+  std::unordered_set<std::uint64_t> starts, finishes;
+  for (const LoadedEvent& e : events) {
+    if (e.ph == "s") starts.insert(e.id);
+    if (e.ph == "f") finishes.insert(e.id);
+  }
+  for (const std::uint64_t id : starts) {
+    if (finishes.count(id) != 0) {
+      ++report.flow_pairs;
+    } else {
+      ++report.unmatched_flows;
+    }
+  }
+  for (const std::uint64_t id : finishes) {
+    if (starts.count(id) == 0) ++report.unmatched_flows;
+  }
+
+  // --- per-VP utilization and blocking breakdown --------------------------
+  struct VpAccum {
+    std::vector<std::pair<double, double>> active;
+    std::vector<std::pair<double, double>> recv_wait;
+    VpStats stats;
+  };
+  std::map<std::int64_t, VpAccum> per_vp;  // ordered by tid for the report
+  for (const LoadedEvent& e : events) {
+    if (e.ph != "X" && e.ph != "i") continue;
+    VpAccum& a = per_vp[e.tid];
+    a.stats.tid = e.tid;
+    if (e.ph == "X") {
+      a.active.emplace_back(e.ts_us, span_end(e));
+      if (e.name == "vp.recv") {
+        a.recv_wait.emplace_back(e.ts_us, span_end(e));
+        ++a.stats.recv_count;
+      }
+    } else {
+      if (e.name == "vp.recv_miss") ++a.stats.recv_misses;
+      if (e.name == "vp.send") ++a.stats.sends;
+    }
+  }
+  for (auto& [tid, a] : per_vp) {
+    a.stats.active_us = union_length_us(a.active);
+    a.stats.recv_wait_us = union_length_us(a.recv_wait);
+    a.stats.compute_us = std::max(0.0, a.stats.active_us - a.stats.recv_wait_us);
+    a.stats.utilization =
+        report.wall_us > 0.0 ? a.stats.compute_us / report.wall_us : 0.0;
+    report.vps.push_back(a.stats);
+  }
+
+  // --- per-call critical path ---------------------------------------------
+  std::map<std::uint64_t, CallSpans> calls;
+  std::unordered_map<std::uint64_t, const LoadedEvent*> send_by_flow;
+  std::unordered_map<std::uint64_t, std::vector<const LoadedEvent*>>
+      recvs_by_comm;
+  for (const LoadedEvent& e : events) {
+    if (e.ph == "i" && e.name == "vp.send" && e.flow != 0) {
+      send_by_flow.emplace(e.flow, &e);
+    }
+    if (e.ph != "X") continue;
+    if (e.name == "vp.recv" && e.comm != 0 && e.flow != 0) {
+      recvs_by_comm[e.comm].push_back(&e);
+    }
+    if (e.comm == 0) continue;
+    CallSpans& call = calls[e.comm];
+    if (e.name == "call.marshal") {
+      call.marshal = &e;
+    } else if (e.name == "call.execute") {
+      call.executes.push_back(&e);
+    } else if (e.name == "call.combine") {
+      call.combine = &e;
+    }
+  }
+
+  for (auto& [comm, call] : calls) {
+    if (call.executes.empty()) continue;
+    CallStats cs;
+    cs.comm = comm;
+    cs.copies = static_cast<int>(call.executes.size());
+
+    double lo = call.executes.front()->ts_us;
+    double hi = span_end(*call.executes.front());
+    const auto widen = [&](const LoadedEvent* e) {
+      if (e == nullptr) return;
+      lo = std::min(lo, e->ts_us);
+      hi = std::max(hi, span_end(*e));
+    };
+    widen(call.marshal);
+    widen(call.combine);
+    for (const LoadedEvent* e : call.executes) widen(e);
+    cs.makespan_us = hi - lo;
+
+    // Walk backward from the join.  Each step asks "what finished last
+    // among the things this span had to wait for?" and follows the
+    // recorded causal edge (message flow id or spawn) to its producer.
+    std::vector<std::pair<const LoadedEvent*, std::string>> rev;  // node, via
+    std::unordered_set<const LoadedEvent*> visited;
+    const LoadedEvent* cur = call.combine;
+    std::string via_from_pred;
+    if (cur != nullptr) {
+      rev.emplace_back(cur, "");
+      visited.insert(cur);
+      // The combine waits on every copy's result; its predecessor is the
+      // copy that defined its result last.
+      const LoadedEvent* last = nullptr;
+      for (const LoadedEvent* e : call.executes) {
+        if (last == nullptr || span_end(*e) > span_end(*last)) last = e;
+      }
+      cur = last;
+      via_from_pred = "join";
+    } else {
+      const LoadedEvent* last = nullptr;
+      for (const LoadedEvent* e : call.executes) {
+        if (last == nullptr || span_end(*e) > span_end(*last)) last = e;
+      }
+      cur = last;
+    }
+
+    const std::vector<const LoadedEvent*>& comm_recvs = recvs_by_comm[comm];
+    for (int step = 0; cur != nullptr && step < 128; ++step) {
+      if (visited.count(cur) != 0) break;
+      visited.insert(cur);
+      rev.emplace_back(cur, via_from_pred);
+
+      // Latest-finishing receive inside this execute whose sender we can
+      // locate: the message this copy finished waiting for last.
+      const LoadedEvent* gating_recv = nullptr;
+      const LoadedEvent* gating_send = nullptr;
+      for (const LoadedEvent* r : comm_recvs) {
+        if (r->tid != cur->tid || r->ts_us < cur->ts_us ||
+            span_end(*r) > span_end(*cur)) {
+          continue;
+        }
+        const auto it = send_by_flow.find(r->flow);
+        if (it == send_by_flow.end()) continue;
+        const LoadedEvent* sender_exec =
+            enclosing_execute(call, it->second->tid, it->second->ts_us);
+        if (sender_exec == nullptr || visited.count(sender_exec) != 0) {
+          continue;
+        }
+        if (gating_recv == nullptr || span_end(*r) > span_end(*gating_recv)) {
+          gating_recv = r;
+          gating_send = it->second;
+        }
+      }
+      if (gating_recv != nullptr) {
+        std::ostringstream via;
+        via << "msg tag="
+            << static_cast<std::int32_t>(
+                   static_cast<std::uint32_t>(gating_send->arg1))
+            << " " << row_name(gating_send->tid) << "->" << row_name(cur->tid);
+        via_from_pred = via.str();
+        cur = enclosing_execute(call, gating_send->tid, gating_send->ts_us);
+        continue;
+      }
+      // No gating message: this copy started from the spawn.
+      if (call.marshal != nullptr && visited.count(call.marshal) == 0 &&
+          cur->name == "call.execute") {
+        via_from_pred = "spawn";
+        cur = call.marshal;
+        continue;
+      }
+      break;
+    }
+
+    cs.critical_path.reserve(rev.size());
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+      PathNode node;
+      node.name = it->first->name;
+      node.tid = it->first->tid;
+      node.ts_us = it->first->ts_us;
+      node.dur_us = it->first->dur_us;
+      cs.critical_path.push_back(std::move(node));
+    }
+    // rev[i].second labels the edge from rev[i] to its successor rev[i-1];
+    // after reversing, that is exactly node i's edge to node i+1 (the final
+    // node carries the empty label it was pushed with).
+    for (std::size_t i = 0; i + 1 < cs.critical_path.size(); ++i) {
+      cs.critical_path[i].via = rev[rev.size() - 1 - i].second;
+    }
+    // Chain spans overlap in time (a sender computes concurrently with its
+    // receiver), so the path length is the union of their intervals: the
+    // share of the makespan the chain accounts for, never more than 100%.
+    std::vector<std::pair<double, double>> chain;
+    chain.reserve(cs.critical_path.size());
+    for (const PathNode& n : cs.critical_path) {
+      chain.emplace_back(n.ts_us, n.ts_us + n.dur_us);
+    }
+    cs.path_us = union_length_us(chain);
+    report.calls.push_back(std::move(cs));
+  }
+  std::sort(report.calls.begin(), report.calls.end(),
+            [](const CallStats& a, const CallStats& b) {
+              return a.makespan_us > b.makespan_us;
+            });
+  return report;
+}
+
+void write_report(std::ostream& os, const TraceReport& report) {
+  os << "== tdp_trace report ==\n";
+  os << "events: " << report.events << "  wall: " << fmt_ms(report.wall_us)
+     << "  flow pairs: " << report.flow_pairs;
+  if (report.unmatched_flows != 0) {
+    os << "  UNMATCHED: " << report.unmatched_flows;
+  }
+  os << "\n\n";
+
+  os << "per-VP utilization (blocking breakdown):\n";
+  os << "  " << std::left << std::setw(6) << "vp" << std::right << std::setw(12)
+     << "active" << std::setw(12) << "compute" << std::setw(12) << "recv-wait"
+     << std::setw(8) << "recvs" << std::setw(8) << "misses" << std::setw(8)
+     << "sends" << std::setw(8) << "util" << "\n";
+  for (const VpStats& v : report.vps) {
+    os << "  " << std::left << std::setw(6) << row_name(v.tid) << std::right
+       << std::setw(12) << fmt_ms(v.active_us) << std::setw(12)
+       << fmt_ms(v.compute_us) << std::setw(12) << fmt_ms(v.recv_wait_us)
+       << std::setw(8) << v.recv_count << std::setw(8) << v.recv_misses
+       << std::setw(8) << v.sends << std::setw(8) << fmt_pct(v.utilization)
+       << "\n";
+  }
+  os << "\n";
+
+  if (report.calls.empty()) {
+    os << "distributed calls: none found in trace\n";
+    return;
+  }
+  os << "distributed calls, ranked by makespan:\n";
+  for (const CallStats& c : report.calls) {
+    os << "  call comm=" << c.comm << ": " << c.copies
+       << (c.copies == 1 ? " copy" : " copies") << ", makespan "
+       << fmt_ms(c.makespan_us) << ", critical path " << fmt_ms(c.path_us);
+    if (c.makespan_us > 0.0) {
+      os << " (" << fmt_pct(c.path_us / c.makespan_us) << ")";
+    }
+    os << "\n";
+    for (std::size_t i = 0; i < c.critical_path.size(); ++i) {
+      const PathNode& n = c.critical_path[i];
+      os << "    " << (i == 0 ? "  " : "└─ ") << "[" << std::left
+         << std::setw(5) << row_name(n.tid) << std::right << "] " << std::left
+         << std::setw(16) << n.name << std::right << " " << fmt_ms(n.dur_us);
+      if (!n.via.empty()) os << "  --" << n.via << "-->";
+      os << "\n";
+    }
+  }
+}
+
+}  // namespace tdp::obs

@@ -1,0 +1,96 @@
+// tdp::obs trace analysis — reads back an exported Chrome trace and turns
+// it into the performance report the thesis's figures argue from.
+//
+// The exporter (obs/export.hpp) writes spans, instants, counters and causal
+// flow pairs; this module loads that JSON (no external JSON dependency — a
+// small recursive-descent parser suffices for the exporter's own output),
+// reconstructs causality, and reports
+//
+//  * per-VP utilization and a blocking breakdown: time computing vs time
+//    blocked in receive vs idle, plus selective-receive miss counts —
+//    where each virtual processor's wall clock actually went;
+//  * per distributed call, the critical path: the longest chain of
+//    causally-linked spans (marshal → execute → [send → receive → execute]*
+//    → combine), ranked by call makespan.  The chain follows real recorded
+//    causality — flow ids stamped into message envelopes — not guesses
+//    from timestamps.
+//
+// Used by tools/tdp_trace.cpp and replayed against synthetic traces in
+// tests/obs_causal_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tdp::obs {
+
+/// One event loaded back from a Chrome trace_event JSON document.
+struct LoadedEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;            ///< "X", "i", "C", "s", "f", "M"
+  std::int64_t tid = 0;      ///< virtual processor (or the external row)
+  double ts_us = 0.0;
+  double dur_us = 0.0;       ///< spans only
+  std::uint64_t id = 0;      ///< flow-event id ("s"/"f")
+  std::uint64_t comm = 0;    ///< args.comm
+  std::uint64_t flow = 0;    ///< args.flow (send instants, receive spans)
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// Where one virtual processor's wall clock went.
+struct VpStats {
+  std::int64_t tid = 0;
+  double active_us = 0.0;     ///< union of its span intervals
+  double recv_wait_us = 0.0;  ///< union of its vp.recv span intervals
+  double compute_us = 0.0;    ///< active - recv_wait
+  std::uint64_t recv_count = 0;
+  std::uint64_t recv_misses = 0;  ///< selective receives that had to block
+  std::uint64_t sends = 0;
+  double utilization = 0.0;   ///< compute / trace wall time
+};
+
+/// One link of a critical-path chain, annotated with how it causally feeds
+/// the next link ("spawn", "msg tag=3 -> vp2", "join", ...).
+struct PathNode {
+  std::string name;
+  std::int64_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string via;  ///< empty on the last node
+};
+
+/// One distributed call reconstructed from its comm-scoped spans.
+struct CallStats {
+  std::uint64_t comm = 0;
+  int copies = 0;
+  double makespan_us = 0.0;  ///< earliest span start → latest span end
+  double path_us = 0.0;  ///< union of critical-path span intervals
+  std::vector<PathNode> critical_path;
+};
+
+struct TraceReport {
+  std::uint64_t events = 0;
+  double wall_us = 0.0;
+  std::uint64_t flow_pairs = 0;      ///< matched "s"/"f" pairs
+  std::uint64_t unmatched_flows = 0; ///< ids with a missing endpoint
+  std::vector<VpStats> vps;          ///< ordered by tid
+  std::vector<CallStats> calls;      ///< ranked by makespan, descending
+};
+
+/// Parses a Chrome trace_event document as written by write_chrome_trace
+/// (object form with "traceEvents", or a bare event array).  Returns false
+/// and fills *error on malformed input.
+bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
+                       std::string* error);
+
+/// Computes the report from loaded events.
+TraceReport analyze_trace(const std::vector<LoadedEvent>& events);
+
+/// Renders the report as the tdp_trace CLI prints it.
+void write_report(std::ostream& os, const TraceReport& report);
+
+}  // namespace tdp::obs

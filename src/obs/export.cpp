@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -7,6 +8,7 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -21,15 +23,21 @@ constexpr std::int64_t kExternalTid = 1000000;
 
 std::int64_t tid_of(int vp) { return vp >= 0 ? vp : kExternalTid; }
 
+void write_ts(std::ostream& os, std::uint64_t ts_ns) {
+  os << std::fixed << std::setprecision(3)
+     << static_cast<double>(ts_ns) / 1000.0;
+}
+
 void write_event(std::ostream& os, const EventRecord& e, bool& first) {
   if (!first) os << ",\n";
   first = false;
   os << "{\"name\":\"" << op_name(e.op) << "\",\"cat\":\"" << op_category(e.op)
-     << "\",\"pid\":1,\"tid\":" << tid_of(e.vp) << ",\"ts\":" << std::fixed
-     << std::setprecision(3) << static_cast<double>(e.ts_ns) / 1000.0;
+     << "\",\"pid\":1,\"tid\":" << tid_of(e.vp) << ",\"ts\":";
+  write_ts(os, e.ts_ns);
   switch (e.kind) {
     case EventKind::Span:
-      os << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+      os << ",\"ph\":\"X\",\"dur\":" << std::fixed << std::setprecision(3)
+         << static_cast<double>(e.dur_ns) / 1000.0;
       break;
     case EventKind::Instant:
       os << ",\"ph\":\"i\",\"s\":\"t\"";
@@ -37,6 +45,9 @@ void write_event(std::ostream& os, const EventRecord& e, bool& first) {
     case EventKind::Counter:
       os << ",\"ph\":\"C\"";
       break;
+    case EventKind::FlowStart:
+    case EventKind::FlowEnd:
+      break;  // exported separately as ph:"s"/"f"
   }
   os << ",\"args\":{";
   if (e.kind == EventKind::Counter) {
@@ -44,14 +55,65 @@ void write_event(std::ostream& os, const EventRecord& e, bool& first) {
   } else {
     os << "\"comm\":" << e.comm << ",\"arg0\":" << e.arg0
        << ",\"arg1\":" << e.arg1;
+    if (e.flow != 0) os << ",\"flow\":" << e.flow;
   }
   os << "}}";
 }
+
+/// One endpoint of a Chrome flow-event pair.  `start` selects ph:"s" vs
+/// ph:"f"; the finish side binds to the enclosing slice ("bp":"e"), which
+/// is what makes Perfetto attach the arrowhead to the receive span.
+void write_flow_event(std::ostream& os, const char* name, std::uint64_t id,
+                      int vp, std::uint64_t ts_ns, std::uint64_t comm,
+                      bool start, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << name << "\",\"cat\":\"flow\",\"ph\":\""
+     << (start ? 's' : 'f') << "\"";
+  if (!start) os << ",\"bp\":\"e\"";
+  os << ",\"id\":" << id << ",\"pid\":1,\"tid\":" << tid_of(vp)
+     << ",\"ts\":";
+  write_ts(os, ts_ns);
+  os << ",\"args\":{\"comm\":" << comm << "}}";
+}
+
+/// Whether this record is the origin (ph:"s") of a causal flow.
+bool is_flow_origin(const EventRecord& e) {
+  return e.flow != 0 && (e.kind == EventKind::FlowStart ||
+                         (e.kind == EventKind::Instant &&
+                          e.op == Op::MsgSend));
+}
+
+/// Whether this record is the target (ph:"f") of a causal flow.
+bool is_flow_target(const EventRecord& e) {
+  return e.flow != 0 &&
+         (e.kind == EventKind::FlowEnd || e.kind == EventKind::Span);
+}
+
+/// Events recorded at the last flush; the atexit hook re-flushes only when
+/// this falls behind Tracer::recorded() (i.e. a Runtime shutdown did not
+/// already export everything).
+std::atomic<std::uint64_t> g_flushed_at{0};
 
 }  // namespace
 
 void write_chrome_trace(std::ostream& os) {
   const std::vector<EventRecord> events = Tracer::instance().snapshot();
+
+  // A flow arrow needs both endpoints in the snapshot: under keep-first
+  // drops one side can be missing, and an unpaired "s"/"f" renders as a
+  // dangling arrow (and violates the exactly-one-match invariant the
+  // tests enforce).  Two passes: collect ids seen on each side, emit the
+  // intersection.
+  std::unordered_set<std::uint64_t> origins;
+  std::unordered_set<std::uint64_t> targets;
+  for (const EventRecord& e : events) {
+    if (is_flow_origin(e)) origins.insert(e.flow);
+    if (is_flow_target(e)) targets.insert(e.flow);
+  }
+  const auto matched = [&](const EventRecord& e) {
+    return origins.count(e.flow) != 0 && targets.count(e.flow) != 0;
+  };
 
   os << "{\"traceEvents\":[\n";
   bool first = true;
@@ -68,7 +130,26 @@ void write_chrome_trace(std::ostream& os) {
        << "\"}}";
   }
 
-  for (const EventRecord& e : events) write_event(os, e, first);
+  for (const EventRecord& e : events) {
+    if (e.kind == EventKind::FlowStart || e.kind == EventKind::FlowEnd) {
+      if (matched(e)) {
+        write_flow_event(os, op_name(e.op), e.flow, e.vp, e.ts_ns, e.comm,
+                         e.kind == EventKind::FlowStart, first);
+      }
+      continue;
+    }
+    write_event(os, e, first);
+    if (e.flow == 0 || !matched(e)) continue;
+    if (is_flow_origin(e)) {
+      // Send side: the arrow starts at the send instant.
+      write_flow_event(os, op_name(Op::MsgFlow), e.flow, e.vp, e.ts_ns,
+                       e.comm, /*start=*/true, first);
+    } else if (e.kind == EventKind::Span) {
+      // Receive side: the message was matched when the receive span ended.
+      write_flow_event(os, op_name(Op::MsgFlow), e.flow, e.vp,
+                       e.ts_ns + e.dur_ns, e.comm, /*start=*/false, first);
+    }
+  }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
@@ -81,6 +162,7 @@ void write_summary(std::ostream& os, const MachineStats* machine) {
 
   std::ostringstream counters;
   std::ostringstream histograms;
+  std::ostringstream gauges;
   Registry::instance().visit(
       [&](const std::string& name, const ShardedCounter& c) {
         counters << "  " << std::left << std::setw(28) << name << std::right
@@ -93,6 +175,11 @@ void write_summary(std::ostream& os, const MachineStats* machine) {
                    << h.percentile(0.50) << std::setw(12) << h.percentile(0.90)
                    << std::setw(12) << h.percentile(0.99) << std::setw(12)
                    << h.max() << "\n";
+      },
+      [&](const std::string& name, const MaxGauge& g) {
+        if (g.max() == 0) return;
+        gauges << "  " << std::left << std::setw(28) << name << std::right
+               << std::setw(14) << g.max() << "\n";
       });
   if (!counters.str().empty()) {
     os << "counters:\n" << counters.str();
@@ -103,14 +190,26 @@ void write_summary(std::ostream& os, const MachineStats* machine) {
        << std::setw(12) << "p99" << std::setw(12) << "max" << "\n"
        << histograms.str();
   }
+  if (!gauges.str().empty()) {
+    os << "high-water gauges:\n" << gauges.str();
+  }
 
   if (machine != nullptr) {
-    os << "messages delivered per VP (sum must equal machine total):\n";
+    os << "messages delivered per VP (sum must equal machine total; "
+          "peak = high-water mailbox depth):\n";
+    const std::vector<std::uint64_t> peaks =
+        Registry::instance().gauge("mailbox.peak_depth").per_shard(
+            machine->per_vp_messages.size());
     std::uint64_t sum = 0;
     for (std::size_t i = 0; i < machine->per_vp_messages.size(); ++i) {
       const std::uint64_t n = machine->per_vp_messages[i];
       sum += n;
-      if (n != 0) os << "  vp" << i << "=" << n;
+      if (n != 0) {
+        os << "  vp" << i << "=" << n;
+        if (i < peaks.size() && peaks[i] != 0) {
+          os << " (peak " << peaks[i] << ")";
+        }
+      }
     }
     os << "\n  sum=" << sum << " machine_total=" << machine->total_messages
        << (sum == machine->total_messages ? " (consistent)"
@@ -121,6 +220,8 @@ void write_summary(std::ostream& os, const MachineStats* machine) {
 
 void flush_at_shutdown(const MachineStats* machine) {
   if (!enabled()) return;
+  g_flushed_at.store(Tracer::instance().recorded(),
+                     std::memory_order_relaxed);
   const char* path = std::getenv("TDP_OBS_TRACE");
   if (path == nullptr || path[0] == '\0') path = "tdp_trace.json";
   bool wrote = false;
@@ -139,6 +240,32 @@ void flush_at_shutdown(const MachineStats* machine) {
     std::cerr << "chrome trace NOT written: cannot open " << path
               << " (set TDP_OBS_TRACE to a writable path)\n";
   }
+}
+
+void register_atexit_flush() {
+  static std::atomic<bool> registered{false};
+  if (registered.exchange(true, std::memory_order_relaxed)) return;
+  // Exit handlers run in reverse registration order.  The flush reads the
+  // tracer and the registry, so both singletons must be constructed — and
+  // their destructors thereby registered — BEFORE our handler, or the
+  // flush would read freed maps at exit.
+  Tracer::instance();
+  Registry::instance();
+  std::atexit([] {
+    if (!enabled()) return;
+    // A normal run flushed at Runtime teardown and recorded nothing since;
+    // re-flushing would only duplicate the summary.  Flush only when
+    // events exist that no exporter has seen — the abandoned-mid-run case.
+    const std::uint64_t recorded = Tracer::instance().recorded();
+    if (recorded == 0 ||
+        recorded == g_flushed_at.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::cerr << "tdp::obs: flushing trace at exit ("
+              << recorded - g_flushed_at.load(std::memory_order_relaxed)
+              << " events since last flush)\n";
+    flush_at_shutdown(nullptr);
+  });
 }
 
 }  // namespace tdp::obs

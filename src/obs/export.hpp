@@ -21,17 +21,29 @@ struct MachineStats {
   std::uint64_t total_messages = 0;
 };
 
-/// Writes the tracer's snapshot as Chrome trace_event JSON.
+/// Writes the tracer's snapshot as Chrome trace_event JSON, including the
+/// causal flow arrows: every send instant whose flow id was recovered by a
+/// matching receive span becomes a `ph:"s"` event, the receive a `ph:"f"`
+/// at the span's end — Perfetto draws the arrow from sender to receiver.
+/// Flow endpoints whose partner fell past tracer capacity are suppressed,
+/// so every exported "s" has exactly one "f" and vice versa.
 void write_chrome_trace(std::ostream& os);
 
-/// Writes the plain-text summary: event/drop counts, every registry counter
-/// and histogram (count, p50/p90/p99, max), and — when `machine` is given —
-/// the per-VP message table.
+/// Writes the plain-text summary: event/drop counts, every registry counter,
+/// histogram (count, p50/p90/p99, max) and high-water gauge, and — when
+/// `machine` is given — the per-VP message table with each VP's peak
+/// mailbox queue depth.
 void write_summary(std::ostream& os, const MachineStats* machine = nullptr);
 
 /// Shutdown hook used by core::Runtime when enabled(): writes the Chrome
 /// trace to $TDP_OBS_TRACE (default "tdp_trace.json") and the summary to
 /// stderr.
 void flush_at_shutdown(const MachineStats* machine = nullptr);
+
+/// Installs a std::atexit hook (once) that re-runs flush_at_shutdown if
+/// events were recorded after the last flush — so a program that calls
+/// exit() mid-run still leaves a trace behind instead of losing it.
+/// Called automatically whenever observability becomes enabled.
+void register_atexit_flush();
 
 }  // namespace tdp::obs

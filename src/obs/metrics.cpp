@@ -28,11 +28,23 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+MaxGauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MaxGauge>())
+             .first;
+  }
+  return *it->second;
+}
+
 void Registry::visit(
     const std::function<void(const std::string&, const ShardedCounter&)>&
         on_counter,
     const std::function<void(const std::string&, const Histogram&)>&
-        on_histogram) const {
+        on_histogram,
+    const std::function<void(const std::string&, const MaxGauge&)>& on_gauge)
+    const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (on_counter) {
     for (const auto& [name, counter] : counters_) {
@@ -44,12 +56,18 @@ void Registry::visit(
       on_histogram(name, *histogram);
     }
   }
+  if (on_gauge) {
+    for (const auto& [name, gauge] : gauges_) {
+      on_gauge(name, *gauge);
+    }
+  }
 }
 
 void Registry::reset_values() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
 }
 
 }  // namespace tdp::obs

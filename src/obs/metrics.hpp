@@ -82,6 +82,55 @@ class ShardedCounter {
   std::array<Cell, kMetricShards> shards_{};
 };
 
+/// A high-water-mark gauge: remembers the maximum value ever recorded,
+/// per-VP sharded (atomic CAS-max, relaxed) and merged on read.  Used for
+/// peak mailbox queue depth per virtual processor.
+class MaxGauge {
+ public:
+  void record(std::uint64_t value) { record_at(current_vp(), value); }
+
+  /// Attributes `value` to an explicit virtual processor (e.g. the mailbox
+  /// owner rather than the posting thread).
+  void record_at(int vp, std::uint64_t value) {
+    std::atomic<std::uint64_t>& cell = shards_[metric_shard(vp)].v;
+    std::uint64_t prev = cell.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !cell.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Maximum over all shards (relaxed loads).
+  std::uint64_t max() const {
+    std::uint64_t m = 0;
+    for (const Cell& c : shards_) {
+      const std::uint64_t v = c.v.load(std::memory_order_relaxed);
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  /// The first `n` per-shard maxima (per-VP peaks when vp < kMetricShards).
+  std::vector<std::uint64_t> per_shard(std::size_t n = kMetricShards) const {
+    if (n > kMetricShards) n = kMetricShards;
+    std::vector<std::uint64_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = shards_[i].v.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (Cell& c : shards_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> shards_{};
+};
+
 /// A log2-scale histogram of non-negative samples (typically latencies in
 /// ns).  Bucket b holds samples whose bit width is b, i.e. values in
 /// [2^(b-1), 2^b - 1]; bucket 0 holds zeros.  Per-VP sharded, merged on
@@ -189,13 +238,16 @@ class Registry {
 
   ShardedCounter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  MaxGauge& gauge(std::string_view name);
 
   /// Visits every metric in name order (for the summary exporter).
   void visit(
       const std::function<void(const std::string&, const ShardedCounter&)>&
           on_counter,
       const std::function<void(const std::string&, const Histogram&)>&
-          on_histogram) const;
+          on_histogram,
+      const std::function<void(const std::string&, const MaxGauge&)>&
+          on_gauge = nullptr) const;
 
   /// Zeroes every metric's value.  Metric objects (and references to them)
   /// survive; tests use this between cases.
@@ -208,6 +260,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<ShardedCounter>, std::less<>>
       counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<MaxGauge>, std::less<>> gauges_;
 };
 
 }  // namespace tdp::obs

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
 namespace tdp::obs {
@@ -22,15 +23,18 @@ bool init_enabled() {
   int expected = -1;
   g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
                                     std::memory_order_relaxed);
-  return g_enabled.load(std::memory_order_relaxed) != 0;
+  const bool enabled = g_enabled.load(std::memory_order_relaxed) != 0;
+  if (enabled) register_atexit_flush();
+  return enabled;
 }
 
-void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t arg0,
-                std::uint64_t arg1, int vp) {
+void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t flow,
+                std::uint64_t arg0, std::uint64_t arg1, int vp) {
   EventRecord rec;
   rec.ts_ns = now_ns();
   rec.dur_ns = 0;
   rec.comm = comm;
+  rec.flow = flow;
   rec.arg0 = arg0;
   rec.arg1 = arg1;
   rec.vp = vp;
@@ -43,6 +47,7 @@ void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t arg0,
 
 void set_enabled(bool on) {
   detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+  if (on) register_atexit_flush();
 }
 
 std::uint64_t now_ns() {
@@ -51,6 +56,23 @@ std::uint64_t now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch)
           .count());
+}
+
+std::uint64_t next_flow_id() {
+  // One monotonic sequence per tracer shard; sharding by the sending VP
+  // keeps concurrent senders off each other's cache line, exactly like the
+  // event buffer itself.
+  struct alignas(64) Seq {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static Seq seqs[Tracer::kShards];
+  const int vp = current_vp();
+  const std::size_t shard =
+      vp >= 0 ? static_cast<std::size_t>(vp) % Tracer::kShards
+              : Tracer::kShards - 1;
+  const std::uint64_t seq =
+      seqs[shard].v.fetch_add(1, std::memory_order_relaxed) + 1;
+  return ((static_cast<std::uint64_t>(shard) + 1) << 40) | seq;
 }
 
 const char* op_name(Op op) {
@@ -73,6 +95,9 @@ const char* op_name(Op op) {
     case Op::DoAllCopy: return "do_all.copy";
     case Op::DpAssign: return "dp.multiple_assign";
     case Op::DpParallelFor: return "dp.parallel_for";
+    case Op::MsgFlow: return "vp.msg";
+    case Op::WdQueued: return "watchdog.queued_msgs";
+    case Op::WdBlocked: return "watchdog.blocked_vps";
     case Op::kCount_: break;
   }
   return "unknown";
@@ -102,6 +127,11 @@ const char* op_category(Op op) {
     case Op::DpAssign:
     case Op::DpParallelFor:
       return "dp";
+    case Op::MsgFlow:
+      return "flow";
+    case Op::WdQueued:
+    case Op::WdBlocked:
+      return "watchdog";
     default:
       return "misc";
   }
@@ -215,6 +245,7 @@ void Span::finish_impl() {
   rec.ts_ns = start_;
   rec.dur_ns = end - start_;
   rec.comm = comm_;
+  rec.flow = flow_;
   rec.arg0 = arg0_;
   rec.arg1 = arg1_;
   rec.vp = current_vp();

@@ -57,6 +57,9 @@ enum class Op : std::uint16_t {
   DoAllCopy,       ///< core::do_all: one fanned-out copy
   DpAssign,        ///< dp::multiple_assign statement
   DpParallelFor,   ///< dp::parallel_for statement
+  MsgFlow,         ///< causal send→receive link (Chrome flow event pair)
+  WdQueued,        ///< watchdog: total queued messages across VPs (counter)
+  WdBlocked,       ///< watchdog: VPs blocked in receive (counter)
   kCount_
 };
 
@@ -64,16 +67,19 @@ const char* op_name(Op op);      ///< e.g. "call.execute"
 const char* op_category(Op op);  ///< e.g. "call" (Chrome trace "cat")
 
 enum class EventKind : std::uint8_t {
-  Instant = 0,  ///< point event ("ph":"i")
-  Span = 1,     ///< complete event with duration ("ph":"X")
-  Counter = 2,  ///< gauge sample ("ph":"C")
+  Instant = 0,    ///< point event ("ph":"i")
+  Span = 1,       ///< complete event with duration ("ph":"X")
+  Counter = 2,    ///< gauge sample ("ph":"C")
+  FlowStart = 3,  ///< causal flow origin ("ph":"s"); flow holds the id
+  FlowEnd = 4,    ///< causal flow target ("ph":"f"); flow holds the id
 };
 
-/// Fixed-size POD trace record.  48 bytes; written exactly once per slot.
+/// Fixed-size POD trace record.  56 bytes; written exactly once per slot.
 struct EventRecord {
   std::uint64_t ts_ns = 0;   ///< start time, ns since trace epoch
   std::uint64_t dur_ns = 0;  ///< span duration; 0 for instants/counters
   std::uint64_t comm = 0;    ///< communicator (distributed-call) id; 0 = none
+  std::uint64_t flow = 0;    ///< causal flow id (send→receive link); 0 = none
   std::uint64_t arg0 = 0;    ///< op-specific payload (dst proc, bytes, ...)
   std::uint64_t arg1 = 0;    ///< op-specific payload (tag, depth, ...)
   std::int32_t vp = -1;      ///< emitting virtual processor; -1 = external
@@ -114,6 +120,13 @@ void set_enabled(bool on);
 
 /// Nanoseconds since the process's trace epoch (steady clock).
 std::uint64_t now_ns();
+
+/// A fresh causal flow id, never 0.  Composed of the calling thread's
+/// virtual-processor shard and that shard's monotonic send sequence
+/// ((shard+1) << 40 | seq), so ids are process-unique, stay below 2^53
+/// (exact in JSON doubles), and encode per-VP send order — the trace
+/// context vp::Machine::send stamps into the message envelope.
+std::uint64_t next_flow_id();
 
 /// The process-wide trace buffer: kShards independent fixed-capacity
 /// single-use buffers.  Emitting is wait-free; reading (snapshot) is meant
@@ -161,22 +174,46 @@ class Tracer {
 };
 
 namespace detail {
-void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t arg0,
-                std::uint64_t arg1, int vp);
+void emit_event(Op op, EventKind kind, std::uint64_t comm, std::uint64_t flow,
+                std::uint64_t arg0, std::uint64_t arg1, int vp);
 }  // namespace detail
 
 /// Point event on the calling thread's virtual processor.
 inline void instant(Op op, std::uint64_t comm = 0, std::uint64_t arg0 = 0,
                     std::uint64_t arg1 = 0) {
   if (!kCompiledIn || !enabled()) return;
-  detail::emit_event(op, EventKind::Instant, comm, arg0, arg1, current_vp());
+  detail::emit_event(op, EventKind::Instant, comm, 0, arg0, arg1,
+                     current_vp());
+}
+
+/// Point event carrying a causal flow id (the send side of a message: the
+/// exporter pairs it with the receive span sharing `flow` and draws the
+/// arrow).
+inline void instant_flow(Op op, std::uint64_t flow, std::uint64_t comm = 0,
+                         std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
+  if (!kCompiledIn || !enabled()) return;
+  detail::emit_event(op, EventKind::Instant, comm, flow, arg0, arg1,
+                     current_vp());
+}
+
+/// Explicit Chrome flow endpoints for causal links that are not messages
+/// (distributed-call spawn → execute, execute → combine).  Each id must
+/// appear in exactly one flow_start and one flow_end.
+inline void flow_start(Op op, std::uint64_t flow, std::uint64_t comm = 0) {
+  if (!kCompiledIn || !enabled()) return;
+  detail::emit_event(op, EventKind::FlowStart, comm, flow, 0, 0,
+                     current_vp());
+}
+inline void flow_end(Op op, std::uint64_t flow, std::uint64_t comm = 0) {
+  if (!kCompiledIn || !enabled()) return;
+  detail::emit_event(op, EventKind::FlowEnd, comm, flow, 0, 0, current_vp());
 }
 
 /// Gauge sample attributed to an explicit virtual processor (e.g. a mailbox
 /// owner, regardless of which thread posted).
 inline void counter_sample(Op op, std::uint64_t value, int vp) {
   if (!kCompiledIn || !enabled()) return;
-  detail::emit_event(op, EventKind::Counter, 0, value, 0, vp);
+  detail::emit_event(op, EventKind::Counter, 0, 0, value, 0, vp);
 }
 
 /// RAII span: captures the start time on construction and emits one complete
@@ -204,6 +241,10 @@ class Span {
   void set_arg0(std::uint64_t v) { arg0_ = v; }
   void set_arg1(std::uint64_t v) { arg1_ = v; }
 
+  /// Late-bound causal flow id (the matched message's trace context); the
+  /// exporter emits the flow target at this span's end timestamp.
+  void set_flow(std::uint64_t flow) { flow_ = flow; }
+
   /// Ends the span now (idempotent; the destructor then does nothing).
   void finish() {
     if (armed_) finish_impl();
@@ -216,6 +257,7 @@ class Span {
   std::uint64_t comm_;
   std::uint64_t arg0_;
   std::uint64_t arg1_ = 0;
+  std::uint64_t flow_ = 0;
   std::uint64_t start_ = 0;
   Histogram* latency_;
   bool armed_;

@@ -1,0 +1,195 @@
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tdp::obs {
+
+namespace {
+
+const char* cls_name(std::int32_t cls) {
+  switch (cls) {
+    case 0: return "task";
+    case 1: return "data";
+    default: return "any";
+  }
+}
+
+}  // namespace
+
+Watchdog& Watchdog::instance() {
+  // Construction is ordered after Tracer/Registry (start() touches both
+  // before spawning the thread), so the sampling thread never outlives the
+  // singletons it emits into.
+  static Watchdog watchdog;
+  return watchdog;
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+std::uint64_t Watchdog::env_period_ms() {
+  const char* env = std::getenv("TDP_OBS_WATCHDOG_MS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+int Watchdog::add_source(int vp, const VpWaitState* state,
+                         Describe describe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Source src;
+  src.token = next_token_++;
+  src.vp = vp;
+  src.state = state;
+  src.describe = std::move(describe);
+  sources_.push_back(std::move(src));
+  return sources_.back().token;
+}
+
+void Watchdog::remove_source(int token) {
+  bool stop_thread = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+      if (it->token == token) {
+        sources_.erase(it);
+        break;
+      }
+    }
+    stop_thread = sources_.empty() && thread_.joinable();
+  }
+  if (stop_thread) stop();
+}
+
+void Watchdog::start(std::uint64_t period_ms) {
+  if (period_ms == 0) return;
+  // Force singleton construction order: the sampling thread emits into
+  // both, so both must be destroyed after the watchdog.
+  Tracer::instance();
+  Registry::instance();
+  std::lock_guard<std::mutex> lock(mutex_);
+  period_ms_ = period_ms;
+  if (!thread_.joinable()) {
+    stopping_ = false;
+    seen_progress_ = false;
+    reported_ = false;
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+void Watchdog::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+    worker = std::move(thread_);
+  }
+  cv_.notify_all();
+  worker.join();
+}
+
+bool Watchdog::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return thread_.joinable();
+}
+
+void Watchdog::set_report_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto period = std::chrono::milliseconds(period_ms_);
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    sample(now_ns());
+  }
+}
+
+void Watchdog::sample(std::uint64_t now) {
+  std::uint64_t progress = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t blocked = 0;
+  for (const Source& src : sources_) {
+    progress += src.state->progress.load(std::memory_order_relaxed);
+    queued += src.state->queue_depth.load(std::memory_order_relaxed);
+    const std::uint64_t since =
+        src.state->blocked_since_ns.load(std::memory_order_relaxed);
+    if (since != 0 && since <= now) ++blocked;
+  }
+  counter_sample(Op::WdQueued, queued, -1);
+  counter_sample(Op::WdBlocked, blocked, -1);
+
+  const bool stalled =
+      seen_progress_ && progress == last_progress_ && blocked > 0;
+  if (!stalled) {
+    reported_ = false;
+  } else if (!reported_) {
+    reported_ = true;
+    std::ostringstream report;
+    report << "== tdp::obs watchdog: no progress for " << period_ms_
+           << " ms (" << blocked << " of " << sources_.size()
+           << " VPs blocked in receive) ==\n"
+           << describe_blocked_locked();
+    if (sink_) {
+      sink_(report.str());
+    } else {
+      std::fputs(report.str().c_str(), stderr);
+      std::fflush(stderr);
+    }
+  }
+  last_progress_ = progress;
+  seen_progress_ = true;
+}
+
+std::string Watchdog::describe_blocked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return describe_blocked_locked();
+}
+
+std::string Watchdog::describe_blocked_locked() const {
+  const std::uint64_t now = now_ns();
+  std::ostringstream out;
+  for (const Source& src : sources_) {
+    const std::uint64_t since =
+        src.state->blocked_since_ns.load(std::memory_order_relaxed);
+    if (since == 0) continue;
+    const std::int32_t cls =
+        src.state->wait_cls.load(std::memory_order_relaxed);
+    const std::int32_t src_proc =
+        src.state->wait_src.load(std::memory_order_relaxed);
+    out << "  vp" << src.vp << ": blocked in selective receive for "
+        << (now > since ? (now - since) / 1000000 : 0) << " ms waiting for ";
+    if (cls < 0) {
+      out << "(opaque predicate)";
+    } else {
+      out << "(cls=" << cls_name(cls) << ", comm="
+          << src.state->wait_comm.load(std::memory_order_relaxed)
+          << ", tag=" << src.state->wait_tag.load(std::memory_order_relaxed)
+          << ", src=";
+      if (src_proc < 0) {
+        out << "any";
+      } else {
+        out << src_proc;
+      }
+      out << ")";
+    }
+    out << "; ";
+    if (src.describe) {
+      out << src.describe();
+    } else {
+      out << src.state->queue_depth.load(std::memory_order_relaxed)
+          << " pending";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tdp::obs

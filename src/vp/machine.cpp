@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace tdp::vp {
 
@@ -14,9 +15,25 @@ Machine::Machine(int nprocs) {
   for (int i = 0; i < nprocs; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(i));
   }
+  if (obs::enabled()) {
+    obs::Watchdog& wd = obs::Watchdog::instance();
+    watchdog_tokens_.reserve(mailboxes_.size());
+    for (int i = 0; i < nprocs; ++i) {
+      Mailbox* mb = mailboxes_[static_cast<std::size_t>(i)].get();
+      watchdog_tokens_.push_back(wd.add_source(
+          i, &mb->wait_state(), [mb] { return mb->describe_pending(); }));
+    }
+    wd.start(obs::Watchdog::env_period_ms());
+  }
 }
 
 Machine::~Machine() {
+  // Unregister before closing/destroying mailboxes: the watchdog thread
+  // holds raw pointers into them and stops when the last source leaves.
+  if (!watchdog_tokens_.empty()) {
+    obs::Watchdog& wd = obs::Watchdog::instance();
+    for (int token : watchdog_tokens_) wd.remove_source(token);
+  }
   for (auto& mb : mailboxes_) mb->close();
 }
 
@@ -28,12 +45,18 @@ Mailbox& Machine::mailbox(int dst) {
 }
 
 void Machine::send(int dst, Message m) {
-  const std::uint64_t comm = m.comm;
-  const int tag = m.tag;
-  mailbox(dst).post(std::move(m));
+  Mailbox& box = mailbox(dst);
+  if (obs::enabled()) {
+    // Stamp the trace context and emit the send instant BEFORE posting:
+    // the receiver may match the message the moment it is queued, and the
+    // flow arrow needs the send timestamp to precede the receive's.
+    m.flow = obs::next_flow_id();
+    obs::instant_flow(obs::Op::MsgSend, m.flow, m.comm,
+                      static_cast<std::uint64_t>(dst),
+                      static_cast<std::uint64_t>(static_cast<unsigned>(m.tag)));
+  }
+  box.post(std::move(m));
   messages_sent_.add_at(dst);
-  obs::instant(obs::Op::MsgSend, comm, static_cast<std::uint64_t>(dst),
-               static_cast<std::uint64_t>(static_cast<unsigned>(tag)));
 }
 
 // The canonical placement thread-local lives in the obs layer so tracing

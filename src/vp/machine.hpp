@@ -28,7 +28,10 @@ namespace tdp::vp {
 
 class Machine {
  public:
-  /// Creates a machine with `nprocs` virtual processors.
+  /// Creates a machine with `nprocs` virtual processors.  When
+  /// observability is enabled, every mailbox is registered with the stall
+  /// watchdog, and the watchdog thread starts if TDP_OBS_WATCHDOG_MS is
+  /// set (see obs/watchdog.hpp).
   explicit Machine(int nprocs);
   ~Machine();
 
@@ -44,6 +47,9 @@ class Machine {
   Mailbox& mailbox(int dst);
 
   /// Sends `m` to processor `dst`; `m.src` must already identify the sender.
+  /// When observability is enabled, stamps the causal trace context
+  /// (obs::next_flow_id) into the envelope so the exported trace links this
+  /// send to its eventual receive.
   void send(int dst, Message m);
 
   /// A fresh communicator id (never 0); each distributed call draws one so
@@ -73,6 +79,7 @@ class Machine {
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   obs::ShardedCounter messages_sent_;
+  std::vector<int> watchdog_tokens_;
 };
 
 /// The virtual processor the calling process is placed on, or -1 when the

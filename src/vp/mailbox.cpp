@@ -1,5 +1,7 @@
 #include "vp/mailbox.hpp"
 
+#include <sstream>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -14,14 +16,35 @@ void Mailbox::post(Message m) {
   }
   cv_.notify_all();
   if (obs::enabled()) {
+    wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
+    wait_state_.queue_depth.store(depth, std::memory_order_relaxed);
     obs::counter_sample(obs::Op::QueueDepth, depth, owner_);
     static obs::Histogram& depth_hist =
         obs::Registry::instance().histogram("mailbox.queue_depth");
     depth_hist.record(depth);
+    static obs::MaxGauge& peak_depth =
+        obs::Registry::instance().gauge("mailbox.peak_depth");
+    peak_depth.record_at(owner_, depth);
   }
 }
 
 Message Mailbox::receive(const Predicate& match) {
+  return receive_impl(match, nullptr);
+}
+
+Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
+                         int src) {
+  const WaitDetail detail{cls, comm, tag, src};
+  return receive_impl(
+      [=](const Message& m) {
+        return m.cls == cls && m.comm == comm && m.tag == tag &&
+               (src < 0 || m.src == src);
+      },
+      &detail);
+}
+
+Message Mailbox::receive_impl(const Predicate& match,
+                              const WaitDetail* detail) {
   static obs::Histogram& wait_hist =
       obs::Registry::instance().histogram("mailbox.recv_wait_ns");
   static obs::ShardedCounter& miss_count =
@@ -29,6 +52,10 @@ Message Mailbox::receive(const Predicate& match) {
   obs::Span span(obs::Op::MsgRecv, 0,
                  static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
                  &wait_hist);
+  // One kill-switch load per receive; the hot match path below then costs
+  // a single predicted branch on a register-cached bool when tracing is
+  // off, exactly like the un-instrumented baseline.
+  const bool obs_on = obs::enabled();
 
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -36,35 +63,79 @@ Message Mailbox::receive(const Predicate& match) {
       if (match(*it)) {
         Message out = std::move(*it);
         queue_.erase(it);
-        span.set_comm(out.comm);
-        span.set_arg1(out.payload.size());
+        if (obs_on) {
+          span.set_comm(out.comm);
+          span.set_arg1(out.payload.size());
+          // Recover the trace context stamped at Machine::send: the span's
+          // flow id pairs this receive with its send in the exported trace.
+          span.set_flow(out.flow);
+          wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+          wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
+          wait_state_.queue_depth.store(queue_.size(),
+                                        std::memory_order_relaxed);
+        }
         return out;
       }
     }
-    if (closed_) throw MailboxClosed();
+    if (closed_) {
+      if (obs_on) {
+        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+      }
+      throw MailboxClosed();
+    }
     // A selective-receive miss: nothing queued matches and the receiver
     // must block — the §3.4.1 hazard the disjoint type sets exist to bound.
-    if (obs::enabled()) {
+    if (obs_on) {
       obs::instant(obs::Op::RecvMiss, 0,
                    static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
                    queue_.size());
       miss_count.add();
+      // Publish what we are waiting for; keep the first block timestamp so
+      // the watchdog reports time-since-block, not time-since-last-wake.
+      if (detail != nullptr) {
+        wait_state_.wait_cls.store(static_cast<std::int32_t>(detail->cls),
+                                   std::memory_order_relaxed);
+        wait_state_.wait_comm.store(detail->comm, std::memory_order_relaxed);
+        wait_state_.wait_tag.store(detail->tag, std::memory_order_relaxed);
+        wait_state_.wait_src.store(detail->src, std::memory_order_relaxed);
+      } else {
+        wait_state_.wait_cls.store(-1, std::memory_order_relaxed);
+      }
+      if (wait_state_.blocked_since_ns.load(std::memory_order_relaxed) == 0) {
+        wait_state_.blocked_since_ns.store(obs::now_ns(),
+                                           std::memory_order_relaxed);
+      }
     }
     cv_.wait(lock);
   }
 }
 
-Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
-                         int src) {
-  return receive([=](const Message& m) {
-    return m.cls == cls && m.comm == comm && m.tag == tag &&
-           (src < 0 || m.src == src);
-  });
-}
-
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::string Mailbox::describe_pending() const {
+  constexpr std::size_t kMaxShown = 8;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << queue_.size() << " pending";
+  if (!queue_.empty()) {
+    out << ": ";
+    std::size_t shown = 0;
+    for (const Message& m : queue_) {
+      if (shown == kMaxShown) {
+        out << " ...";
+        break;
+      }
+      if (shown != 0) out << " ";
+      out << "[cls=" << (m.cls == MessageClass::DataParallel ? "data" : "task")
+          << " comm=" << m.comm << " tag=" << m.tag << " src=" << m.src << " "
+          << m.payload.size() << "B]";
+      ++shown;
+    }
+  }
+  return out.str();
 }
 
 void Mailbox::close() {

@@ -22,7 +22,10 @@
 #include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/watchdog.hpp"
 
 namespace tdp::vp {
 
@@ -39,6 +42,12 @@ struct Message {
   std::uint64_t comm = 0;  ///< communicator (distributed-call) id; 0 = none
   int tag = 0;             ///< user message type within the class
   int src = -1;            ///< sending processor number
+  /// Causal trace context, stamped by Machine::send when observability is
+  /// on (obs::next_flow_id: sender VP shard + monotonic per-VP sequence)
+  /// and recovered by Mailbox::receive — the id that links the send instant
+  /// to the receive span as a Chrome flow arrow.  0 when tracing is off or
+  /// the message bypassed Machine::send.
+  std::uint64_t flow = 0;
   std::vector<std::byte> payload;
 };
 
@@ -70,21 +79,45 @@ class Mailbox {
   Message receive(const Predicate& match);
 
   /// Convenience selective receive on (class, comm, tag, src); a negative
-  /// src matches any sender.
+  /// src matches any sender.  Unlike the predicate form, this one can tell
+  /// the stall watchdog exactly what the owner is waiting for.
   Message receive(MessageClass cls, std::uint64_t comm, int tag, int src);
 
   /// Number of queued (undelivered) messages; for tests and diagnostics.
   std::size_t pending() const;
 
+  /// One-line rendering of the queued messages ("3 pending: [cls=data
+  /// comm=7 tag=1 src=0 16B] ..."), capped at a few entries; the stall
+  /// watchdog's "what was available but did not match" report.
+  std::string describe_pending() const;
+
+  /// The watchdog-visible state of this mailbox (progress counter, blocked
+  /// owner, queue depth); vp::Machine registers it with obs::Watchdog.
+  obs::VpWaitState& wait_state() { return wait_state_; }
+
   /// Wakes all waiting receivers with MailboxClosed; used at teardown.
   void close();
 
  private:
+  /// What a blocked selective receive is waiting for, published to the
+  /// watchdog; nullptr for opaque predicates.
+  struct WaitDetail {
+    MessageClass cls;
+    std::uint64_t comm;
+    int tag;
+    int src;
+  };
+
+  Message receive_impl(const Predicate& match, const WaitDetail* detail);
+
   const int owner_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  // Last: cache-line aligned and only touched on the obs-enabled path, so
+  // it cannot push the hot fields above onto separate lines.
+  obs::VpWaitState wait_state_;
 };
 
 }  // namespace tdp::vp

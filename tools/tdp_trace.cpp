@@ -1,0 +1,53 @@
+// tdp_trace — offline analyzer for traces exported by tdp::obs.
+//
+//   TDP_OBS=1 TDP_OBS_TRACE=run.json ./some_tdp_program
+//   tdp_trace run.json
+//
+// Prints per-VP utilization with a blocking breakdown (compute vs time
+// blocked in receive vs selective-receive misses) and, for each distributed
+// call in the trace, the critical path: the longest chain of causally-linked
+// spans recovered from the flow ids the runtime stamps into every message.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <trace.json>\n"
+            << "  analyzes a Chrome trace exported by tdp::obs\n"
+            << "  (capture one with TDP_OBS=1 TDP_OBS_TRACE=<path>)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage(argv[0]);
+    if (!path.empty()) return usage(argv[0]);
+    path = arg;
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "tdp_trace: cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<tdp::obs::LoadedEvent> events;
+  std::string error;
+  if (!tdp::obs::load_chrome_trace(in, events, &error)) {
+    std::cerr << "tdp_trace: failed to parse " << path << ": " << error
+              << "\n";
+    return 1;
+  }
+  const tdp::obs::TraceReport report = tdp::obs::analyze_trace(events);
+  tdp::obs::write_report(std::cout, report);
+  return 0;
+}
