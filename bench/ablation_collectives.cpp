@@ -1,0 +1,155 @@
+// Ablation — linear versus tree collective algorithms (spmd/coll).
+//
+// The thesis's distributed calls lean on group collectives; their cost
+// model changes qualitatively with the algorithm family.  A linear
+// broadcast makes the root copy and post P-1 payloads sequentially
+// (O(P) root work, O(P) depth); the binomial tree wraps the payload once
+// and forwards the refcounted buffer down ceil(log2 P) levels (O(log P)
+// root work and depth, zero fan-out copies).  Series: broadcast and
+// allreduce time as a function of group size and payload size, both
+// families, plus the fully zero-copy payload-handle broadcast.  Expected
+// shape: near-parity at small payloads (per-message latency dominates),
+// tree pulling ahead as payloads grow — decisively at P=16 for >=4KiB,
+// where the root's copy work is the bottleneck.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pcn/process.hpp"
+#include "spmd/coll.hpp"
+#include "spmd/context.hpp"
+#include "util/node_array.hpp"
+#include "vp/machine.hpp"
+#include "vp/payload.hpp"
+
+namespace {
+
+using namespace tdp;
+
+// Collectives back-to-back per group spawn: amortises the spawn cost
+// (identical in both families) so the steady-state collective cost shows.
+constexpr int kRounds = 16;
+
+void run_group(vp::Machine& machine, int p,
+               const std::function<void(spmd::SpmdContext&)>& body) {
+  const std::uint64_t comm = machine.next_comm();
+  const std::vector<int> procs = util::iota_nodes(p);
+  pcn::ProcessGroup group;
+  for (int i = 0; i < p; ++i) {
+    group.spawn_on(machine, procs[static_cast<std::size_t>(i)], [&, i] {
+      spmd::SpmdContext ctx(machine, comm, procs, i);
+      body(ctx);
+    });
+  }
+  group.join();
+}
+
+void set_counters(benchmark::State& state, int p, std::size_t bytes,
+                  bool tree) {
+  state.counters["procs"] = p;
+  state.counters["payload_bytes"] = static_cast<double>(bytes);
+  state.counters["tree"] = tree ? 1 : 0;
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+
+void BM_Broadcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const bool tree = state.range(2) != 0;
+  spmd::coll::force(tree ? spmd::coll::Algo::Tree : spmd::coll::Algo::Linear);
+  vp::Machine machine(p);
+  for (auto _ : state) {
+    run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+      std::vector<std::byte> data(bytes, std::byte{1});
+      for (int r = 0; r < kRounds; ++r) {
+        spmd::coll::broadcast(ctx, std::span<std::byte>(data), 0);
+      }
+    });
+  }
+  spmd::coll::unforce();
+  set_counters(state, p, bytes, tree);
+}
+
+void BM_BroadcastPayload(benchmark::State& state) {
+  // The handle-only fan-out: no per-receiver delivery copy either, so this
+  // is the floor the typed tree broadcast approaches as P grows.
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const bool tree = state.range(2) != 0;
+  spmd::coll::force(tree ? spmd::coll::Algo::Tree : spmd::coll::Algo::Linear);
+  vp::Machine machine(p);
+  for (auto _ : state) {
+    run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+      for (int r = 0; r < kRounds; ++r) {
+        vp::Payload mine;
+        if (ctx.index() == 0) {
+          mine = vp::Payload::take(std::vector<std::byte>(bytes, std::byte{1}));
+        }
+        benchmark::DoNotOptimize(ctx.broadcast_payload(std::move(mine), 0));
+      }
+    });
+  }
+  spmd::coll::unforce();
+  set_counters(state, p, bytes, tree);
+}
+
+void BM_Reduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const bool tree = state.range(2) != 0;
+  const std::size_t doubles = bytes < sizeof(double) ? 1 : bytes / sizeof(double);
+  spmd::coll::force(tree ? spmd::coll::Algo::Tree : spmd::coll::Algo::Linear);
+  vp::Machine machine(p);
+  for (auto _ : state) {
+    run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+      std::vector<double> data(doubles, 1.0);
+      for (int r = 0; r < kRounds; ++r) {
+        ctx.reduce<double>(
+            std::span<double>(data), 0,
+            [](const double& a, const double& b) { return a + b; });
+      }
+    });
+  }
+  spmd::coll::unforce();
+  set_counters(state, p, doubles * sizeof(double), tree);
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  const bool tree = state.range(2) != 0;
+  const std::size_t doubles = bytes < sizeof(double) ? 1 : bytes / sizeof(double);
+  spmd::coll::force(tree ? spmd::coll::Algo::Tree : spmd::coll::Algo::Linear);
+  vp::Machine machine(p);
+  for (auto _ : state) {
+    run_group(machine, p, [&](spmd::SpmdContext& ctx) {
+      std::vector<double> data(doubles, 1.0);
+      for (int r = 0; r < kRounds; ++r) {
+        ctx.allreduce<double>(
+            std::span<double>(data),
+            [](const double& a, const double& b) { return a + b; });
+      }
+    });
+  }
+  spmd::coll::unforce();
+  set_counters(state, p, doubles * sizeof(double), tree);
+}
+
+// P in {4, 8, 16}; payloads 8B..1MiB; {0,1} = linear,tree.
+const std::vector<std::vector<std::int64_t>> kArgs = {
+    {4, 8, 16},
+    {8, 4096, 65536, 1 << 20},
+    {0, 1},
+};
+
+BENCHMARK(BM_Broadcast)->ArgsProduct(kArgs)->UseRealTime();
+BENCHMARK(BM_BroadcastPayload)->ArgsProduct(kArgs)->UseRealTime();
+BENCHMARK(BM_Reduce)->ArgsProduct(kArgs)->UseRealTime();
+BENCHMARK(BM_Allreduce)->ArgsProduct(kArgs)->UseRealTime();
+
+}  // namespace
+
+TDP_BENCH_MAIN();

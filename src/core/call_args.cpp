@@ -57,6 +57,15 @@ const Value& CallArgs::constant(std::size_t slot) const {
   return *checked(slot, Param::Kind::Constant).constant;
 }
 
+std::span<const std::byte> CallArgs::payload(std::size_t slot) const {
+  const Value& v = constant(slot);
+  const vp::Payload* p = std::get_if<vp::Payload>(&v);
+  if (p == nullptr) {
+    throw std::logic_error("CallArgs: constant slot holds no vp::Payload");
+  }
+  return p->bytes();
+}
+
 int CallArgs::index(std::size_t slot) const {
   return checked(slot, Param::Kind::Index).index;
 }

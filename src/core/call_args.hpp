@@ -27,12 +27,17 @@
 #include "core/channels.hpp"
 #include "dist/local_section.hpp"
 #include "dist/types.hpp"
+#include "vp/payload.hpp"
 
 namespace tdp::core {
 
-/// Global-constant payloads supported by the prototype.
+/// Global-constant payloads supported by the prototype.  The vp::Payload
+/// alternative is the bulk-constant path: marshalling copies the Param list
+/// once per call, and a Payload constant rides through that copy (and out
+/// to every copy of the called program) as a refcounted handle — a large
+/// read-only input costs zero buffer copies however many copies run.
 using Value = std::variant<int, double, std::string, std::vector<int>,
-                           std::vector<double>>;
+                           std::vector<double>, vp::Payload>;
 
 /// Storage for one local status or reduction variable.
 struct ReduceBuffer {
@@ -97,6 +102,10 @@ class CallArgs {
   const T& in(std::size_t slot) const {
     return std::get<T>(constant(slot));
   }
+
+  /// Kind::Constant holding a vp::Payload — the shared bulk constant's
+  /// bytes, borrowed straight from the one refcounted buffer (no copy).
+  std::span<const std::byte> payload(std::size_t slot) const;
 
   /// Kind::Index — this copy's index into the call's processor array.
   int index(std::size_t slot) const;

@@ -1,6 +1,7 @@
 #include "dist/array_manager.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "obs/metrics.hpp"
@@ -307,6 +308,103 @@ Status ArrayManager::find_local(int on_proc, ArrayId id,
 
   }();
   return traced("find_local", on_proc, id, st);
+}
+
+namespace {
+
+/// True when the section's interior is its whole storage (no borders), so
+/// bulk moves can be one memcpy instead of an element walk.
+bool contiguous_interior(const std::vector<int>& borders) {
+  for (int b : borders) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ArrayManager::read_section(int on_proc, ArrayId id, vp::Payload& out) {
+  obs::Span span(obs::Op::AmReadSection, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
+  const Status st = [&]() -> Status {
+      out = vp::Payload();
+      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+      Node& n = node(on_proc);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.local == nullptr) {
+        return Status::NotFound;
+      }
+      const ArrayRecord& r = it->second;
+      const std::size_t esize = elem_size(r.type);
+      const long long count = element_count(r.local_dims);
+      std::vector<std::byte> staging(static_cast<std::size_t>(count) * esize);
+      const std::byte* base = static_cast<const std::byte*>(r.local->data());
+      if (contiguous_interior(r.borders)) {
+        std::memcpy(staging.data(), base, staging.size());
+      } else {
+        for (long long lin = 0; lin < count; ++lin) {
+          std::vector<int> idx = delinearize(lin, r.local_dims, r.indexing);
+          const long long src =
+              local_offset(idx, r.local_dims, r.borders, r.indexing);
+          std::memcpy(staging.data() + static_cast<std::size_t>(lin) * esize,
+                      base + static_cast<std::size_t>(src) * esize, esize);
+        }
+      }
+      if (obs::enabled()) {
+        span.set_arg1(staging.size());
+        am_bytes_moved().add(staging.size());
+      }
+      // take(): the one packing copy above is the only copy this snapshot
+      // ever costs, however many consumers the payload is shipped to.
+      out = vp::Payload::take(std::move(staging));
+      return Status::Ok;
+
+  }();
+  return traced("read_section", on_proc, id, st);
+}
+
+Status ArrayManager::write_section(int on_proc, ArrayId id,
+                                   const vp::Payload& data) {
+  obs::Span span(obs::Op::AmWriteSection, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
+                 &am_service_hist());
+  const Status st = [&]() -> Status {
+      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+      Node& n = node(on_proc);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.local == nullptr) {
+        return Status::NotFound;
+      }
+      ArrayRecord& r = it->second;
+      const std::size_t esize = elem_size(r.type);
+      const long long count = element_count(r.local_dims);
+      if (data.size() != static_cast<std::size_t>(count) * esize) {
+        return Status::Invalid;
+      }
+      std::byte* base = static_cast<std::byte*>(r.local->data());
+      if (contiguous_interior(r.borders)) {
+        std::memcpy(base, data.data(), data.size());
+      } else {
+        for (long long lin = 0; lin < count; ++lin) {
+          std::vector<int> idx = delinearize(lin, r.local_dims, r.indexing);
+          const long long dst =
+              local_offset(idx, r.local_dims, r.borders, r.indexing);
+          std::memcpy(base + static_cast<std::size_t>(dst) * esize,
+                      data.data() + static_cast<std::size_t>(lin) * esize,
+                      esize);
+        }
+      }
+      if (obs::enabled()) {
+        span.set_arg1(data.size());
+        am_bytes_moved().add(data.size());
+      }
+      return Status::Ok;
+
+  }();
+  return traced("write_section", on_proc, id, st);
 }
 
 Status ArrayManager::find_info(int on_proc, ArrayId id, InfoKind which,

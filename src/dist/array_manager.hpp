@@ -30,6 +30,7 @@
 #include "dist/types.hpp"
 #include "util/status.hpp"
 #include "vp/machine.hpp"
+#include "vp/payload.hpp"
 
 namespace tdp::dist {
 
@@ -104,6 +105,19 @@ class ArrayManager {
 
   /// am_user:find_info.
   Status find_info(int on_proc, ArrayId id, InfoKind which, InfoValue& out);
+
+  /// am_user:read_section — snapshots the local-section *interior* on
+  /// `on_proc` as one immutable payload (elements in storage order, borders
+  /// stripped).  The bulk section-shipping path: the returned payload is
+  /// refcounted, so forwarding it to any number of consumers (a broadcast of
+  /// a section, a redistribution fan-out) costs zero further copies.
+  Status read_section(int on_proc, ArrayId id, vp::Payload& out);
+
+  /// am_user:write_section — overwrites the local-section interior on
+  /// `on_proc` from `data`, which must hold exactly interior_count *
+  /// elem_size bytes in storage order (the inverse of read_section; borders
+  /// are untouched).
+  Status write_section(int on_proc, ArrayId id, const vp::Payload& data);
 
   /// am_user:verify_array (§4.2.7): checks the indexing type and expected
   /// borders; on a border mismatch, reallocates every local section with the

@@ -50,6 +50,26 @@ void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager) {
     req.reply.define(reply);
   });
 
+  servers.add_capability_all("read_section", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<ReadSectionRequest>(&req.parameters);
+    ReadSectionReply reply;
+    if (p != nullptr) {
+      reply.status = am->read_section(vp::current_proc(), p->id, reply.data);
+    } else {
+      reply.status = Status::Invalid;
+    }
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("write_section", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<WriteSectionRequest>(&req.parameters);
+    StatusReply reply;
+    reply.status = p != nullptr ? am->write_section(vp::current_proc(), p->id,
+                                                    p->data)
+                                : Status::Invalid;
+    req.reply.define(reply);
+  });
+
   servers.add_capability_all("find_info", [am](vp::ServerRequest& req) {
     const auto* p = std::any_cast<FindInfoRequest>(&req.parameters);
     FindInfoReply reply;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "dist/array_manager.hpp"
+#include "vp/payload.hpp"
 #include "vp/server.hpp"
 
 namespace tdp::dist {
@@ -51,6 +52,23 @@ struct WriteElementRequest {
   Scalar value;
 };
 
+struct ReadSectionRequest {
+  ArrayId id;
+};
+
+/// The reply carries the section interior as a refcounted payload, so a
+/// requester that fans the snapshot out to further consumers moves only
+/// handles (the §5.1.1 bulk-shipping path).
+struct ReadSectionReply {
+  Status status = Status::Error;
+  vp::Payload data;
+};
+
+struct WriteSectionRequest {
+  ArrayId id;
+  vp::Payload data;
+};
+
 struct FindInfoRequest {
   ArrayId id;
   InfoKind which = InfoKind::Type;
@@ -73,8 +91,9 @@ struct StatusReply {
 };
 
 /// Registers the array-manager capabilities — "create_array", "free_array",
-/// "read_element", "write_element", "find_info", "verify_array" — on every
-/// processor of `servers`, serviced by `manager`.
+/// "read_element", "write_element", "read_section", "write_section",
+/// "find_info", "verify_array" — on every processor of `servers`, serviced
+/// by `manager`.
 void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager);
 
 }  // namespace tdp::dist

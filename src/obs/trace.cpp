@@ -92,12 +92,22 @@ const char* op_name(Op op) {
     case Op::AmFindLocal: return "am.find_local";
     case Op::AmFindInfo: return "am.find_info";
     case Op::AmVerify: return "am.verify_array";
+    case Op::AmReadSection: return "am.read_section";
+    case Op::AmWriteSection: return "am.write_section";
     case Op::DoAllCopy: return "do_all.copy";
     case Op::DpAssign: return "dp.multiple_assign";
     case Op::DpParallelFor: return "dp.parallel_for";
     case Op::MsgFlow: return "vp.msg";
     case Op::WdQueued: return "watchdog.queued_msgs";
     case Op::WdBlocked: return "watchdog.blocked_vps";
+    case Op::CollBarrier: return "coll.barrier";
+    case Op::CollBcast: return "coll.broadcast";
+    case Op::CollReduce: return "coll.reduce";
+    case Op::CollAllreduce: return "coll.allreduce";
+    case Op::CollGather: return "coll.gather";
+    case Op::CollAllgather: return "coll.allgather";
+    case Op::CollScan: return "coll.scan";
+    case Op::CollAlltoall: return "coll.alltoall";
     case Op::kCount_: break;
   }
   return "unknown";
@@ -121,6 +131,8 @@ const char* op_category(Op op) {
     case Op::AmFindLocal:
     case Op::AmFindInfo:
     case Op::AmVerify:
+    case Op::AmReadSection:
+    case Op::AmWriteSection:
       return "am";
     case Op::DoAllCopy:
       return "do_all";
@@ -132,6 +144,15 @@ const char* op_category(Op op) {
     case Op::WdQueued:
     case Op::WdBlocked:
       return "watchdog";
+    case Op::CollBarrier:
+    case Op::CollBcast:
+    case Op::CollReduce:
+    case Op::CollAllreduce:
+    case Op::CollGather:
+    case Op::CollAllgather:
+    case Op::CollScan:
+    case Op::CollAlltoall:
+      return "coll";
     default:
       return "misc";
   }

@@ -54,12 +54,22 @@ enum class Op : std::uint16_t {
   AmFindLocal,     ///< array manager: find_local
   AmFindInfo,      ///< array manager: find_info
   AmVerify,        ///< array manager: verify_array
+  AmReadSection,   ///< array manager: read_section (bulk interior snapshot)
+  AmWriteSection,  ///< array manager: write_section (bulk interior overwrite)
   DoAllCopy,       ///< core::do_all: one fanned-out copy
   DpAssign,        ///< dp::multiple_assign statement
   DpParallelFor,   ///< dp::parallel_for statement
   MsgFlow,         ///< causal send→receive link (Chrome flow event pair)
   WdQueued,        ///< watchdog: total queued messages across VPs (counter)
   WdBlocked,       ///< watchdog: VPs blocked in receive (counter)
+  CollBarrier,     ///< spmd collective: barrier
+  CollBcast,       ///< spmd collective: broadcast
+  CollReduce,      ///< spmd collective: reduce
+  CollAllreduce,   ///< spmd collective: allreduce
+  CollGather,      ///< spmd collective: gather
+  CollAllgather,   ///< spmd collective: allgather
+  CollScan,        ///< spmd collective: scan
+  CollAlltoall,    ///< spmd collective: all-to-all exchange
   kCount_
 };
 

@@ -1,0 +1,118 @@
+// Collective algorithms over an SPMD group (§3.4.1, §D).
+//
+// The thesis's distributed calls stand or fall on the cost of group
+// communication: every adapted SPMD library leans on barrier, broadcast,
+// reduce and friends, and a root-sequential implementation makes each of
+// them an O(P)-depth serial bottleneck.  This module provides the
+// logarithmic-depth algorithms that are the standard baseline for these
+// primitives —
+//
+//   * binomial-tree broadcast and reduce (depth ceil(log2 P); the broadcast
+//     forwards one refcounted vp::Payload down the tree, so fanning a
+//     buffer out to P-1 peers performs zero payload copies),
+//   * recursive-doubling allreduce with the non-power-of-two pre/post fold
+//     (ranks past the largest power of two fold into a partner first and
+//     receive the finished result last) for short payloads, switching past
+//     kAllreduceRdMaxBytes to an index-ordered combine at index 0 followed
+//     by the zero-copy tree broadcast — doubling moves P*log2(P) payloads
+//     where combine-then-broadcast moves ~2P, so it only pays off when
+//     per-message latency, not copy bandwidth, dominates,
+//   * a dissemination barrier (ceil(log2 P) rounds, any group size),
+//   * Bruck's allgather (ceil(log2 P) rounds, any group size, one local
+//     rotation into index order at the end),
+//
+// — plus the original linear variants, selectable with TDP_COLL=linear (or
+// coll::force(Algo::Linear)) for A/B benchmarking.  Gather, scan, alltoall
+// and exchange keep their original algorithms in SpmdContext: gather's
+// bottleneck is the P-1 blocks that must land at the root either way (the
+// linear form receives them straight into their destination slots with no
+// staging), scan is a genuine dependence chain, and alltoall/exchange are
+// already fully pairwise.
+//
+// All functions are *collective*: every copy in the group must call the
+// same function with compatible arguments, in the same order.  They use
+// only the group's reserved negative tags and the call's communicator id,
+// so concurrent distributed calls never intercept each other's traffic.
+// Combine operators must be associative; operands are ordered so that the
+// lower-indexed copy's contribution is always the left argument, so any
+// associative (even non-commutative) operator yields the same result on
+// every copy — though tree and linear variants may associate differently,
+// which matters only for non-exact arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "vp/payload.hpp"
+
+namespace tdp::spmd {
+
+class SpmdContext;
+
+namespace coll {
+
+/// Which algorithm family the collectives dispatch to.
+enum class Algo {
+  Linear,  ///< the original root-sequential loops (A/B baseline)
+  Tree,    ///< logarithmic-depth trees (default)
+};
+
+/// The selected algorithm: a programmatic force() override if set, else
+/// TDP_COLL from the environment ("linear" selects Linear; anything else,
+/// including unset, selects Tree; parsed once per process).
+Algo algorithm();
+
+/// Overrides the TDP_COLL selection process-wide (tests and A/B benches).
+void force(Algo a);
+
+/// Clears the force() override, returning to the TDP_COLL selection.
+void unforce();
+
+/// Type-erased element-wise combine: folds `incoming` into `acc`
+/// (equal-sized byte images of the same element type).  `incoming_first`
+/// tells the fold which operand is the lower-indexed copy's: true means
+/// acc[k] = op(incoming[k], acc[k]), false means acc[k] = op(acc[k],
+/// incoming[k]) — the ordering discipline that keeps associative
+/// non-commutative operators consistent across copies.
+using ByteCombine = std::function<void(std::span<const std::byte> incoming,
+                                       std::span<std::byte> acc,
+                                       bool incoming_first)>;
+
+/// All copies must arrive before any proceeds.  Tree: dissemination
+/// barrier, ceil(log2 P) rounds.  Linear: gather-to-0 then release.
+void barrier(SpmdContext& ctx);
+
+/// Root's buffer is copied to every copy's buffer.  Tree: binomial, the
+/// payload wrapped once at the root and forwarded by reference.
+void broadcast(SpmdContext& ctx, std::span<std::byte> data, int root);
+
+/// Payload-level broadcast: the root passes the buffer to publish, every
+/// copy (root included) returns a handle to that same buffer — the fully
+/// zero-copy fan-out path (`mine` is ignored on non-roots).
+vp::Payload broadcast_payload(SpmdContext& ctx, vp::Payload mine, int root);
+
+/// Element-wise reduction of every copy's buffer into root's buffer;
+/// non-root buffers are left unchanged.  Tree: binomial combining tree.
+void reduce(SpmdContext& ctx, std::span<std::byte> data, int root,
+            const ByteCombine& combine);
+
+/// Payload size above which the tree allreduce abandons recursive doubling
+/// for an index-ordered combine at index 0 plus the zero-copy tree
+/// broadcast (the classic short/long-message switch: doubling wins on
+/// latency, combine-then-broadcast on copy volume).
+inline constexpr std::size_t kAllreduceRdMaxBytes = 2048;
+
+/// Element-wise reduction into every copy's buffer.  Tree: recursive
+/// doubling with the non-power-of-two pre/post fold up to
+/// kAllreduceRdMaxBytes; past that, combine at index 0 + tree broadcast.
+void allreduce(SpmdContext& ctx, std::span<std::byte> data,
+               const ByteCombine& combine);
+
+/// Equal-sized contributions concatenated in index order on every copy.
+/// `all` must hold nprocs() * mine.size() bytes.  Tree: Bruck's algorithm.
+void allgather(SpmdContext& ctx, std::span<const std::byte> mine,
+               std::span<std::byte> all);
+
+}  // namespace coll
+}  // namespace tdp::spmd

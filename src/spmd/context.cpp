@@ -1,6 +1,10 @@
 #include "spmd/context.hpp"
 
+#include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "vp/payload.hpp"
 
 namespace tdp::spmd {
 
@@ -18,42 +22,52 @@ SpmdContext::SpmdContext(vp::Machine& machine, std::uint64_t comm,
 
 void SpmdContext::send_bytes(int dst_index, int tag,
                              std::span<const std::byte> bytes) {
+  send_payload(dst_index, tag, vp::Payload::copy_of(bytes));
+}
+
+void SpmdContext::send_payload(int dst_index, int tag, vp::Payload payload) {
   if (dst_index < 0 || dst_index >= nprocs()) {
-    throw std::out_of_range("SpmdContext::send_bytes: bad destination index");
+    throw std::out_of_range("SpmdContext::send_payload: bad destination index");
   }
   vp::Message m;
   m.cls = vp::MessageClass::DataParallel;
   m.comm = comm_;
   m.tag = tag;
   m.src = index_;  // group index; comm scoping isolates the call
-  m.payload.assign(bytes.begin(), bytes.end());
+  m.payload = std::move(payload);
   machine_.send(processors_[static_cast<std::size_t>(dst_index)],
                 std::move(m));
   ++sent_count_;
 }
 
 std::vector<std::byte> SpmdContext::recv_bytes(int src_index, int tag) {
+  return recv_payload(src_index, tag).to_vector();
+}
+
+vp::Payload SpmdContext::recv_payload(int src_index, int tag) {
   if (src_index < 0 || src_index >= nprocs()) {
-    throw std::out_of_range("SpmdContext::recv_bytes: bad source index");
+    throw std::out_of_range("SpmdContext::recv_payload: bad source index");
   }
   vp::Message m = machine_.mailbox(proc()).receive(
       vp::MessageClass::DataParallel, comm_, tag, src_index);
   return std::move(m.payload);
 }
 
-void SpmdContext::barrier() {
-  const std::byte token{0};
-  const std::span<const std::byte> one(&token, 1);
-  if (index_ == 0) {
-    for (int i = 1; i < nprocs(); ++i) {
-      (void)recv_bytes(i, kBarrierUpTag);
-    }
-    for (int i = 1; i < nprocs(); ++i) {
-      send_bytes(i, kBarrierDownTag, one);
-    }
-  } else {
-    send_bytes(0, kBarrierUpTag, one);
-    (void)recv_bytes(0, kBarrierDownTag);
+void SpmdContext::recv_bytes_into(int src_index, int tag,
+                                  std::span<std::byte> out) {
+  vp::Payload p = recv_payload(src_index, tag);
+  if (p.size() != out.size()) {
+    // Never truncate silently: a size mismatch here is always a protocol
+    // bug (mismatched element type or count between sender and receiver).
+    throw std::runtime_error(
+        "SpmdContext::recv: size mismatch on tag " + std::to_string(tag) +
+        " from src " + std::to_string(src_index) + ": received " +
+        std::to_string(p.size()) + " bytes into a " +
+        std::to_string(out.size()) + "-byte buffer");
+  }
+  if (!out.empty()) {
+    std::memcpy(out.data(), p.data(), out.size());
+    vp::note_bytes_delivered(out.size());
   }
 }
 

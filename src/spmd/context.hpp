@@ -11,6 +11,14 @@
 //     intercept each other's messages (§3.4.1, fig. 3.4);
 //   * the collective operations (barrier, broadcast, reduce, allreduce,
 //     gather, allgather, exchange) an adapted SPMD library needs (§D).
+//
+// Payload ownership: message bodies are immutable refcounted buffers
+// (vp::Payload).  The span-based send/recv entry points copy exactly once
+// at each user-facing boundary (caller span -> payload on send, payload ->
+// caller span on receive); the payload-based entry points (send_payload,
+// recv_payload, broadcast_payload) move only a handle.  The tree
+// collectives in spmd/coll.hpp exploit this to fan one buffer out to P-1
+// peers with zero substrate copies.
 #pragma once
 
 #include <cstring>
@@ -18,6 +26,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "spmd/coll.hpp"
 #include "vp/machine.hpp"
 
 namespace tdp::spmd {
@@ -38,8 +48,24 @@ class SpmdContext {
 
   // --- Point-to-point (group indices, not raw processor numbers). ---------
 
+  /// Copies `bytes` into a fresh payload and sends it (the caller may
+  /// reuse its buffer immediately).
   void send_bytes(int dst_index, int tag, std::span<const std::byte> bytes);
+
+  /// Sends an already-wrapped payload without any copy; senders fanning one
+  /// buffer out to many destinations pass the same payload repeatedly.
+  void send_payload(int dst_index, int tag, vp::Payload payload);
+
+  /// Receives into caller-owned storage (one delivery copy).
   std::vector<std::byte> recv_bytes(int src_index, int tag);
+
+  /// Borrow-style receive: hands back the sender's buffer without a copy.
+  vp::Payload recv_payload(int src_index, int tag);
+
+  /// Receives into `out`, which must match the received size exactly;
+  /// throws std::runtime_error naming tag, source and both sizes otherwise
+  /// (a silent truncation here is always a protocol bug).
+  void recv_bytes_into(int src_index, int tag, std::span<std::byte> out);
 
   template <typename T>
   void send(int dst_index, int tag, std::span<const T> data) {
@@ -54,9 +80,7 @@ class SpmdContext {
 
   template <typename T>
   void recv(int src_index, int tag, std::span<T> out) {
-    std::vector<std::byte> bytes = recv_bytes(src_index, tag);
-    std::memcpy(out.data(), bytes.data(),
-                std::min(bytes.size(), out.size() * sizeof(T)));
+    recv_bytes_into(src_index, tag, std::as_writable_bytes(out));
   }
 
   template <typename T>
@@ -67,46 +91,45 @@ class SpmdContext {
   }
 
   // --- Collectives over the group. -----------------------------------------
+  //
+  // Algorithms live in spmd/coll.hpp: logarithmic-depth trees by default,
+  // the original linear loops under TDP_COLL=linear.  All variants use only
+  // the reserved tags below and this context's communicator id, preserving
+  // the §3.4.1 isolation of concurrent distributed calls.
 
   /// All copies must arrive before any proceeds.
-  void barrier();
+  void barrier() { coll::barrier(*this); }
 
   /// Root's buffer is copied to every copy's buffer.
   template <typename T>
   void broadcast(std::span<T> data, int root) {
-    if (index_ == root) {
-      for (int i = 0; i < nprocs(); ++i) {
-        if (i != root) send(i, kBcastTag, std::span<const T>(data));
-      }
-    } else {
-      recv(root, kBcastTag, data);
-    }
+    coll::broadcast(*this, std::as_writable_bytes(data), root);
   }
 
-  /// Element-wise reduction of every copy's buffer into root's buffer.
+  /// Payload-level broadcast: the root publishes `mine`; every copy (root
+  /// included) returns a handle to that one buffer — zero payload copies
+  /// regardless of group size.  `mine` is ignored on non-roots.
+  vp::Payload broadcast_payload(vp::Payload mine, int root) {
+    return coll::broadcast_payload(*this, std::move(mine), root);
+  }
+
+  /// Element-wise reduction of every copy's buffer into root's buffer
+  /// (non-root buffers are left unchanged).  `op` must be associative;
+  /// operands are kept in index order, so non-commutative associative
+  /// operators give the same result in both algorithm families up to
+  /// re-association.
   template <typename T>
   void reduce(std::span<T> data, int root,
               const std::function<T(const T&, const T&)>& op) {
-    if (index_ == root) {
-      std::vector<T> incoming(data.size());
-      for (int i = 0; i < nprocs(); ++i) {
-        if (i == root) continue;
-        recv(i, kReduceTag, std::span<T>(incoming));
-        for (std::size_t k = 0; k < data.size(); ++k) {
-          data[k] = op(data[k], incoming[k]);
-        }
-      }
-    } else {
-      send(root, kReduceTag, std::span<const T>(data));
-    }
+    coll::reduce(*this, std::as_writable_bytes(data), root,
+                 byte_combine<T>(op));
   }
 
-  /// reduce to copy 0 followed by broadcast.
+  /// Element-wise reduction into every copy's buffer.
   template <typename T>
   void allreduce(std::span<T> data,
                  const std::function<T(const T&, const T&)>& op) {
-    reduce(data, 0, op);
-    broadcast(data, 0);
+    coll::allreduce(*this, std::as_writable_bytes(data), byte_combine<T>(op));
   }
 
   /// Scalar allreduce convenience.
@@ -120,9 +143,14 @@ class SpmdContext {
   double allreduce_max(double v);
   int allreduce_max_int(int v);
 
-  /// Gathers equal-sized contributions to root, concatenated in index order.
+  /// Gathers equal-sized contributions to root, concatenated in index
+  /// order.  Deliberately linear in every algorithm family: the P-1 blocks
+  /// must land at the root either way, and the linear form receives each
+  /// straight into its destination slot with no staging.
   template <typename T>
   std::vector<T> gather(std::span<const T> mine, int root) {
+    obs::Span span(obs::Op::CollGather, comm_,
+                   mine.size() * sizeof(T), nullptr);
     if (index_ == root) {
       std::vector<T> out(mine.size() * static_cast<std::size_t>(nprocs()));
       for (int i = 0; i < nprocs(); ++i) {
@@ -140,26 +168,26 @@ class SpmdContext {
     return {};
   }
 
-  /// gather to copy 0 followed by broadcast of the concatenation.
+  /// Equal-sized contributions concatenated in index order on every copy.
   template <typename T>
   std::vector<T> allgather(std::span<const T> mine) {
-    std::vector<T> all = gather(mine, 0);
-    if (index_ != 0) {
-      all.resize(mine.size() * static_cast<std::size_t>(nprocs()));
-    }
-    broadcast(std::span<T>(all), 0);
+    std::vector<T> all(mine.size() * static_cast<std::size_t>(nprocs()));
+    coll::allgather(*this, std::as_bytes(mine),
+                    std::as_writable_bytes(std::span<T>(all)));
     return all;
   }
 
   /// Inclusive prefix reduction in index order: copy i's buffer becomes
-  /// op(data_0, ..., data_i) elementwise.  Linear chain.
+  /// op(data_0, ..., data_i) elementwise.  A genuine dependence chain;
+  /// linear in every algorithm family.
   template <typename T>
   void scan(std::span<T> data, const std::function<T(const T&, const T&)>& op) {
+    obs::Span span(obs::Op::CollScan, comm_, data.size() * sizeof(T), nullptr);
     if (index_ > 0) {
-      std::vector<T> incoming(data.size());
-      recv(index_ - 1, kScanTag, std::span<T>(incoming));
+      vp::Payload incoming = recv_payload(index_ - 1, kScanTag);
+      const T* in = reinterpret_cast<const T*>(incoming.data());
       for (std::size_t k = 0; k < data.size(); ++k) {
-        data[k] = op(incoming[k], data[k]);
+        data[k] = op(in[k], data[k]);
       }
     }
     if (index_ + 1 < nprocs()) {
@@ -169,9 +197,11 @@ class SpmdContext {
 
   /// Full personalised exchange: `mine` holds nprocs() blocks of
   /// `block` elements, block j destined for copy j; the result holds the
-  /// blocks received from every copy, in index order.
+  /// blocks received from every copy, in index order.  Fully pairwise
+  /// already; identical in every algorithm family.
   template <typename T>
   std::vector<T> alltoall(std::span<const T> mine, std::size_t block) {
+    obs::Span span(obs::Op::CollAlltoall, comm_, block * sizeof(T), nullptr);
     std::vector<T> out(block * static_cast<std::size_t>(nprocs()));
     for (int j = 0; j < nprocs(); ++j) {
       if (j == index_) continue;
@@ -214,8 +244,10 @@ class SpmdContext {
   /// Count of point-to-point messages this copy has sent (diagnostics).
   std::uint64_t sent_count() const { return sent_count_; }
 
- private:
-  // Reserved tags for collectives; user tags should be non-negative.
+  // Reserved tags for collectives; user tags must be non-negative.  Shared
+  // with spmd/coll.cpp — the two files together own the reserved-tag
+  // discipline that keeps collective traffic disjoint from user traffic
+  // within one communicator.
   static constexpr int kBcastTag = -1;
   static constexpr int kReduceTag = -2;
   static constexpr int kGatherTag = -3;
@@ -223,6 +255,30 @@ class SpmdContext {
   static constexpr int kBarrierDownTag = -5;
   static constexpr int kScanTag = -6;
   static constexpr int kAllToAllTag = -7;
+  static constexpr int kBarrierDissemTag = -8;
+  static constexpr int kAllreduceTag = -9;
+  static constexpr int kAllreduceFoldTag = -10;
+  static constexpr int kAllgatherTag = -11;
+
+ private:
+  /// Wraps a typed binary operator as the byte-level combine the coll layer
+  /// uses.  The operator reference must outlive the collective call (it
+  /// does: the combine is only invoked inside it).
+  template <typename T>
+  static coll::ByteCombine byte_combine(
+      const std::function<T(const T&, const T&)>& op) {
+    return [&op](std::span<const std::byte> incoming, std::span<std::byte> acc,
+                 bool incoming_first) {
+      const T* in = reinterpret_cast<const T*>(incoming.data());
+      T* a = reinterpret_cast<T*>(acc.data());
+      const std::size_t n = acc.size() / sizeof(T);
+      if (incoming_first) {
+        for (std::size_t k = 0; k < n; ++k) a[k] = op(in[k], a[k]);
+      } else {
+        for (std::size_t k = 0; k < n; ++k) a[k] = op(a[k], in[k]);
+      }
+    };
+  }
 
   vp::Machine& machine_;
   std::uint64_t comm_;

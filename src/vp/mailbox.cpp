@@ -130,8 +130,8 @@ std::string Mailbox::describe_pending() const {
       }
       if (shown != 0) out << " ";
       out << "[cls=" << (m.cls == MessageClass::DataParallel ? "data" : "task")
-          << " comm=" << m.comm << " tag=" << m.tag << " src=" << m.src << " "
-          << m.payload.size() << "B]";
+          << " comm=" << m.comm << " tag=" << m.tag << " src=" << m.src
+          << " flow=" << m.flow << " " << m.payload.size() << "B]";
       ++shown;
     }
   }

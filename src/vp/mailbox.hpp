@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/watchdog.hpp"
+#include "vp/payload.hpp"
 
 namespace tdp::vp {
 
@@ -48,7 +49,10 @@ struct Message {
   /// to the receive span as a Chrome flow arrow.  0 when tracing is off or
   /// the message bypassed Machine::send.
   std::uint64_t flow = 0;
-  std::vector<std::byte> payload;
+  /// The message body: an immutable refcounted buffer (see vp/payload.hpp).
+  /// Senders that fan one buffer out to many destinations share it; the
+  /// substrate never copies it again once wrapped.
+  Payload payload;
 };
 
 /// Thrown by receive() when the mailbox is closed while a receiver waits
@@ -87,8 +91,10 @@ class Mailbox {
   std::size_t pending() const;
 
   /// One-line rendering of the queued messages ("3 pending: [cls=data
-  /// comm=7 tag=1 src=0 16B] ..."), capped at a few entries; the stall
-  /// watchdog's "what was available but did not match" report.
+  /// comm=7 tag=1 src=0 flow=... 16B] ..."), capped at a few entries; the
+  /// stall watchdog's "what was available but did not match" report.  The
+  /// flow id lets a stall report be cross-referenced with the exported
+  /// trace's send→receive arrows.
   std::string describe_pending() const;
 
   /// The watchdog-visible state of this mailbox (progress counter, blocked

@@ -1,0 +1,61 @@
+#include "vp/payload.hpp"
+
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace tdp::vp {
+
+namespace {
+
+// Substrate-side payload copies (wrapping caller storage into a buffer).
+// Unconditional like Machine's messages_sent_: a relaxed sharded add, cheap
+// enough to keep exact even with tracing off, and the A/B evidence for the
+// zero-copy fan-out claim.
+obs::ShardedCounter& bytes_copied() {
+  static obs::ShardedCounter& c =
+      obs::Registry::instance().counter("comm.bytes_copied");
+  return c;
+}
+
+// User-facing delivery copies (buffer -> caller's typed span / vector).
+obs::ShardedCounter& bytes_delivered() {
+  static obs::ShardedCounter& c =
+      obs::Registry::instance().counter("comm.bytes_delivered");
+  return c;
+}
+
+}  // namespace
+
+Payload Payload::copy_of(std::span<const std::byte> bytes) {
+  if (bytes.empty()) return Payload();
+  std::shared_ptr<std::byte[]> buf(new std::byte[bytes.size()]);
+  std::memcpy(buf.get(), bytes.data(), bytes.size());
+  bytes_copied().add(bytes.size());
+  return Payload(std::move(buf), bytes.size());
+}
+
+Payload Payload::take(std::vector<std::byte>&& bytes) {
+  if (bytes.empty()) return Payload();
+  auto holder = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  const std::size_t size = holder->size();
+  std::shared_ptr<const std::byte[]> alias(holder, holder->data());
+  return Payload(std::move(alias), size);
+}
+
+Payload Payload::zeros(std::size_t n) {
+  if (n == 0) return Payload();
+  std::shared_ptr<std::byte[]> buf(new std::byte[n]);
+  std::memset(buf.get(), 0, n);
+  return Payload(std::move(buf), n);
+}
+
+std::vector<std::byte> Payload::to_vector() const {
+  if (size_ == 0) return {};
+  bytes_delivered().add(size_);
+  return std::vector<std::byte>(data_.get(), data_.get() + size_);
+}
+
+void note_bytes_delivered(std::size_t n) { bytes_delivered().add(n); }
+
+}  // namespace tdp::vp

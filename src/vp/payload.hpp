@@ -1,0 +1,76 @@
+// vp::Payload — an immutable, refcounted byte buffer for message payloads.
+//
+// The thesis's virtual processors have distinct address spaces and
+// communicate only by typed messages; a real multicomputer therefore copies
+// every payload onto the wire.  A *simulated* multicomputer on one host need
+// not: because a Payload is immutable after construction, handing the same
+// buffer to many receivers is observationally identical to sending each a
+// private copy — no receiver can tell whether its bytes are shared.  That
+// immutability contract is what lets a broadcast of one buffer to P-1 peers
+// perform zero payload copies instead of P-1 (the substrate refcounts the
+// one buffer), while preserving the distinct-address-space model exactly.
+//
+// Construction is explicit about cost:
+//   * Payload::copy_of(bytes) copies once from caller-owned storage into a
+//     fresh buffer (counted in the comm.bytes_copied metric) — required
+//     when the caller may mutate its buffer after the send;
+//   * Payload::take(std::move(vec)) adopts a vector's storage with no copy —
+//     for producers that build the payload and hand it off.
+// Receivers either borrow the buffer (recv_payload: refcount bump, no copy)
+// or copy out into a typed span at the user-facing boundary (counted in
+// comm.bytes_delivered).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace tdp::vp {
+
+class Payload {
+ public:
+  /// An empty payload (size 0).
+  Payload() = default;
+
+  /// A fresh buffer holding a copy of `bytes`.  The one place the
+  /// communication substrate copies payload bytes on the send side; adds
+  /// bytes.size() to the comm.bytes_copied counter.
+  static Payload copy_of(std::span<const std::byte> bytes);
+
+  /// Adopts `bytes`'s storage without copying (the vector is left empty).
+  static Payload take(std::vector<std::byte>&& bytes);
+
+  /// A zero-filled buffer of `n` bytes (tests, padding).
+  static Payload zeros(std::size_t n);
+
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const std::byte> bytes() const {
+    return std::span<const std::byte>(data_.get(), size_);
+  }
+
+  /// Number of Payload handles sharing this buffer (diagnostics/tests);
+  /// 0 for an empty payload.
+  long use_count() const { return data_.use_count(); }
+
+  /// Copies the buffer out into caller-owned storage (the user-facing
+  /// delivery copy; adds size() to the comm.bytes_delivered counter).
+  std::vector<std::byte> to_vector() const;
+
+ private:
+  Payload(std::shared_ptr<const std::byte[]> data, std::size_t size)
+      : data_(std::move(data)), size_(size) {}
+
+  std::shared_ptr<const std::byte[]> data_;
+  std::size_t size_ = 0;
+};
+
+/// Adds `n` to the comm.bytes_delivered counter; for typed receive paths
+/// that copy straight into a caller-owned span rather than via to_vector().
+void note_bytes_delivered(std::size_t n);
+
+}  // namespace tdp::vp

@@ -1,0 +1,470 @@
+// Tests for spmd::coll — the tree collective algorithms against the linear
+// baselines: every collective, every group size 1..9, both algorithm
+// families, plus the zero-copy payload accounting and the logarithmic
+// round-count guarantees the tree variants exist for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pcn/process.hpp"
+#include "spmd/coll.hpp"
+#include "spmd/context.hpp"
+#include "util/node_array.hpp"
+#include "vp/machine.hpp"
+#include "vp/payload.hpp"
+
+namespace tdp::spmd {
+namespace {
+
+constexpr int kMaxP = 9;
+const coll::Algo kAlgos[] = {coll::Algo::Linear, coll::Algo::Tree};
+
+const char* algo_name(coll::Algo a) {
+  return a == coll::Algo::Tree ? "tree" : "linear";
+}
+
+/// Forces one algorithm family for the enclosing scope.
+class ScopedAlgo {
+ public:
+  explicit ScopedAlgo(coll::Algo a) { coll::force(a); }
+  ~ScopedAlgo() { coll::unforce(); }
+};
+
+/// Runs `body` as one SPMD program over the first `p` processors.
+void run_group(vp::Machine& machine, int p,
+               const std::function<void(SpmdContext&)>& body) {
+  const std::uint64_t comm = machine.next_comm();
+  const std::vector<int> procs = util::iota_nodes(p);
+  pcn::ProcessGroup group;
+  for (int i = 0; i < p; ++i) {
+    group.spawn_on(machine, procs[static_cast<std::size_t>(i)], [&, i] {
+      SpmdContext ctx(machine, comm, procs, i);
+      body(ctx);
+    });
+  }
+  group.join();
+}
+
+TEST(CollAlgo, ForceOverridesAndDefaultsToTree) {
+  // No TDP_COLL in the test environment: the default family is Tree.
+  EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
+  coll::force(coll::Algo::Linear);
+  EXPECT_EQ(coll::algorithm(), coll::Algo::Linear);
+  coll::force(coll::Algo::Tree);
+  EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
+  coll::unforce();
+  EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
+}
+
+TEST(CollSweep, BarrierSeparatesArrivalsFromDepartures) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      std::atomic<int> arrived{0};
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        arrived.fetch_add(1);
+        ctx.barrier();
+        EXPECT_EQ(arrived.load(), p)
+            << algo_name(algo) << " barrier released a copy early at P=" << p;
+      });
+    }
+  }
+}
+
+TEST(CollSweep, BroadcastDeliversRootBufferEverywhere) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      for (int root : {0, p - 1}) {
+        vp::Machine machine(p);
+        run_group(machine, p, [&](SpmdContext& ctx) {
+          std::vector<int> data(5, 0);
+          if (ctx.index() == root) {
+            for (int k = 0; k < 5; ++k) data[static_cast<std::size_t>(k)] =
+                root * 1000 + k;
+          }
+          ctx.broadcast(std::span<int>(data), root);
+          for (int k = 0; k < 5; ++k) {
+            EXPECT_EQ(data[static_cast<std::size_t>(k)], root * 1000 + k)
+                << algo_name(algo) << " P=" << p << " root=" << root;
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(CollSweep, ReduceSumsToRootAndLeavesOthersUnchanged) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      for (int root : {0, p - 1}) {
+        vp::Machine machine(p);
+        run_group(machine, p, [&](SpmdContext& ctx) {
+          std::vector<int> data{ctx.index() + 1, 10 * (ctx.index() + 1)};
+          const std::vector<int> mine = data;
+          ctx.reduce<int>(std::span<int>(data), root,
+                          [](const int& a, const int& b) { return a + b; });
+          const int total = p * (p + 1) / 2;
+          if (ctx.index() == root) {
+            EXPECT_EQ(data[0], total) << algo_name(algo) << " P=" << p;
+            EXPECT_EQ(data[1], 10 * total) << algo_name(algo) << " P=" << p;
+          } else {
+            EXPECT_EQ(data, mine)
+                << algo_name(algo) << " P=" << p
+                << ": reduce must not disturb non-root buffers";
+          }
+        });
+      }
+    }
+  }
+}
+
+// 2x2 integer matrices under multiplication: associative, exact, and
+// genuinely non-commutative — the probe for the operand-ordering discipline.
+struct M2 {
+  long long a, b, c, d;  // row-major
+  bool operator==(const M2&) const = default;
+};
+
+M2 matmul(const M2& x, const M2& y) {
+  return M2{x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+            x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+}
+
+M2 rank_matrix(int i) {
+  return M2{i + 1, i, 1, i + 2};
+}
+
+TEST(CollSweep, ReduceKeepsNonCommutativeOperandsInIndexOrder) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      M2 expected = rank_matrix(0);
+      for (int i = 1; i < p; ++i) expected = matmul(expected, rank_matrix(i));
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        M2 m = rank_matrix(ctx.index());
+        ctx.reduce<M2>(std::span<M2>(&m, 1), 0,
+                       [](const M2& x, const M2& y) { return matmul(x, y); });
+        if (ctx.index() == 0) {
+          EXPECT_EQ(m, expected) << algo_name(algo) << " P=" << p;
+        }
+      });
+    }
+  }
+}
+
+TEST(CollSweep, AllreduceAgreesEverywhere) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        const int total = p * (p + 1) / 2;
+        const int sum = ctx.allreduce_value<int>(
+            ctx.index() + 1, [](const int& a, const int& b) { return a + b; });
+        EXPECT_EQ(sum, total) << algo_name(algo) << " P=" << p;
+        // Doubles with exactly-representable values: association-proof.
+        EXPECT_EQ(ctx.allreduce_max(static_cast<double>(ctx.index())),
+                  static_cast<double>(p - 1));
+        EXPECT_EQ(ctx.allreduce_sum(static_cast<double>(ctx.index() + 1)),
+                  static_cast<double>(total));
+        EXPECT_EQ(ctx.allreduce_max_int(-ctx.index()), 0);
+      });
+    }
+  }
+}
+
+// Recursive doubling with the ordering discipline is index-ordered when P
+// is a power of two (no remainder fold), so even a non-commutative operator
+// must give the exact in-order product on every copy.
+TEST(CollSweep, AllreduceNonCommutativePowerOfTwo) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p : {1, 2, 4, 8}) {
+      M2 expected = rank_matrix(0);
+      for (int i = 1; i < p; ++i) expected = matmul(expected, rank_matrix(i));
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        M2 m = rank_matrix(ctx.index());
+        ctx.allreduce<M2>(std::span<M2>(&m, 1), [](const M2& x, const M2& y) {
+          return matmul(x, y);
+        });
+        EXPECT_EQ(m, expected) << algo_name(algo) << " P=" << p;
+      });
+    }
+  }
+}
+
+// Above kAllreduceRdMaxBytes the tree allreduce switches to binomial
+// reduce + tree broadcast, which is index-ordered for *any* group size —
+// sweep the non-commutative product over every P, each slot independently.
+TEST(CollSweep, AllreduceLongPayloadOrderedForAnyGroupSize) {
+  const std::size_t elems = coll::kAllreduceRdMaxBytes / sizeof(M2) + 1;
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      M2 expected = rank_matrix(0);
+      for (int i = 1; i < p; ++i) expected = matmul(expected, rank_matrix(i));
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        std::vector<M2> data(elems, rank_matrix(ctx.index()));
+        ASSERT_GT(data.size() * sizeof(M2), coll::kAllreduceRdMaxBytes);
+        ctx.allreduce<M2>(std::span<M2>(data), [](const M2& x, const M2& y) {
+          return matmul(x, y);
+        });
+        for (const M2& m : data) {
+          ASSERT_EQ(m, expected) << algo_name(algo) << " P=" << p;
+        }
+      });
+    }
+  }
+}
+
+TEST(CollSweep, GatherConcatenatesInIndexOrder) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      for (int root : {0, p - 1}) {
+        vp::Machine machine(p);
+        run_group(machine, p, [&](SpmdContext& ctx) {
+          const std::vector<int> mine{ctx.index() * 10, ctx.index() * 10 + 1};
+          const std::vector<int> all =
+              ctx.gather<int>(std::span<const int>(mine), root);
+          if (ctx.index() == root) {
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * p));
+            for (int i = 0; i < p; ++i) {
+              EXPECT_EQ(all[static_cast<std::size_t>(2 * i)], i * 10);
+              EXPECT_EQ(all[static_cast<std::size_t>(2 * i + 1)], i * 10 + 1);
+            }
+          } else {
+            EXPECT_TRUE(all.empty());
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(CollSweep, AllgatherConcatenatesOnEveryCopy) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        const std::vector<int> mine{ctx.index() * 100, ctx.index() * 100 + 1,
+                                    ctx.index() * 100 + 2};
+        const std::vector<int> all =
+            ctx.allgather<int>(std::span<const int>(mine));
+        ASSERT_EQ(all.size(), static_cast<std::size_t>(3 * p))
+            << algo_name(algo) << " P=" << p;
+        for (int i = 0; i < p; ++i) {
+          for (int k = 0; k < 3; ++k) {
+            EXPECT_EQ(all[static_cast<std::size_t>(3 * i + k)], i * 100 + k)
+                << algo_name(algo) << " P=" << p << " block " << i;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(CollSweep, ScanComputesInclusivePrefix) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        std::vector<int> data{ctx.index() + 1};
+        ctx.scan<int>(std::span<int>(data),
+                      [](const int& a, const int& b) { return a + b; });
+        const int me = ctx.index() + 1;
+        EXPECT_EQ(data[0], me * (me + 1) / 2) << algo_name(algo) << " P=" << p;
+      });
+    }
+  }
+}
+
+TEST(CollSweep, AlltoallRoutesEveryBlock) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        std::vector<int> mine(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+          mine[static_cast<std::size_t>(j)] = ctx.index() * 1000 + j;
+        }
+        const std::vector<int> got =
+            ctx.alltoall<int>(std::span<const int>(mine), 1);
+        ASSERT_EQ(got.size(), static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+          EXPECT_EQ(got[static_cast<std::size_t>(j)], j * 1000 + ctx.index())
+              << algo_name(algo) << " P=" << p;
+        }
+      });
+    }
+  }
+}
+
+TEST(CollSweep, ExchangeSwapsPairBuffers) {
+  for (coll::Algo algo : kAlgos) {
+    ScopedAlgo forced(algo);
+    for (int p = 1; p <= kMaxP; ++p) {
+      vp::Machine machine(p);
+      run_group(machine, p, [&](SpmdContext& ctx) {
+        const int partner = ctx.index() ^ 1;
+        if (partner >= p) return;  // odd copy out at odd group sizes
+        const std::vector<int> mine{ctx.index() * 7, ctx.index() * 7 + 1};
+        std::vector<int> theirs(2, -1);
+        ctx.exchange<int>(partner, 2, std::span<const int>(mine),
+                          std::span<int>(theirs));
+        EXPECT_EQ(theirs[0], partner * 7) << algo_name(algo) << " P=" << p;
+        EXPECT_EQ(theirs[1], partner * 7 + 1);
+      });
+    }
+  }
+}
+
+// The tree broadcast at P=8 is depth ceil(log2 8) = 3: the root sends one
+// message per round (3 total, vs 7 linear) and the whole group moves P-1
+// messages either way.
+TEST(CollRounds, TreeBroadcastAtP8IsThreeRoundsDeep) {
+  constexpr int kP = 8;
+  std::vector<std::uint64_t> sent(kP, 0);
+  {
+    ScopedAlgo forced(coll::Algo::Tree);
+    vp::Machine machine(kP);
+    run_group(machine, kP, [&](SpmdContext& ctx) {
+      std::vector<int> data(16, ctx.index() == 0 ? 42 : 0);
+      ctx.broadcast(std::span<int>(data), 0);
+      sent[static_cast<std::size_t>(ctx.index())] = ctx.sent_count();
+    });
+  }
+  EXPECT_EQ(sent[0], 3u) << "binomial root sends ceil(log2 P) messages";
+  std::uint64_t total = 0;
+  for (std::uint64_t s : sent) {
+    EXPECT_LE(s, 3u) << "no copy may exceed the tree depth";
+    total += s;
+  }
+  EXPECT_EQ(total, 7u) << "a broadcast still moves exactly P-1 messages";
+
+  std::vector<std::uint64_t> linear_sent(kP, 0);
+  {
+    ScopedAlgo forced(coll::Algo::Linear);
+    vp::Machine machine(kP);
+    run_group(machine, kP, [&](SpmdContext& ctx) {
+      std::vector<int> data(16, ctx.index() == 0 ? 42 : 0);
+      ctx.broadcast(std::span<int>(data), 0);
+      linear_sent[static_cast<std::size_t>(ctx.index())] = ctx.sent_count();
+    });
+  }
+  EXPECT_EQ(linear_sent[0], 7u) << "linear root sends P-1 sequential messages";
+}
+
+// The zero-copy contract: a payload broadcast fans one refcounted buffer to
+// P-1 peers without the substrate copying a single payload byte.
+TEST(CollZeroCopy, PayloadBroadcastCopiesNothing) {
+  constexpr int kP = 8;
+  constexpr std::size_t kBytes = 4096;
+  auto& copied = obs::Registry::instance().counter("comm.bytes_copied");
+  ScopedAlgo forced(coll::Algo::Tree);
+  vp::Machine machine(kP);
+  const std::uint64_t before = copied.value();
+  run_group(machine, kP, [&](SpmdContext& ctx) {
+    vp::Payload mine;
+    if (ctx.index() == 0) {
+      std::vector<std::byte> bytes(kBytes, std::byte{0x5a});
+      mine = vp::Payload::take(std::move(bytes));  // adopt, don't copy
+    }
+    const vp::Payload out = ctx.broadcast_payload(std::move(mine), 0);
+    ASSERT_EQ(out.size(), kBytes);
+    EXPECT_EQ(out.bytes()[0], std::byte{0x5a});
+    EXPECT_EQ(out.bytes()[kBytes - 1], std::byte{0x5a});
+  });
+  EXPECT_EQ(copied.value() - before, 0u)
+      << "broadcast fan-out must not copy payload bytes";
+}
+
+// The typed (span) broadcast costs exactly one substrate copy at the root —
+// the wrap that decouples the shared buffer from the caller's mutable span —
+// under the tree, versus P-1 copies under the linear baseline.
+TEST(CollZeroCopy, TypedBroadcastCopiesOnceAtRoot) {
+  constexpr int kP = 8;
+  constexpr std::size_t kBytes = 1024;
+  auto& copied = obs::Registry::instance().counter("comm.bytes_copied");
+  auto& delivered = obs::Registry::instance().counter("comm.bytes_delivered");
+  const auto run_once = [&](coll::Algo algo) {
+    ScopedAlgo forced(algo);
+    vp::Machine machine(kP);
+    run_group(machine, kP, [&](SpmdContext& ctx) {
+      std::vector<std::byte> data(kBytes, std::byte{static_cast<unsigned char>(
+                                              ctx.index() == 0 ? 7 : 0)});
+      coll::broadcast(ctx, std::span<std::byte>(data), 0);
+      EXPECT_EQ(data[0], std::byte{7});
+    });
+  };
+
+  std::uint64_t before = copied.value();
+  std::uint64_t before_delivered = delivered.value();
+  run_once(coll::Algo::Tree);
+  EXPECT_EQ(copied.value() - before, kBytes)
+      << "tree: one wrap at the root, shared by all 7 receivers";
+  EXPECT_EQ(delivered.value() - before_delivered, (kP - 1) * kBytes)
+      << "each receiver copies out into its own span exactly once";
+
+  before = copied.value();
+  run_once(coll::Algo::Linear);
+  EXPECT_EQ(copied.value() - before, (kP - 1) * kBytes)
+      << "linear baseline: one payload copy per destination";
+}
+
+// Satellite: a typed receive into a buffer of the wrong size must throw,
+// naming the tag, the source and both sizes — never silently truncate.
+TEST(CollRecv, SizeMismatchThrowsWithTagSourceAndSizes) {
+  vp::Machine machine(2);
+  run_group(machine, 2, [&](SpmdContext& ctx) {
+    if (ctx.index() == 0) {
+      ctx.send_value<std::int32_t>(1, 5, 42);
+    } else {
+      try {
+        (void)ctx.recv_value<std::int64_t>(0, 5);
+        ADD_FAILURE() << "recv of 4 bytes into 8 must throw";
+      } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("tag 5"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("src 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4 bytes"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("8-byte"), std::string::npos) << msg;
+      }
+    }
+  });
+}
+
+TEST(CollRecv, PayloadReceiveSharesSenderBuffer) {
+  vp::Machine machine(2);
+  run_group(machine, 2, [&](SpmdContext& ctx) {
+    if (ctx.index() == 0) {
+      std::vector<std::byte> bytes(64, std::byte{9});
+      vp::Payload pay = vp::Payload::take(std::move(bytes));
+      ctx.send_payload(1, 3, pay);
+      // The sender still holds its handle; the receiver holds another.
+      EXPECT_GE(pay.use_count(), 1);
+    } else {
+      const vp::Payload got = ctx.recv_payload(0, 3);
+      EXPECT_EQ(got.size(), 64u);
+      EXPECT_EQ(got.bytes()[63], std::byte{9});
+    }
+  });
+}
+
+}  // namespace
+}  // namespace tdp::spmd

@@ -8,7 +8,9 @@
 
 #include "core/do_all.hpp"
 #include "core/runtime.hpp"
+#include "obs/metrics.hpp"
 #include "util/node_array.hpp"
+#include "vp/payload.hpp"
 
 namespace tdp::core {
 namespace {
@@ -117,6 +119,37 @@ TEST_F(DistributedCallTest, ConstantsAreSharedInputs) {
                          .constant(std::vector<int>{1, 2, 3})
                          .run();
   EXPECT_EQ(status, kStatusOk);
+}
+
+TEST_F(DistributedCallTest, PayloadConstantIsSharedWithoutCopies) {
+  // A bulk constant rides through the marshal phase as a refcounted handle:
+  // every copy of the program sees the *same* buffer, and wrapping plus
+  // marshalling costs zero payload-byte copies.
+  std::vector<std::byte> bulk(512);
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    bulk[i] = static_cast<std::byte>(i & 0xff);
+  }
+  const std::byte* raw = bulk.data();
+  auto& copied = obs::Registry::instance().counter("comm.bytes_copied");
+  const std::uint64_t before = copied.value();
+
+  std::mutex mu;
+  std::set<const std::byte*> seen;
+  rt_.programs().add("check_payload",
+                     [&](spmd::SpmdContext&, CallArgs& args) {
+                       const std::span<const std::byte> p = args.payload(0);
+                       ASSERT_EQ(p.size(), 512u);
+                       EXPECT_EQ(p[255], std::byte{255});
+                       std::lock_guard<std::mutex> lock(mu);
+                       seen.insert(p.data());
+                     });
+  const int status = rt_.call(util::iota_nodes(4), "check_payload")
+                         .constant(vp::Payload::take(std::move(bulk)))
+                         .run();
+  EXPECT_EQ(status, kStatusOk);
+  ASSERT_EQ(seen.size(), 1u) << "all copies must share one buffer";
+  EXPECT_EQ(*seen.begin(), raw) << "and it is the caller's adopted storage";
+  EXPECT_EQ(copied.value() - before, 0u);
 }
 
 TEST_F(DistributedCallTest, IndexParameterIsPositionInProcessorArray) {

@@ -210,10 +210,17 @@ TEST(Machine, MessageCountsAccumulate) {
   rt.programs().add("chatter", [](spmd::SpmdContext& ctx, core::CallArgs&) {
     ctx.barrier();
   });
-  const std::uint64_t before = rt.machine().messages_sent();
+  // Linear barrier over 4 copies: 3 up + 3 down messages.
+  spmd::coll::force(spmd::coll::Algo::Linear);
+  std::uint64_t before = rt.machine().messages_sent();
   ASSERT_EQ(rt.call(rt.all_procs(), "chatter").run(), kStatusOk);
-  // Barrier over 4 copies: 3 up + 3 down messages.
   EXPECT_EQ(rt.machine().messages_sent() - before, 6u);
+  // Dissemination barrier: ceil(log2 4) = 2 rounds of 4 signals each.
+  spmd::coll::force(spmd::coll::Algo::Tree);
+  before = rt.machine().messages_sent();
+  ASSERT_EQ(rt.call(rt.all_procs(), "chatter").run(), kStatusOk);
+  EXPECT_EQ(rt.machine().messages_sent() - before, 8u);
+  spmd::coll::unforce();
 }
 
 }  // namespace

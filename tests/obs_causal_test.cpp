@@ -118,7 +118,7 @@ TEST_F(ObsCausalTest, PairingSurvivesSelectiveReceiveReorderingUnderContention) 
         m.comm = 9;
         m.tag = tag;
         m.src = 0;
-        m.payload.resize(static_cast<std::size_t>(tag) + 1);
+        m.payload = vp::Payload::zeros(static_cast<std::size_t>(tag) + 1);
         machine.send(1, std::move(m));
       }
       obs::set_current_vp(-1);
@@ -183,7 +183,7 @@ TEST_F(ObsCausalTest, WatchdogFlagsDeadlockedSelectiveReceivePair) {
       noise.comm = 7;
       noise.tag = 9;
       noise.src = 1;
-      noise.payload.resize(4);
+      noise.payload = vp::Payload::zeros(4);
       machine.send(0, std::move(noise));
     }
     std::thread blocked0([&machine] {

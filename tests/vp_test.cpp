@@ -18,7 +18,7 @@ Message make(MessageClass cls, std::uint64_t comm, int tag, int src,
   m.comm = comm;
   m.tag = tag;
   m.src = src;
-  m.payload = std::move(payload);
+  m.payload = Payload::take(std::move(payload));
   return m;
 }
 
@@ -28,8 +28,8 @@ TEST(Mailbox, DeliversInFifoOrderForMatchingMessages) {
   mb.post(make(MessageClass::DataParallel, 1, 7, 0, {std::byte{2}}));
   Message a = mb.receive(MessageClass::DataParallel, 1, 7, 0);
   Message b = mb.receive(MessageClass::DataParallel, 1, 7, 0);
-  EXPECT_EQ(a.payload[0], std::byte{1});
-  EXPECT_EQ(b.payload[0], std::byte{2});
+  EXPECT_EQ(a.payload.bytes()[0], std::byte{1});
+  EXPECT_EQ(b.payload.bytes()[0], std::byte{2});
 }
 
 TEST(Mailbox, SelectiveReceiveSkipsNonMatching) {
@@ -52,9 +52,25 @@ TEST(Mailbox, CommScopingSeparatesConcurrentCalls) {
   mb.post(make(MessageClass::DataParallel, 11, 0, 0, {std::byte{11}}));
   // Receiving on comm 11 first must not steal comm 10's message.
   Message m11 = mb.receive(MessageClass::DataParallel, 11, 0, 0);
-  EXPECT_EQ(m11.payload[0], std::byte{11});
+  EXPECT_EQ(m11.payload.bytes()[0], std::byte{11});
   Message m10 = mb.receive(MessageClass::DataParallel, 10, 0, 0);
-  EXPECT_EQ(m10.payload[0], std::byte{10});
+  EXPECT_EQ(m10.payload.bytes()[0], std::byte{10});
+}
+
+TEST(Mailbox, DescribePendingReportsPayloadSizeAndFlow) {
+  Mailbox mb;
+  Message m = make(MessageClass::DataParallel, 3, 8, 2,
+                   std::vector<std::byte>(5, std::byte{1}));
+  m.flow = 77;
+  mb.post(std::move(m));
+  const std::string desc = mb.describe_pending();
+  EXPECT_NE(desc.find("1 pending"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("cls=data"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("comm=3"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("tag=8"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("src=2"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("flow=77"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("5B"), std::string::npos) << desc;
 }
 
 TEST(Mailbox, WildcardSourceMatchesAnySender) {
