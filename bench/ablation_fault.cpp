@@ -1,0 +1,81 @@
+// Ablation — cost of the fault-injection hook on the send path.
+//
+// Machine::send consults the injector only when a plan is installed, so the
+// healthy-path price is one pointer test.  Series: raw send throughput with
+// (a) no injector, (b) an installed but never-firing plan (every message
+// takes the decision-word path and delivers), and (c) a dropping plan (the
+// decision fires and the message is discarded).  The gap between (a) and
+// (b) is what every user pays once they opt into TDP_FAULT; the gap between
+// (b) and (c) bounds the bookkeeping per injected fault.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "fault/plan.hpp"
+#include "vp/machine.hpp"
+
+namespace {
+
+using namespace tdp;
+
+vp::Message make_message(int tag) {
+  vp::Message m;
+  m.cls = vp::MessageClass::DataParallel;
+  m.comm = 1;
+  m.tag = tag;
+  m.src = 0;
+  return m;
+}
+
+void drain(vp::Machine& machine, int dst) {
+  while (machine.mailbox(dst).pending() > 0) {
+    (void)machine.mailbox(dst).receive([](const vp::Message&) { return true; });
+  }
+}
+
+void BM_SendNoInjector(benchmark::State& state) {
+  vp::Machine machine(2);
+  int tag = 0;
+  for (auto _ : state) {
+    machine.send(1, make_message(tag++));
+    if ((tag & 1023) == 0) drain(machine, 1);
+  }
+  drain(machine, 1);
+}
+BENCHMARK(BM_SendNoInjector);
+
+void BM_SendInjectorInstalledNeverFires(benchmark::State& state) {
+  vp::Machine machine(2);
+  // A plan with all probabilities zero is inactive (no injector); a
+  // vanishingly rare drop keeps the injector on the path without it firing
+  // in any run of realistic length.
+  fault::Plan plan;
+  plan.drop = 1e-12;
+  plan.seed = 42;
+  machine.set_fault_plan(plan);
+  int tag = 0;
+  for (auto _ : state) {
+    machine.send(1, make_message(tag++));
+    if ((tag & 1023) == 0) drain(machine, 1);
+  }
+  drain(machine, 1);
+}
+BENCHMARK(BM_SendInjectorInstalledNeverFires);
+
+void BM_SendInjectorAlwaysDrops(benchmark::State& state) {
+  vp::Machine machine(2);
+  fault::Plan plan;
+  plan.drop = 1.0;
+  plan.seed = 42;
+  machine.set_fault_plan(plan);
+  int tag = 0;
+  for (auto _ : state) {
+    machine.send(1, make_message(tag++));
+  }
+  state.counters["drops"] =
+      static_cast<double>(machine.faults()->counts().drops);
+}
+BENCHMARK(BM_SendInjectorAlwaysDrops);
+
+}  // namespace
+
+TDP_BENCH_MAIN();

@@ -53,11 +53,26 @@ namespace {
 
 /// What one wrapper copy hands back for merging: its effective local status
 /// plus its local reduction variables, in parameter order (the tuple of
-/// §5.2.2).
+/// §5.2.2).  `error` is non-empty only when the copy threw; the status is
+/// then kStatusError and the reduction buffers are zero-initialised.
 struct WrapperResult {
   int status = kStatusOk;
   std::vector<ReduceBuffer> reduces;
+  std::string error;
 };
+
+/// Zero-initialised reduction buffers matching the call's Reduce parameters,
+/// so a copy that failed before (or while) producing results still
+/// contributes well-formed operands to the pairwise merge.
+std::vector<ReduceBuffer> zero_reduces(const std::vector<Param>& params) {
+  std::vector<ReduceBuffer> out;
+  for (const Param& p : params) {
+    if (p.kind == Param::Kind::Reduce) {
+      out.push_back(ReduceBuffer::make(p.reduce_type, p.reduce_len));
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -116,10 +131,20 @@ class Wrapper {
       // buffers stay zero-initialised and still participate in the merge.
       result.status = resolve_status;
     } else {
-      program(ctx, args);
-      result.status = has_status && !status_slots.empty()
-                          ? args.slots_[status_slots.front()].status
-                          : kStatusOk;
+      try {
+        program(ctx, args);
+        result.status = has_status && !status_slots.empty()
+                            ? args.slots_[status_slots.front()].status
+                            : kStatusOk;
+      } catch (const std::exception& e) {
+        // A throwing copy folds into the status merge like a resolve
+        // failure: kStatusError regardless of whether the call declared a
+        // status parameter (the §4.1.2 discipline — failure must reach the
+        // caller, never std::terminate).  The already-allocated reduction
+        // buffers keep their zero state and still participate.
+        result.status = kStatusError;
+        result.error = e.what();
+      }
     }
 
     result.reduces.reserve(reduce_slots.size());
@@ -227,6 +252,11 @@ DistributedCall& DistributedCall::port(ChannelGroup group) {
   return *this;
 }
 
+DistributedCall& DistributedCall::error_message(std::string* out) {
+  error_out_ = out;
+  return *this;
+}
+
 bool DistributedCall::validate(DataParallelProgram& program_out) const {
   if (processors_.empty()) return false;
   for (int p : processors_) {
@@ -321,9 +351,27 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
             obs::flow_end(obs::Op::CallExecute,
                           (*spawn_flows)[static_cast<std::size_t>(i)], comm);
           }
-          spmd::SpmdContext ctx(*machine, comm, *procs, i);
-          WrapperResult result =
-              Wrapper::run_copy(*arrays, ctx, *shared, program, has_status);
+          WrapperResult result;
+          try {
+            spmd::SpmdContext ctx(*machine, comm, *procs, i);
+            result =
+                Wrapper::run_copy(*arrays, ctx, *shared, program, has_status);
+          } catch (const std::exception& e) {
+            // Last line of defence: anything escaping the wrapper (context
+            // setup, a reduction-buffer allocation, a receive timeout
+            // during a collective inside run_copy's own machinery) becomes
+            // a well-formed kStatusError result rather than a dead thread
+            // — the combine process below must never wait forever on an
+            // undefined slot.
+            result.status = kStatusError;
+            result.error = e.what();
+            result.reduces = zero_reduces(*shared);
+          }
+          if (result.status == kStatusError && !result.error.empty()) {
+            static obs::ShardedCounter& copy_errors =
+                obs::Registry::instance().counter("call.copy_errors");
+            copy_errors.add();
+          }
           // Flow origin before define(): the combine process may emit the
           // matching flow end the instant the result becomes readable.
           if (join_flows) {
@@ -338,13 +386,17 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   // reduction variables pairwise in copy order, delivers merged reductions,
   // and only then defines the call's status.
   StatusCombine scombine = status_combine_;
-  group.spawn([shared, results, status, scombine, comm, n, join_flows] {
+  std::string* error_out = error_out_;
+  group.spawn([shared, results, status, scombine, comm, n, join_flows,
+               error_out] {
     obs::Span comb(obs::Op::CallCombine, comm, static_cast<std::uint64_t>(n),
                    nullptr);
     WrapperResult merged = (*results)[0].read();
     if (join_flows) {
       obs::flow_end(obs::Op::CallCombine, (*join_flows)[0], comm);
     }
+    std::string first_error;
+    if (!merged.error.empty()) first_error = "copy 0: " + merged.error;
     for (int i = 1; i < n; ++i) {
       const WrapperResult& next =
           (*results)[static_cast<std::size_t>(i)].read();
@@ -353,9 +405,13 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
                       (*join_flows)[static_cast<std::size_t>(i)], comm);
       }
       merged.status = scombine(merged.status, next.status);
+      if (first_error.empty() && !next.error.empty()) {
+        first_error = "copy " + std::to_string(i) + ": " + next.error;
+      }
       std::size_t r = 0;
       for (const Param& p : *shared) {
         if (p.kind != Param::Kind::Reduce) continue;
+        if (r >= merged.reduces.size() || r >= next.reduces.size()) break;
         ReduceBuffer out = ReduceBuffer::make(p.reduce_type, p.reduce_len);
         p.reduce_combine(merged.reduces[r], next.reduces[r], out);
         merged.reduces[r] = std::move(out);
@@ -365,9 +421,14 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
     std::size_t r = 0;
     for (const Param& p : *shared) {
       if (p.kind != Param::Kind::Reduce) continue;
+      if (r >= merged.reduces.size()) break;
       if (p.reduce_deliver) p.reduce_deliver(merged.reduces[r]);
       ++r;
     }
+    // Deliver the failure description before the status becomes readable —
+    // the same ordering discipline as reductions (§3.3.1: all outputs are
+    // valid once the call's status is defined).
+    if (error_out != nullptr) *error_out = std::move(first_error);
     status.define(merged.status);
   });
   return status;

@@ -82,12 +82,22 @@ class DistributedCall {
   /// Channel ports (§7.2.1 extension): copy i receives group.port(i).
   DistributedCall& port(ChannelGroup group);
 
+  /// Where to deliver the first copy-failure description ("copy 3: ...")
+  /// when a copy throws instead of returning.  Written — possibly with an
+  /// empty string when every copy succeeded — before the call's status
+  /// becomes defined.  The pointee must outlive the call.
+  DistributedCall& error_message(std::string* out);
+
   /// Executes the call and blocks until every copy has terminated.
   /// Returns the merged status: STATUS_OK when there is no status parameter
   /// and no wrapper failure, otherwise the combined local statuses
   /// (§4.3.1 postcondition).  Returns STATUS_INVALID without running when
   /// the call itself is malformed (unknown program, bad processors, more
-  /// than one status parameter).
+  /// than one status parameter).  A copy that throws — a user exception, or
+  /// a vp::ReceiveTimeout from a lost message under a receive deadline —
+  /// does not terminate the process: its local status becomes kStatusError
+  /// and folds into the §4.1.2 merge like any other failure code, with the
+  /// exception text available via error_message().
   int run();
 
   /// Asynchronous form; the returned definitional status is defined only on
@@ -106,6 +116,7 @@ class DistributedCall {
   std::vector<Param> params_;
   StatusCombine status_combine_;
   int status_params_ = 0;
+  std::string* error_out_ = nullptr;
 };
 
 }  // namespace tdp::core

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/status.hpp"
 
 namespace tdp::core {
 
@@ -63,7 +64,24 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
                            obs::Op::DoAllCopy,
                            (*spawn_flows)[static_cast<std::size_t>(i)]);
                      }
-                     const int local = body(i);
+                     int local;
+                     try {
+                       local = body(i);
+                     } catch (...) {
+                       // Keep the merge process alive: this copy's local
+                       // status becomes kStatusError, and the exception is
+                       // recorded by the ProcessGroup, which rethrows the
+                       // first one on the joining thread (instead of the
+                       // old behaviour: std::terminate in this thread).
+                       if (join_flows) {
+                         obs::flow_start(
+                             obs::Op::DoAllCopy,
+                             (*join_flows)[static_cast<std::size_t>(i)]);
+                       }
+                       (*locals)[static_cast<std::size_t>(i)].define(
+                           kStatusError);
+                       throw;
+                     }
                      if (join_flows) {
                        obs::flow_start(
                            obs::Op::DoAllCopy,

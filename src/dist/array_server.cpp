@@ -1,6 +1,75 @@
 #include "dist/array_server.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tdp::dist {
+
+namespace {
+
+/// Issues `type` to `proc`'s server until a reply arrives or the policy is
+/// exhausted; returns the reply or an empty std::any on exhaustion.  The
+/// caller guarantees the request is idempotent.
+std::any request_with_retry(vp::ServerSystem& servers, int proc,
+                            const std::string& type, const std::any& params,
+                            const RetryPolicy& policy) {
+  static obs::ShardedCounter& timeouts =
+      obs::Registry::instance().counter("fault.timeouts");
+  static obs::ShardedCounter& retries =
+      obs::Registry::instance().counter("fault.retries");
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (obs::enabled()) {
+        retries.add();
+        obs::instant(obs::Op::FaultRetry, 0,
+                     static_cast<std::uint64_t>(proc),
+                     static_cast<std::uint64_t>(attempt));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          policy.backoff_ms << (attempt - 1)));
+    }
+    pcn::Def<std::any> reply = servers.request(proc, type, params);
+    const std::any* answer =
+        reply.read_for(std::chrono::milliseconds(policy.timeout_ms));
+    if (answer != nullptr) return *answer;
+    if (obs::enabled()) {
+      timeouts.add();
+      obs::instant(obs::Op::FaultTimeout, 0,
+                   static_cast<std::uint64_t>(proc),
+                   static_cast<std::uint64_t>(attempt));
+    }
+  }
+  return std::any{};
+}
+
+}  // namespace
+
+Status read_section_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                            vp::Payload& out, const RetryPolicy& policy) {
+  ReadSectionRequest params;
+  params.id = id;
+  const std::any answer =
+      request_with_retry(servers, proc, "read_section", params, policy);
+  const auto* reply = std::any_cast<ReadSectionReply>(&answer);
+  if (reply == nullptr) return Status::Error;  // attempts exhausted
+  if (ok(reply->status)) out = reply->data;
+  return reply->status;
+}
+
+Status write_section_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                             vp::Payload data, const RetryPolicy& policy) {
+  WriteSectionRequest params;
+  params.id = id;
+  params.data = std::move(data);
+  const std::any answer =
+      request_with_retry(servers, proc, "write_section", params, policy);
+  const auto* reply = std::any_cast<StatusReply>(&answer);
+  return reply != nullptr ? reply->status : Status::Error;
+}
 
 void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager) {
   ArrayManager* am = &manager;

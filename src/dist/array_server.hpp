@@ -96,4 +96,32 @@ struct StatusReply {
 /// by `manager`.
 void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager);
 
+/// Bounded retry-with-backoff for server requests whose reply may never
+/// arrive (a fault plan can drop requests in transit; see
+/// vp::ServerSystem::request).  Each attempt waits `timeout_ms` for the
+/// reply; between attempts the requester sleeps `backoff_ms << attempt`.
+/// After `max_attempts` unanswered attempts the operation reports
+/// Status::Error — bounded, visible failure instead of an eternal hang.
+struct RetryPolicy {
+  std::uint64_t timeout_ms = 200;  ///< per-attempt reply deadline
+  int max_attempts = 4;            ///< total attempts (first + retries)
+  std::uint64_t backoff_ms = 10;   ///< base backoff, doubled per retry
+};
+
+/// Requests processor `proc`'s section of array `id` through the server,
+/// retrying per `policy`.  Section reads are idempotent — re-issuing a
+/// request whose reply was merely lost (not unserviced) returns the same
+/// snapshot — so retry is always safe here.  Timeouts and retries are
+/// counted (fault.timeouts, fault.retries) and traced as fault.* events.
+Status read_section_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                            vp::Payload& out,
+                            const RetryPolicy& policy = {});
+
+/// Overwrites processor `proc`'s section of `id` with `data` through the
+/// server, retrying per `policy`.  Idempotent for the same reason a read
+/// is: writing the same bytes twice leaves the same section.
+Status write_section_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                             vp::Payload data,
+                             const RetryPolicy& policy = {});
+
 }  // namespace tdp::dist

@@ -1,0 +1,124 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tdp::fault {
+
+namespace {
+
+bool parse_probability(std::string_view value, double& out) {
+  std::string buf(value);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0' || v < 0.0) return false;
+  out = v > 1.0 ? 1.0 : v;
+  return true;
+}
+
+bool parse_u64(std::string_view value, std::uint64_t& out) {
+  std::string buf(value);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool Plan::parse(std::string_view spec, Plan& out, std::string& error_out) {
+  Plan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view token =
+        spec.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) continue;
+
+    const std::size_t colon = token.find(':');
+    if (colon == std::string_view::npos) {
+      error_out = "missing ':' in \"" + std::string(token) + "\"";
+      out = Plan{};
+      return false;
+    }
+    const std::string_view key = token.substr(0, colon);
+    const std::string_view value = token.substr(colon + 1);
+
+    bool ok = true;
+    if (key == "drop") {
+      ok = parse_probability(value, plan.drop);
+    } else if (key == "dup") {
+      ok = parse_probability(value, plan.dup);
+    } else if (key == "reorder") {
+      ok = parse_probability(value, plan.reorder);
+    } else if (key == "delay") {
+      ok = parse_u64(value, plan.delay_ms);
+    } else if (key == "seed") {
+      ok = parse_u64(value, plan.seed);
+    } else if (key == "fail") {
+      std::uint64_t vp = 0;
+      ok = parse_u64(value, vp);
+      if (ok) plan.failed.push_back(static_cast<int>(vp));
+    } else {
+      error_out = "unknown key \"" + std::string(key) + "\"";
+      out = Plan{};
+      return false;
+    }
+    if (!ok) {
+      error_out = "bad value in \"" + std::string(token) + "\"";
+      out = Plan{};
+      return false;
+    }
+  }
+  out = plan;
+  return true;
+}
+
+Plan Plan::from_env() {
+  const char* env = std::getenv("TDP_FAULT");
+  if (env == nullptr || env[0] == '\0') return Plan{};
+  Plan plan;
+  std::string error;
+  if (!Plan::parse(env, plan, error)) {
+    std::fprintf(stderr,
+                 "tdp::fault: ignoring malformed TDP_FAULT \"%s\" (%s); valid "
+                 "keys are drop:p, delay:ms, dup:p, reorder:p, fail:vp, "
+                 "seed:n\n",
+                 env, error.c_str());
+    return Plan{};
+  }
+  return plan;
+}
+
+std::string Plan::describe() const {
+  std::ostringstream out;
+  const char* sep = "";
+  if (drop > 0.0) {
+    out << sep << "drop:" << drop;
+    sep = ",";
+  }
+  if (delay_ms > 0) {
+    out << sep << "delay:" << delay_ms;
+    sep = ",";
+  }
+  if (dup > 0.0) {
+    out << sep << "dup:" << dup;
+    sep = ",";
+  }
+  if (reorder > 0.0) {
+    out << sep << "reorder:" << reorder;
+    sep = ",";
+  }
+  for (int vp : failed) {
+    out << sep << "fail:" << vp;
+    sep = ",";
+  }
+  out << sep << "seed:" << seed;
+  return out.str();
+}
+
+}  // namespace tdp::fault

@@ -1,0 +1,65 @@
+// tdp::fault — deterministic fault-injection plans for the VP substrate.
+//
+// The thesis makes failure part of the model (every library procedure
+// returns a status code, §4.1.2, and distributed calls merge per-copy
+// statuses pairwise), but a substrate can only be *trusted* to surface
+// partial failure if failures can be manufactured on demand.  A Plan is the
+// declarative description of what to inject:
+//
+//   * drop      — lose a message with probability p;
+//   * delay_ms  — hold every message for a fixed time before delivery
+//                 (stalls the sender, perturbing interleavings);
+//   * dup       — deliver a message twice with probability p;
+//   * reorder   — with probability p, stash a message and deliver it after
+//                 the next message to the same destination (a pairwise swap);
+//   * failed    — virtual processors marked failed: every message to or
+//                 from them, and every server request addressed to them, is
+//                 silently dropped.
+//
+// Plans come from the TDP_FAULT environment variable
+// ("drop:0.05,delay:2,dup:0.01,reorder:0.02,fail:3,seed:42" — keys in any
+// order, all optional) or are built programmatically by tests.  All
+// randomness is derived from `seed` and per-destination send sequence
+// numbers (see inject.hpp), so a fixed seed and a fixed per-destination
+// traffic pattern give an identical injected-fault sequence on every run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdp::fault {
+
+struct Plan {
+  double drop = 0.0;             ///< P(message dropped), in [0, 1]
+  double dup = 0.0;              ///< P(message duplicated), in [0, 1]
+  double reorder = 0.0;          ///< P(message stashed for a pairwise swap)
+  std::uint64_t delay_ms = 0;    ///< fixed pre-delivery delay per message
+  std::uint64_t seed = 1;        ///< root of every injection decision
+  std::vector<int> failed;       ///< VPs whose traffic is dropped entirely
+
+  /// True when the plan injects anything at all; inactive plans cost the
+  /// substrate nothing (Machine::send keeps its plain path).
+  bool active() const {
+    return drop > 0.0 || dup > 0.0 || reorder > 0.0 || delay_ms > 0 ||
+           !failed.empty();
+  }
+
+  /// Parses "key:value,key:value,..." with keys drop, delay, dup, reorder,
+  /// fail, seed.  Returns false (and names the offending token in
+  /// `error_out`) on an unknown key or a malformed value; `out` is then
+  /// left default-constructed.  Probabilities are clamped to [0, 1].
+  static bool parse(std::string_view spec, Plan& out, std::string& error_out);
+
+  /// The plan described by TDP_FAULT, or an inactive plan when the variable
+  /// is unset.  A malformed value earns a one-line stderr warning naming
+  /// the valid keys (mirroring the guarded env parsing elsewhere in the
+  /// runtime) and is treated as unset — a typo must never silently inject.
+  static Plan from_env();
+
+  /// One-line human rendering ("drop:0.05,seed:42"); for logs and tests.
+  std::string describe() const;
+};
+
+}  // namespace tdp::fault

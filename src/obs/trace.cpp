@@ -108,6 +108,12 @@ const char* op_name(Op op) {
     case Op::CollAllgather: return "coll.allgather";
     case Op::CollScan: return "coll.scan";
     case Op::CollAlltoall: return "coll.alltoall";
+    case Op::FaultDrop: return "fault.drop";
+    case Op::FaultDelay: return "fault.delay";
+    case Op::FaultDup: return "fault.dup";
+    case Op::FaultReorder: return "fault.reorder";
+    case Op::FaultTimeout: return "fault.timeout";
+    case Op::FaultRetry: return "fault.retry";
     case Op::kCount_: break;
   }
   return "unknown";
@@ -153,6 +159,13 @@ const char* op_category(Op op) {
     case Op::CollScan:
     case Op::CollAlltoall:
       return "coll";
+    case Op::FaultDrop:
+    case Op::FaultDelay:
+    case Op::FaultDup:
+    case Op::FaultReorder:
+    case Op::FaultTimeout:
+    case Op::FaultRetry:
+      return "fault";
     default:
       return "misc";
   }

@@ -70,6 +70,12 @@ enum class Op : std::uint16_t {
   CollAllgather,   ///< spmd collective: allgather
   CollScan,        ///< spmd collective: scan
   CollAlltoall,    ///< spmd collective: all-to-all exchange
+  FaultDrop,       ///< fault injector: message or request dropped
+  FaultDelay,      ///< fault injector: message delayed before delivery
+  FaultDup,        ///< fault injector: message duplicated
+  FaultReorder,    ///< fault injector: message stashed for a pairwise swap
+  FaultTimeout,    ///< a deadline-aware receive or request reply timed out
+  FaultRetry,      ///< bounded-retry path re-issued a server request
   kCount_
 };
 

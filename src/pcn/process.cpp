@@ -2,26 +2,54 @@
 
 namespace tdp::pcn {
 
-ProcessGroup::~ProcessGroup() { join(); }
+ProcessGroup::~ProcessGroup() { join_threads(); }
+
+void ProcessGroup::run_guarded(const Block& body) noexcept {
+  try {
+    body();
+  } catch (const vp::MailboxClosed&) {
+    // Machine teardown closed the mailbox this process was blocked on:
+    // clean shutdown, not a failure (the §3.1.1.1 composition simply ends).
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+}
 
 void ProcessGroup::spawn(Block body) {
-  threads_.emplace_back(std::move(body));
+  threads_.emplace_back(
+      [this, body = std::move(body)] { run_guarded(body); });
 }
 
 void ProcessGroup::spawn_on(vp::Machine& machine, int proc, Block body) {
   if (!machine.valid_proc(proc)) {
     throw std::out_of_range("ProcessGroup::spawn_on: bad processor number");
   }
-  threads_.emplace_back([proc, body = std::move(body)] {
+  threads_.emplace_back([this, proc, body = std::move(body)] {
     vp::ProcScope scope(proc);
-    body();
+    run_guarded(body);
   });
 }
 
-void ProcessGroup::join() {
+void ProcessGroup::join_threads() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+}
+
+void ProcessGroup::join() {
+  join_threads();
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    e = std::exchange(first_exception_, nullptr);
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+std::exception_ptr ProcessGroup::first_exception() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_exception_;
 }
 
 void par(std::vector<Block> blocks) {

@@ -17,8 +17,10 @@
 //   pg.join();
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <initializer_list>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -32,6 +34,15 @@ using Block = std::function<void()>;
 /// A set of dynamically-created processes with a fork/join lifetime.  The
 /// destructor joins any processes still running (a parallel composition
 /// terminates only when all its statements have, §3.1.1.1).
+///
+/// Exception policy: a body that throws no longer takes the whole OS
+/// process down with std::terminate.  The group records the first
+/// exception and join() rethrows it on the joining thread — the same
+/// propagation a sequential composition would give.  Two exceptions are
+/// special-cased: vp::MailboxClosed means the machine is being torn down
+/// while this process was blocked in a receive, which is a *clean*
+/// shutdown, not an error; further exceptions after the first are dropped
+/// (first-wins, like nested exceptions in a sequential program).
 class ProcessGroup {
  public:
   ProcessGroup() = default;
@@ -47,14 +58,25 @@ class ProcessGroup {
   /// sees vp::current_proc() == proc.
   void spawn_on(vp::Machine& machine, int proc, Block body);
 
-  /// Waits for every spawned process to terminate.
+  /// Waits for every spawned process to terminate, then rethrows the first
+  /// exception any of them threw (if any).  The destructor joins WITHOUT
+  /// rethrowing; call join() explicitly to observe failures.
   void join();
+
+  /// The first exception thrown by a body, or nullptr; meaningful once all
+  /// processes have terminated.  join() consumes it.
+  std::exception_ptr first_exception() const;
 
   /// Number of processes ever spawned in this group.
   std::size_t spawned() const { return threads_.size(); }
 
  private:
+  void run_guarded(const Block& body) noexcept;
+  void join_threads();
+
   std::vector<std::thread> threads_;
+  mutable std::mutex mutex_;
+  std::exception_ptr first_exception_;
 };
 
 /// Parallel composition: runs every block concurrently and waits for all to

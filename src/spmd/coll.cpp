@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -22,8 +23,18 @@ std::atomic<int> g_forced{-1};
 Algo env_algorithm() {
   static const Algo parsed = [] {
     const char* env = std::getenv("TDP_COLL");
-    if (env != nullptr && std::strcmp(env, "linear") == 0) return Algo::Linear;
-    return Algo::Tree;
+    if (env == nullptr || env[0] == '\0') return Algo::Tree;
+    bool known = false;
+    const Algo a = algo_from_name(env, known);
+    if (!known) {
+      // Mirror the guarded env parsing in watchdog.cpp/trace.cpp: a typo
+      // must be reported, never silently remapped.
+      std::fprintf(stderr,
+                   "tdp::spmd: ignoring unknown TDP_COLL \"%s\"; valid "
+                   "values are \"linear\" and \"tree\" (using tree)\n",
+                   env);
+    }
+    return a;
   }();
   return parsed;
 }
@@ -364,6 +375,19 @@ void linear_allgather(SpmdContext& ctx, std::span<const std::byte> mine,
 }
 
 }  // namespace
+
+Algo algo_from_name(std::string_view name, bool& known_out) {
+  if (name == "linear") {
+    known_out = true;
+    return Algo::Linear;
+  }
+  if (name == "tree") {
+    known_out = true;
+    return Algo::Tree;
+  }
+  known_out = false;
+  return Algo::Tree;
+}
 
 Algo algorithm() {
   const int forced = g_forced.load(std::memory_order_relaxed);

@@ -43,6 +43,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string_view>
 
 #include "vp/payload.hpp"
 
@@ -59,9 +60,15 @@ enum class Algo {
 };
 
 /// The selected algorithm: a programmatic force() override if set, else
-/// TDP_COLL from the environment ("linear" selects Linear; anything else,
-/// including unset, selects Tree; parsed once per process).
+/// TDP_COLL from the environment ("linear" or "tree"; unset selects Tree;
+/// an unrecognised value earns a one-line stderr warning naming the valid
+/// values and selects Tree; parsed once per process).
 Algo algorithm();
+
+/// Maps a TDP_COLL-style name to an Algo; `known_out` reports whether the
+/// name was one of the valid values ("linear", "tree").  Unknown names map
+/// to Tree.  Exposed so tests can cover the parse without re-execing.
+Algo algo_from_name(std::string_view name, bool& known_out);
 
 /// Overrides the TDP_COLL selection process-wide (tests and A/B benches).
 void force(Algo a);

@@ -1,5 +1,7 @@
 #include "spmd/context.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -7,6 +9,32 @@
 #include "vp/payload.hpp"
 
 namespace tdp::spmd {
+
+namespace {
+
+long long env_recv_timeout_ms() {
+  static const long long cached = [] {
+    const char* env = std::getenv("TDP_RECV_TIMEOUT_MS");
+    if (env == nullptr || env[0] == '\0') return 0LL;
+    const long long v = std::atoll(env);
+    return v > 0 ? v : 0LL;
+  }();
+  return cached;
+}
+
+// Programmatic override; negative = defer to the environment.
+std::atomic<long long> g_timeout_override{-1};
+
+}  // namespace
+
+long long recv_timeout_ms() {
+  const long long o = g_timeout_override.load(std::memory_order_relaxed);
+  return o >= 0 ? o : env_recv_timeout_ms();
+}
+
+void set_recv_timeout_ms(long long ms) {
+  g_timeout_override.store(ms, std::memory_order_relaxed);
+}
 
 SpmdContext::SpmdContext(vp::Machine& machine, std::uint64_t comm,
                          std::vector<int> processors, int index)
@@ -48,8 +76,14 @@ vp::Payload SpmdContext::recv_payload(int src_index, int tag) {
   if (src_index < 0 || src_index >= nprocs()) {
     throw std::out_of_range("SpmdContext::recv_payload: bad source index");
   }
-  vp::Message m = machine_.mailbox(proc()).receive(
-      vp::MessageClass::DataParallel, comm_, tag, src_index);
+  const long long timeout = recv_timeout_ms();
+  vp::Mailbox& box = machine_.mailbox(proc());
+  vp::Message m =
+      timeout > 0
+          ? box.receive_for(vp::MessageClass::DataParallel, comm_, tag,
+                            src_index, static_cast<std::uint64_t>(timeout))
+          : box.receive(vp::MessageClass::DataParallel, comm_, tag,
+                        src_index);
   return std::move(m.payload);
 }
 

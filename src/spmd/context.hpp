@@ -32,6 +32,16 @@
 
 namespace tdp::spmd {
 
+/// The default receive deadline applied by SpmdContext::recv (and thus
+/// every collective), in milliseconds: the TDP_RECV_TIMEOUT_MS environment
+/// variable (cached on first read), unless overridden programmatically.
+/// 0 means wait forever — the pre-deadline behaviour.
+long long recv_timeout_ms();
+
+/// Programmatic override of the default receive deadline (tests,
+/// embedders).  Negative restores the environment value.
+void set_recv_timeout_ms(long long ms);
+
 class SpmdContext {
  public:
   /// Constructs the context of copy `index` of a call distributed over
@@ -60,6 +70,10 @@ class SpmdContext {
   std::vector<std::byte> recv_bytes(int src_index, int tag);
 
   /// Borrow-style receive: hands back the sender's buffer without a copy.
+  /// When a receive deadline is configured (recv_timeout_ms() > 0) and no
+  /// matching message arrives in time, throws vp::ReceiveTimeout naming the
+  /// awaited (class, comm, tag, src) — a lost message surfaces as a typed
+  /// error at the abstraction boundary instead of an eternal hang.
   vp::Payload recv_payload(int src_index, int tag);
 
   /// Receives into `out`, which must match the received size exactly;

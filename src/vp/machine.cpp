@@ -15,6 +15,9 @@ Machine::Machine(int nprocs) {
   for (int i = 0; i < nprocs; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>(i));
   }
+  if (fault::Plan plan = fault::Plan::from_env(); plan.active()) {
+    injector_ = std::make_unique<fault::Injector>(std::move(plan), nprocs);
+  }
   if (obs::enabled()) {
     obs::Watchdog& wd = obs::Watchdog::instance();
     watchdog_tokens_.reserve(mailboxes_.size());
@@ -34,7 +37,21 @@ Machine::~Machine() {
     obs::Watchdog& wd = obs::Watchdog::instance();
     for (int token : watchdog_tokens_) wd.remove_source(token);
   }
+  // Flush any messages the injector held back for reordering; an unflushed
+  // stash would act as an unplanned drop.
+  if (injector_) {
+    injector_->drain([this](int dst, Message&& m) {
+      mailboxes_[static_cast<std::size_t>(dst)]->post(std::move(m));
+      messages_sent_.add_at(dst);
+    });
+  }
   for (auto& mb : mailboxes_) mb->close();
+}
+
+void Machine::set_fault_plan(const fault::Plan& plan) {
+  injector_ = plan.active()
+                  ? std::make_unique<fault::Injector>(plan, nprocs())
+                  : nullptr;
 }
 
 Mailbox& Machine::mailbox(int dst) {
@@ -54,6 +71,17 @@ void Machine::send(int dst, Message m) {
     obs::instant_flow(obs::Op::MsgSend, m.flow, m.comm,
                       static_cast<std::uint64_t>(dst),
                       static_cast<std::uint64_t>(static_cast<unsigned>(m.tag)));
+  }
+  if (injector_) {
+    // The sender's identity is the calling thread's placement, NOT m.src:
+    // for data-parallel traffic m.src is the group index within the call,
+    // not a processor number.
+    injector_->on_send(current_proc(), dst, std::move(m),
+                       [&box, this, dst](Message&& routed) {
+                         box.post(std::move(routed));
+                         messages_sent_.add_at(dst);
+                       });
+    return;
   }
   box.post(std::move(m));
   messages_sent_.add_at(dst);

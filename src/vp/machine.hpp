@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "vp/mailbox.hpp"
 
@@ -49,8 +50,20 @@ class Machine {
   /// Sends `m` to processor `dst`; `m.src` must already identify the sender.
   /// When observability is enabled, stamps the causal trace context
   /// (obs::next_flow_id) into the envelope so the exported trace links this
-  /// send to its eventual receive.
+  /// send to its eventual receive.  When a fault plan is active the message
+  /// passes through the injector, which may drop, delay, duplicate, or
+  /// reorder it (every injected fault is traced as a fault.* event).
   void send(int dst, Message m);
+
+  /// The active fault injector, or nullptr when no plan is in effect.
+  /// Non-send fault points (e.g. server-request drops in vp::ServerSystem)
+  /// consult this.
+  fault::Injector* faults() { return injector_.get(); }
+
+  /// Installs (or, with an inactive plan, removes) a programmatic fault
+  /// plan, replacing whatever TDP_FAULT established at construction.  Not
+  /// thread-safe versus concurrent send() — call before spawning processes.
+  void set_fault_plan(const fault::Plan& plan);
 
   /// A fresh communicator id (never 0); each distributed call draws one so
   /// its data-parallel messages form a disjoint type set.  The source is
@@ -80,6 +93,7 @@ class Machine {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   obs::ShardedCounter messages_sent_;
   std::vector<int> watchdog_tokens_;
+  std::unique_ptr<fault::Injector> injector_;  // nullptr = no active plan
 };
 
 /// The virtual processor the calling process is placed on, or -1 when the

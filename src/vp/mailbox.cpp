@@ -1,11 +1,21 @@
 #include "vp/mailbox.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace tdp::vp {
+
+Mailbox::~Mailbox() {
+  close();
+  // Hold the door until every receiver woken by close() has finished
+  // unwinding out of receive_impl; otherwise a woken thread could touch the
+  // queue or condition variable after this destructor frees them.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return waiters_ == 0; });
+}
 
 void Mailbox::post(Message m) {
   std::size_t depth;
@@ -29,7 +39,7 @@ void Mailbox::post(Message m) {
 }
 
 Message Mailbox::receive(const Predicate& match) {
-  return receive_impl(match, nullptr);
+  return receive_impl(match, nullptr, 0);
 }
 
 Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
@@ -40,11 +50,67 @@ Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
         return m.cls == cls && m.comm == comm && m.tag == tag &&
                (src < 0 || m.src == src);
       },
-      &detail);
+      &detail, 0);
 }
 
-Message Mailbox::receive_impl(const Predicate& match,
-                              const WaitDetail* detail) {
+Message Mailbox::receive_for(const Predicate& match,
+                             std::uint64_t timeout_ms) {
+  return receive_impl(match, nullptr, timeout_ms);
+}
+
+Message Mailbox::receive_for(MessageClass cls, std::uint64_t comm, int tag,
+                             int src, std::uint64_t timeout_ms) {
+  const WaitDetail detail{cls, comm, tag, src};
+  return receive_impl(
+      [=](const Message& m) {
+        return m.cls == cls && m.comm == comm && m.tag == tag &&
+               (src < 0 || m.src == src);
+      },
+      &detail, timeout_ms);
+}
+
+void Mailbox::throw_timeout(const WaitDetail* detail,
+                            std::uint64_t timeout_ms) {
+  // Caller holds mutex_.  Build a stall-report-shaped message: what was
+  // awaited and what was available but did not match.
+  std::ostringstream what;
+  what << "tdp::vp receive timeout after " << timeout_ms << " ms on vp"
+       << owner_ << " awaiting ";
+  if (detail != nullptr) {
+    what << "(cls="
+         << (detail->cls == MessageClass::DataParallel ? "data" : "task")
+         << ", comm=" << detail->comm << ", tag=" << detail->tag << ", src=";
+    if (detail->src < 0) {
+      what << "any";
+    } else {
+      what << detail->src;
+    }
+    what << ")";
+  } else {
+    what << "(opaque predicate)";
+  }
+  what << "; " << describe_pending_locked();
+  if (obs::enabled()) {
+    static obs::ShardedCounter& timeout_count =
+        obs::Registry::instance().counter("fault.timeouts");
+    timeout_count.add();
+    obs::instant(
+        obs::Op::FaultTimeout, detail != nullptr ? detail->comm : 0,
+        static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+        detail != nullptr
+            ? static_cast<std::uint64_t>(static_cast<unsigned>(detail->tag))
+            : 0);
+  }
+  if (detail != nullptr) {
+    throw ReceiveTimeout(what.str(), owner_, true, detail->cls, detail->comm,
+                         detail->tag, detail->src);
+  }
+  throw ReceiveTimeout(what.str(), owner_, false, MessageClass::TaskParallel,
+                       0, 0, -1);
+}
+
+Message Mailbox::receive_impl(const Predicate& match, const WaitDetail* detail,
+                              std::uint64_t timeout_ms) {
   static obs::Histogram& wait_hist =
       obs::Registry::instance().histogram("mailbox.recv_wait_ns");
   static obs::ShardedCounter& miss_count =
@@ -56,8 +122,26 @@ Message Mailbox::receive_impl(const Predicate& match,
   // a single predicted branch on a register-cached bool when tracing is
   // off, exactly like the un-instrumented baseline.
   const bool obs_on = obs::enabled();
+  const auto deadline =
+      timeout_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms)
+          : std::chrono::steady_clock::time_point{};
 
   std::unique_lock<std::mutex> lock(mutex_);
+  ++waiters_;
+  // Declared after `lock`, so it runs first during unwinding while the
+  // mutex is still held; the last waiter out wakes a draining ~Mailbox.
+  struct WaiterGuard {
+    Mailbox& box;
+    std::unique_lock<std::mutex>& lock;
+    ~WaiterGuard() {
+      if (!lock.owns_lock()) lock.lock();
+      if (--box.waiters_ == 0 && box.closed_) box.cv_.notify_all();
+    }
+  } guard{*this, lock};
+
+  bool timed_out = false;
   for (;;) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (match(*it)) {
@@ -83,6 +167,13 @@ Message Mailbox::receive_impl(const Predicate& match,
       }
       throw MailboxClosed();
     }
+    if (timed_out) {
+      // The deadline passed and a final scan (above) still found nothing.
+      if (obs_on) {
+        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+      }
+      throw_timeout(detail, timeout_ms);
+    }
     // A selective-receive miss: nothing queued matches and the receiver
     // must block — the §3.4.1 hazard the disjoint type sets exist to bound.
     if (obs_on) {
@@ -99,14 +190,27 @@ Message Mailbox::receive_impl(const Predicate& match,
         wait_state_.wait_tag.store(detail->tag, std::memory_order_relaxed);
         wait_state_.wait_src.store(detail->src, std::memory_order_relaxed);
       } else {
+        // Opaque predicate: publish an explicit "opaque" detail and clear
+        // the tuple fields so a stall report never shows leftovers from an
+        // earlier detailed wait on the same mailbox.
         wait_state_.wait_cls.store(-1, std::memory_order_relaxed);
+        wait_state_.wait_comm.store(0, std::memory_order_relaxed);
+        wait_state_.wait_tag.store(0, std::memory_order_relaxed);
+        wait_state_.wait_src.store(-1, std::memory_order_relaxed);
       }
       if (wait_state_.blocked_since_ns.load(std::memory_order_relaxed) == 0) {
         wait_state_.blocked_since_ns.store(obs::now_ns(),
                                            std::memory_order_relaxed);
       }
     }
-    cv_.wait(lock);
+    if (timeout_ms == 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One more scan at the top of the loop before giving up: a message
+      // posted right at the deadline must still be delivered, not lost to
+      // a spurious timeout.
+      timed_out = true;
+    }
   }
 }
 
@@ -115,9 +219,8 @@ std::size_t Mailbox::pending() const {
   return queue_.size();
 }
 
-std::string Mailbox::describe_pending() const {
+std::string Mailbox::describe_pending_locked() const {
   constexpr std::size_t kMaxShown = 8;
-  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   out << queue_.size() << " pending";
   if (!queue_.empty()) {
@@ -136,6 +239,11 @@ std::string Mailbox::describe_pending() const {
     }
   }
   return out.str();
+}
+
+std::string Mailbox::describe_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return describe_pending_locked();
 }
 
 void Mailbox::close() {

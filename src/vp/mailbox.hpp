@@ -56,10 +56,38 @@ struct Message {
 };
 
 /// Thrown by receive() when the mailbox is closed while a receiver waits
-/// (machine teardown); well-formed programs never see this.
+/// (machine teardown); pcn::ProcessGroup treats it as a clean shutdown
+/// signal, so a process blocked in receive when its machine is torn down
+/// exits quietly instead of crashing through std::terminate.
 class MailboxClosed : public std::runtime_error {
  public:
   MailboxClosed() : std::runtime_error("tdp::vp::Mailbox closed") {}
+};
+
+/// Thrown by receive_for() when no matching message arrives before the
+/// deadline.  Carries exactly what the receiver was awaiting — the (class,
+/// comm, tag, src) tuple of a selective receive, or has_detail = false for
+/// an opaque predicate — plus a snapshot of the pending queue, so a timeout
+/// reads like a watchdog stall report: what was wanted AND what was
+/// available but did not match.
+class ReceiveTimeout : public std::runtime_error {
+ public:
+  ReceiveTimeout(std::string what, int owner, bool has_detail,
+                 MessageClass cls, std::uint64_t comm, int tag, int src)
+      : std::runtime_error(std::move(what)),
+        owner(owner),
+        has_detail(has_detail),
+        cls(cls),
+        comm(comm),
+        tag(tag),
+        src(src) {}
+
+  int owner;        ///< processor whose mailbox timed out (-1 free-standing)
+  bool has_detail;  ///< false when the wait used an opaque predicate
+  MessageClass cls;
+  std::uint64_t comm;
+  int tag;
+  int src;
 };
 
 /// One processor's incoming message queue.  Many senders, selective
@@ -75,6 +103,12 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
+  /// Closes the mailbox and waits for every blocked receiver to leave
+  /// receive_impl before the queue and condition variable are destroyed —
+  /// without this drain, a receiver woken by close() could still touch the
+  /// mailbox while the owning Machine frees it.
+  ~Mailbox();
+
   /// Enqueues a message and wakes any waiting receivers.
   void post(Message m);
 
@@ -86,6 +120,17 @@ class Mailbox {
   /// src matches any sender.  Unlike the predicate form, this one can tell
   /// the stall watchdog exactly what the owner is waiting for.
   Message receive(MessageClass cls, std::uint64_t comm, int tag, int src);
+
+  /// Deadline-aware receive: like receive(match), but throws ReceiveTimeout
+  /// if no matching message arrives within `timeout_ms` milliseconds.
+  /// `timeout_ms` == 0 means wait forever (identical to receive).
+  Message receive_for(const Predicate& match, std::uint64_t timeout_ms);
+
+  /// Deadline-aware selective receive on (class, comm, tag, src).  On
+  /// timeout the thrown ReceiveTimeout names the awaited tuple and carries
+  /// a pending-queue snapshot in its what() string.
+  Message receive_for(MessageClass cls, std::uint64_t comm, int tag, int src,
+                      std::uint64_t timeout_ms);
 
   /// Number of queued (undelivered) messages; for tests and diagnostics.
   std::size_t pending() const;
@@ -114,13 +159,18 @@ class Mailbox {
     int src;
   };
 
-  Message receive_impl(const Predicate& match, const WaitDetail* detail);
+  Message receive_impl(const Predicate& match, const WaitDetail* detail,
+                       std::uint64_t timeout_ms);
+  std::string describe_pending_locked() const;  // caller holds mutex_
+  [[noreturn]] void throw_timeout(const WaitDetail* detail,
+                                  std::uint64_t timeout_ms);
 
   const int owner_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  int waiters_ = 0;  ///< receivers inside receive_impl; drained by ~Mailbox
   // Last: cache-line aligned and only touched on the obs-enabled path, so
   // it cannot push the hot fields above onto separate lines.
   obs::VpWaitState wait_state_;

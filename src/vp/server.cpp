@@ -51,6 +51,11 @@ pcn::Def<std::any> ServerSystem::request(int proc, const std::string& type,
   req->origin = origin >= 0 ? origin : current_proc();
   pcn::Def<std::any> reply = req->reply;
 
+  if (fault::Injector* inj = machine_.faults();
+      inj != nullptr && inj->drop_request(proc)) {
+    return reply;  // lost in transit: the reply stays undefined
+  }
+
   Node& node = *nodes_.at(static_cast<std::size_t>(proc));
   {
     std::lock_guard<std::mutex> lock(node.mutex);

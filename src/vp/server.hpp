@@ -64,7 +64,11 @@ class ServerSystem {
   /// an optional `@proc` annotation).  Returns immediately, like a PCN
   /// server request; the reply definitional becomes defined when the
   /// handler has serviced it.  An unknown request type yields a reply
-  /// holding std::monostate-like empty std::any.
+  /// holding std::monostate-like empty std::any.  When the machine's fault
+  /// injector is active the request may be lost in transit (failed
+  /// destination, or the plan's drop probability): the reply then never
+  /// becomes defined — callers that must survive this use
+  /// pcn::Def::read_for with bounded retry (see dist/array_server.hpp).
   pcn::Def<std::any> request(int proc, const std::string& type,
                              std::any parameters, int origin = -1);
 
