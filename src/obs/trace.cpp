@@ -82,6 +82,7 @@ const char* op_name(Op op) {
     case Op::MsgRecv: return "vp.recv";
     case Op::RecvMiss: return "vp.recv_miss";
     case Op::QueueDepth: return "vp.queue_depth";
+    case Op::PostAfterClose: return "vp.post_after_close";
     case Op::CallMarshal: return "call.marshal";
     case Op::CallExecute: return "call.execute";
     case Op::CallCombine: return "call.combine";
@@ -125,6 +126,7 @@ const char* op_category(Op op) {
     case Op::MsgRecv:
     case Op::RecvMiss:
     case Op::QueueDepth:
+    case Op::PostAfterClose:
       return "vp";
     case Op::CallMarshal:
     case Op::CallExecute:

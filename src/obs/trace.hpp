@@ -44,6 +44,7 @@ enum class Op : std::uint16_t {
   MsgRecv,         ///< vp::Mailbox::receive span (duration = wait + match)
   RecvMiss,        ///< selective receive scanned the queue and had to block
   QueueDepth,      ///< mailbox queue-depth gauge sample (counter event)
+  PostAfterClose,  ///< a send raced teardown: posted into a closed mailbox
   CallMarshal,     ///< distributed call: argument marshal phase
   CallExecute,     ///< distributed call: one copy's SPMD execute phase
   CallCombine,     ///< distributed call: status/reduction combine phase

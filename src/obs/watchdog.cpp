@@ -165,7 +165,11 @@ std::string Watchdog::describe_blocked_locked() const {
     const std::int32_t src_proc =
         src.state->wait_src.load(std::memory_order_relaxed);
     out << "  vp" << src.vp << ": blocked in selective receive for "
-        << (now > since ? (now - since) / 1000000 : 0) << " ms waiting for ";
+        << (now > since ? (now - since) / 1000000 : 0) << " ms";
+    const std::int32_t sleepers =
+        src.state->blocked_waiters.load(std::memory_order_relaxed);
+    if (sleepers > 1) out << " (" << sleepers << " receivers)";
+    out << " waiting for ";
     if (cls < 0) {
       out << "(opaque predicate)";
     } else {

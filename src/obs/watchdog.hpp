@@ -53,6 +53,12 @@ struct alignas(64) VpWaitState {
   std::atomic<std::int32_t> wait_src{-1};
   /// Queued (undelivered) messages in the mailbox.
   std::atomic<std::uint64_t> queue_depth{0};
+  /// Receivers currently asleep inside a receive on this mailbox.  The
+  /// indexed mailbox supports many concurrent selective receivers; the
+  /// tuple fields above describe only the most recent blocker, so a stall
+  /// report uses this count to say how many more are waiting (the mailbox's
+  /// describe callback renders each one's tuple).
+  std::atomic<std::int32_t> blocked_waiters{0};
 };
 
 class Watchdog {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spmd/context.hpp"
+#include "vp/mailbox.hpp"
 
 namespace tdp::spmd::coll {
 
@@ -60,15 +62,32 @@ int actual_index(int rel, int root, int p) { return (rel + root) % p; }
 // receives once from rel - mask (the high set bit of rel) and forwards the
 // *same* refcounted payload to rel + mask for each lower mask.  Depth
 // ceil(log2 P); zero payload copies.
+//
+// Failure propagation: a copy whose receive from its parent times out (or
+// arrives as poison) still has children expecting a forward from it.  It
+// flushes a poison marker down to each of them — naming the originally
+// stalled copy — before rethrowing, so its whole subtree fails fast blaming
+// the right peer instead of timing out a level at a time blaming each
+// forwarder in turn.
 vp::Payload tree_broadcast_payload(SpmdContext& ctx, vp::Payload pay,
                                    int root) {
   const int p = ctx.nprocs();
   const int rel = (ctx.index() - root + p) % p;
   int mask = 1;
+  int poison_origin = -1;
+  std::exception_ptr failure;
   while (mask < p) {
     if ((rel & mask) != 0) {
-      pay = ctx.recv_payload(actual_index(rel - mask, root, p),
-                             SpmdContext::kBcastTag);
+      const int parent = actual_index(rel - mask, root, p);
+      try {
+        pay = ctx.recv_payload(parent, SpmdContext::kBcastTag);
+      } catch (const vp::ReceiveTimeout&) {
+        poison_origin = parent;  // the parent is the stalled peer, as far
+        failure = std::current_exception();  // as this copy can observe
+      } catch (const Poisoned& e) {
+        poison_origin = e.origin;  // relay the original culprit unchanged
+        failure = std::current_exception();
+      }
       break;
     }
     mask <<= 1;
@@ -76,11 +95,16 @@ vp::Payload tree_broadcast_payload(SpmdContext& ctx, vp::Payload pay,
   mask >>= 1;
   while (mask > 0) {
     if (rel + mask < p) {
-      ctx.send_payload(actual_index(rel + mask, root, p),
-                       SpmdContext::kBcastTag, pay);
+      const int child = actual_index(rel + mask, root, p);
+      if (poison_origin >= 0) {
+        ctx.send_poison(child, SpmdContext::kBcastTag, poison_origin);
+      } else {
+        ctx.send_payload(child, SpmdContext::kBcastTag, pay);
+      }
     }
     mask >>= 1;
   }
+  if (failure) std::rethrow_exception(failure);
   return pay;
 }
 
@@ -164,6 +188,13 @@ void linear_broadcast(SpmdContext& ctx, std::span<std::byte> data, int root) {
 // into a staging buffer so their caller-visible spans stay unchanged (the
 // linear variant never touched them either); leaves never combine and send
 // their span directly.
+//
+// Failure propagation mirrors the broadcast, but upward: a copy whose child
+// receive times out (or arrives as poison) still owes its parent a
+// contribution, so it flushes a poison marker up to the parent — naming the
+// originally stalled copy — before rethrowing.  The parent of rel is
+// rel & (rel - 1) (clear the lowest set bit); the root has no parent and
+// just rethrows.
 void tree_reduce(SpmdContext& ctx, std::span<std::byte> data, int root,
                  const ByteCombine& combine) {
   const int p = ctx.nprocs();
@@ -184,13 +215,29 @@ void tree_reduce(SpmdContext& ctx, std::span<std::byte> data, int root,
         bytes_copied_counter().add(staging.size());
         acc = std::span<std::byte>(staging);
       }
-      vp::Payload in =
-          ctx.recv_payload(actual_index(src_rel, root, p),
-                           SpmdContext::kReduceTag);
-      if (in.size() != acc.size()) {
-        throw_size_mismatch("coll::reduce", in.size(), acc.size());
+      const int child = actual_index(src_rel, root, p);
+      int poison_origin = -1;
+      std::exception_ptr failure;
+      try {
+        vp::Payload in = ctx.recv_payload(child, SpmdContext::kReduceTag);
+        if (in.size() != acc.size()) {
+          throw_size_mismatch("coll::reduce", in.size(), acc.size());
+        }
+        combine(in.bytes(), acc, /*incoming_first=*/false);
+      } catch (const vp::ReceiveTimeout&) {
+        poison_origin = child;
+        failure = std::current_exception();
+      } catch (const Poisoned& e) {
+        poison_origin = e.origin;
+        failure = std::current_exception();
       }
-      combine(in.bytes(), acc, /*incoming_first=*/false);
+      if (failure) {
+        if (rel != 0) {
+          ctx.send_poison(actual_index(rel & (rel - 1), root, p),
+                          SpmdContext::kReduceTag, poison_origin);
+        }
+        std::rethrow_exception(failure);
+      }
     }
     mask <<= 1;
   }

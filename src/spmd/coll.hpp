@@ -43,6 +43,8 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "vp/payload.hpp"
@@ -52,6 +54,21 @@ namespace tdp::spmd {
 class SpmdContext;
 
 namespace coll {
+
+/// Thrown by a collective (via SpmdContext::recv_payload) when the message
+/// it received is a poison marker: an upstream copy's receive timed out, and
+/// rather than abandoning its forwarding duty — which would make this whole
+/// subtree time out blaming the wrong peer — it flushed poison downstream.
+/// `origin` is the group index of the copy the *first* timeout was waiting
+/// on, i.e. the originally stalled VP, so every copy in the subtree fails
+/// fast naming the same culprit.
+class Poisoned : public std::runtime_error {
+ public:
+  Poisoned(std::string what, int origin)
+      : std::runtime_error(std::move(what)), origin(origin) {}
+
+  int origin;  ///< group index of the originally stalled copy
+};
 
 /// Which algorithm family the collectives dispatch to.
 enum class Algo {

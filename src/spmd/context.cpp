@@ -68,6 +68,21 @@ void SpmdContext::send_payload(int dst_index, int tag, vp::Payload payload) {
   ++sent_count_;
 }
 
+void SpmdContext::send_poison(int dst_index, int tag, int origin_index) {
+  if (dst_index < 0 || dst_index >= nprocs()) {
+    throw std::out_of_range("SpmdContext::send_poison: bad destination index");
+  }
+  vp::Message m;
+  m.cls = vp::MessageClass::DataParallel;
+  m.comm = comm_;
+  m.tag = tag;
+  m.src = index_;
+  m.poison_origin = origin_index;
+  machine_.send(processors_[static_cast<std::size_t>(dst_index)],
+                std::move(m));
+  ++sent_count_;
+}
+
 std::vector<std::byte> SpmdContext::recv_bytes(int src_index, int tag) {
   return recv_payload(src_index, tag).to_vector();
 }
@@ -84,6 +99,14 @@ vp::Payload SpmdContext::recv_payload(int src_index, int tag) {
                             src_index, static_cast<std::uint64_t>(timeout))
           : box.receive(vp::MessageClass::DataParallel, comm_, tag,
                         src_index);
+  if (m.poison_origin >= 0) {
+    throw coll::Poisoned(
+        "tdp::spmd: collective poisoned: copy " +
+            std::to_string(m.poison_origin) + " stalled upstream (poison " +
+            "relayed by copy " + std::to_string(m.src) + " on tag " +
+            std::to_string(tag) + ", comm " + std::to_string(comm_) + ")",
+        m.poison_origin);
+  }
   return std::move(m.payload);
 }
 

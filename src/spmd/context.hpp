@@ -81,6 +81,14 @@ class SpmdContext {
   /// (a silent truncation here is always a protocol bug).
   void recv_bytes_into(int src_index, int tag, std::span<std::byte> out);
 
+  /// Sends a poison marker instead of data: the receiver's recv_payload
+  /// will throw coll::Poisoned naming `origin_index` (the group index of
+  /// the originally stalled copy).  Used by the tree collectives so a copy
+  /// whose own receive timed out still discharges its forwarding duty —
+  /// its subtree fails fast blaming the right peer instead of timing out
+  /// one level at a time blaming each forwarder.
+  void send_poison(int dst_index, int tag, int origin_index);
+
   template <typename T>
   void send(int dst_index, int tag, std::span<const T> data) {
     send_bytes(dst_index, tag,

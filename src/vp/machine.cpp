@@ -23,8 +23,11 @@ Machine::Machine(int nprocs) {
     watchdog_tokens_.reserve(mailboxes_.size());
     for (int i = 0; i < nprocs; ++i) {
       Mailbox* mb = mailboxes_[static_cast<std::size_t>(i)].get();
+      // describe_wait renders both sides of a stall: the pending queue AND
+      // every registered waiter's match tuple (the indexed mailbox can have
+      // several selective receivers blocked at once).
       watchdog_tokens_.push_back(wd.add_source(
-          i, &mb->wait_state(), [mb] { return mb->describe_pending(); }));
+          i, &mb->wait_state(), [mb] { return mb->describe_wait(); }));
     }
     wd.start(obs::Watchdog::env_period_ms());
   }

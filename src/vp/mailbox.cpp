@@ -1,6 +1,11 @@
 #include "vp/mailbox.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -8,24 +13,112 @@
 
 namespace tdp::vp {
 
+namespace {
+
+// -1 = no force() override; else the MailboxMode value.
+std::atomic<int> g_forced_mode{-1};
+
+MailboxMode env_mode() {
+  static const MailboxMode parsed = [] {
+    const char* env = std::getenv("TDP_MAILBOX");
+    if (env == nullptr || env[0] == '\0') return MailboxMode::Indexed;
+    if (std::strcmp(env, "indexed") == 0) return MailboxMode::Indexed;
+    if (std::strcmp(env, "linear") == 0) return MailboxMode::Linear;
+    // Mirror the guarded env parsing in coll.cpp/watchdog.cpp: a typo must
+    // be reported, never silently remapped.
+    std::fprintf(stderr,
+                 "tdp::vp: ignoring unknown TDP_MAILBOX \"%s\"; valid "
+                 "values are \"indexed\" and \"linear\" (using indexed)\n",
+                 env);
+    return MailboxMode::Indexed;
+  }();
+  return parsed;
+}
+
+obs::ShardedCounter& wakeup_counter() {
+  static obs::ShardedCounter& c =
+      obs::Registry::instance().counter("mailbox.wakeups");
+  return c;
+}
+
+}  // namespace
+
+MailboxMode mailbox_mode() {
+  const int forced = g_forced_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<MailboxMode>(forced);
+  return env_mode();
+}
+
+void force_mailbox_mode(MailboxMode m) {
+  g_forced_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+void unforce_mailbox_mode() {
+  g_forced_mode.store(-1, std::memory_order_relaxed);
+}
+
 Mailbox::~Mailbox() {
   close();
   // Hold the door until every receiver woken by close() has finished
-  // unwinding out of receive_impl; otherwise a woken thread could touch the
-  // queue or condition variable after this destructor frees them.
+  // unwinding out of the receive path; otherwise a woken thread could touch
+  // the queue, waiter lists, or condition variables after this destructor
+  // frees them.
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return waiters_ == 0; });
+  drain_cv_.wait(lock, [this] { return waiters_ == 0; });
 }
 
 void Mailbox::post(Message m) {
-  std::size_t depth;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(m));
-    depth = queue_.size();
+  const bool obs_on = obs::enabled();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    // The send raced machine teardown: nobody can ever receive this, so
+    // enqueueing it would only pin its refcounted payload until the mailbox
+    // is freed.  Drop it, visibly.
+    static obs::ShardedCounter& after_close =
+        obs::Registry::instance().counter("mailbox.post_after_close");
+    after_close.add_at(owner_);
+    if (obs_on) {
+      obs::instant(obs::Op::PostAfterClose, m.comm,
+                   static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+                   static_cast<std::uint64_t>(static_cast<unsigned>(m.tag)));
+    }
+    return;
   }
-  cv_.notify_all();
-  if (obs::enabled()) {
+  const std::uint64_t seq = ++next_seq_;
+  const int src = m.src;
+  Bucket& bucket = buckets_[BucketKey{m.cls, m.comm, m.tag}];
+  bucket.seqs.push_back(seq);
+  queue_.emplace(seq, std::move(m));
+  const std::size_t depth = queue_.size();
+
+  if (mode_ == MailboxMode::Linear) {
+    // Legacy behaviour: every post wakes every waiter; each rescans.
+    wake_all_locked();
+  } else {
+    // Targeted wakeup: the first registered waiter in this bucket whose src
+    // filter admits the message, if any is still asleep.  Waiters already
+    // notified will rescan anyway; waking a second one for the same message
+    // would just bounce it off an empty scan.
+    for (Waiter* w : bucket.waiters) {
+      if (!w->notified && (w->src < 0 || w->src == src)) {
+        w->notified = true;
+        w->cv.notify_one();
+        break;
+      }
+    }
+    // Opaque predicates are unknowable to the index: every one of them
+    // might match this message, so all of them get woken (the legacy lane).
+    for (Waiter* w : scan_waiters_) {
+      if (!w->notified) {
+        w->notified = true;
+        w->cv.notify_one();
+      }
+    }
+  }
+  if (obs_on) {
+    // Published under mutex_ (and from the captured depth) so the gauge and
+    // the histogram can never observe a stale or backwards depth relative
+    // to the queue they describe.
     wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
     wait_state_.queue_depth.store(depth, std::memory_order_relaxed);
     obs::counter_sample(obs::Op::QueueDepth, depth, owner_);
@@ -39,34 +132,40 @@ void Mailbox::post(Message m) {
 }
 
 Message Mailbox::receive(const Predicate& match) {
-  return receive_impl(match, nullptr, 0);
+  return receive_scan(match, nullptr, 0);
 }
 
 Message Mailbox::receive(MessageClass cls, std::uint64_t comm, int tag,
                          int src) {
   const WaitDetail detail{cls, comm, tag, src};
-  return receive_impl(
-      [=](const Message& m) {
-        return m.cls == cls && m.comm == comm && m.tag == tag &&
-               (src < 0 || m.src == src);
-      },
-      &detail, 0);
+  if (mode_ == MailboxMode::Linear) {
+    return receive_scan(
+        [=](const Message& m) {
+          return m.cls == cls && m.comm == comm && m.tag == tag &&
+                 (src < 0 || m.src == src);
+        },
+        &detail, 0);
+  }
+  return receive_indexed(detail, 0);
 }
 
 Message Mailbox::receive_for(const Predicate& match,
                              std::uint64_t timeout_ms) {
-  return receive_impl(match, nullptr, timeout_ms);
+  return receive_scan(match, nullptr, timeout_ms);
 }
 
 Message Mailbox::receive_for(MessageClass cls, std::uint64_t comm, int tag,
                              int src, std::uint64_t timeout_ms) {
   const WaitDetail detail{cls, comm, tag, src};
-  return receive_impl(
-      [=](const Message& m) {
-        return m.cls == cls && m.comm == comm && m.tag == tag &&
-               (src < 0 || m.src == src);
-      },
-      &detail, timeout_ms);
+  if (mode_ == MailboxMode::Linear) {
+    return receive_scan(
+        [=](const Message& m) {
+          return m.cls == cls && m.comm == comm && m.tag == tag &&
+                 (src < 0 || m.src == src);
+        },
+        &detail, timeout_ms);
+  }
+  return receive_indexed(detail, timeout_ms);
 }
 
 void Mailbox::throw_timeout(const WaitDetail* detail,
@@ -90,10 +189,13 @@ void Mailbox::throw_timeout(const WaitDetail* detail,
     what << "(opaque predicate)";
   }
   what << "; " << describe_pending_locked();
+  // A plain deadline expiry is a mailbox event, not an injected fault:
+  // fault.* metrics are reserved for the injector, so counting expiries
+  // there would make every slow peer look like a fault plan.
+  static obs::ShardedCounter& timeout_count =
+      obs::Registry::instance().counter("mailbox.recv_timeouts");
+  timeout_count.add_at(owner_);
   if (obs::enabled()) {
-    static obs::ShardedCounter& timeout_count =
-        obs::Registry::instance().counter("fault.timeouts");
-    timeout_count.add();
     obs::instant(
         obs::Op::FaultTimeout, detail != nullptr ? detail->comm : 0,
         static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
@@ -109,12 +211,107 @@ void Mailbox::throw_timeout(const WaitDetail* detail,
                        0, 0, -1);
 }
 
-Message Mailbox::receive_impl(const Predicate& match, const WaitDetail* detail,
-                              std::uint64_t timeout_ms) {
-  static obs::Histogram& wait_hist =
-      obs::Registry::instance().histogram("mailbox.recv_wait_ns");
+void Mailbox::unlink_from_bucket_locked(const Message& m, std::uint64_t seq) {
+  auto it = buckets_.find(BucketKey{m.cls, m.comm, m.tag});
+  Bucket& bucket = it->second;
+  auto sit = std::lower_bound(bucket.seqs.begin(), bucket.seqs.end(), seq);
+  bucket.seqs.erase(sit);
+  maybe_gc_bucket_locked(it);
+}
+
+void Mailbox::maybe_gc_bucket_locked(BucketMap::iterator it) {
+  if (it->second.seqs.empty() && it->second.waiters.empty()) {
+    buckets_.erase(it);
+  }
+}
+
+void Mailbox::deregister_locked(Waiter& w) {
+  if (!w.registered) return;
+  w.registered = false;
+  if (w.has_tuple) {
+    auto it = buckets_.find(BucketKey{w.cls, w.comm, w.tag});
+    auto& waiters = it->second.waiters;
+    waiters.erase(std::find(waiters.begin(), waiters.end(), &w));
+    maybe_gc_bucket_locked(it);
+    return;
+  }
+  scan_waiters_.erase(
+      std::find(scan_waiters_.begin(), scan_waiters_.end(), &w));
+}
+
+void Mailbox::wake_all_locked() {
+  for (auto& [key, bucket] : buckets_) {
+    for (Waiter* w : bucket.waiters) {
+      w->notified = true;
+      w->cv.notify_one();
+    }
+  }
+  for (Waiter* w : scan_waiters_) {
+    w->notified = true;
+    w->cv.notify_one();
+  }
+}
+
+void Mailbox::note_delivery_locked(const Message& out, bool obs_on) {
+  if (!obs_on) return;
+  wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+  wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
+  wait_state_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+  (void)out;
+}
+
+void Mailbox::note_block_locked(const WaitDetail* detail, bool obs_on) {
+  if (!obs_on) return;
   static obs::ShardedCounter& miss_count =
       obs::Registry::instance().counter("mailbox.recv_miss");
+  obs::instant(obs::Op::RecvMiss, 0,
+               static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+               queue_.size());
+  miss_count.add();
+  // Publish what we are waiting for; keep the first block timestamp so
+  // the watchdog reports time-since-block, not time-since-last-wake.
+  if (detail != nullptr) {
+    wait_state_.wait_cls.store(static_cast<std::int32_t>(detail->cls),
+                               std::memory_order_relaxed);
+    wait_state_.wait_comm.store(detail->comm, std::memory_order_relaxed);
+    wait_state_.wait_tag.store(detail->tag, std::memory_order_relaxed);
+    wait_state_.wait_src.store(detail->src, std::memory_order_relaxed);
+  } else {
+    // Opaque predicate: publish an explicit "opaque" detail and clear
+    // the tuple fields so a stall report never shows leftovers from an
+    // earlier detailed wait on the same mailbox.
+    wait_state_.wait_cls.store(-1, std::memory_order_relaxed);
+    wait_state_.wait_comm.store(0, std::memory_order_relaxed);
+    wait_state_.wait_tag.store(0, std::memory_order_relaxed);
+    wait_state_.wait_src.store(-1, std::memory_order_relaxed);
+  }
+  if (wait_state_.blocked_since_ns.load(std::memory_order_relaxed) == 0) {
+    wait_state_.blocked_since_ns.store(obs::now_ns(),
+                                       std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Shared unwind bookkeeping for both receive lanes.  Declared after the
+/// unique_lock at each use site, so it runs first during unwinding while
+/// the mutex is still held; the last waiter out wakes a draining ~Mailbox.
+struct WaiterGuard {
+  Mailbox& box;
+  std::unique_lock<std::mutex>& lock;
+  const std::function<void()> on_exit;
+  ~WaiterGuard() {
+    if (!lock.owns_lock()) lock.lock();
+    on_exit();
+  }
+};
+
+}  // namespace
+
+Message Mailbox::receive_indexed(const WaitDetail& detail,
+                                 std::uint64_t timeout_ms) {
+  static obs::Histogram& wait_hist =
+      obs::Registry::instance().histogram("mailbox.recv_wait_ns");
   obs::Span span(obs::Op::MsgRecv, 0,
                  static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
                  &wait_hist);
@@ -127,36 +324,48 @@ Message Mailbox::receive_impl(const Predicate& match, const WaitDetail* detail,
           ? std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(timeout_ms)
           : std::chrono::steady_clock::time_point{};
+  const BucketKey key{detail.cls, detail.comm, detail.tag};
 
   std::unique_lock<std::mutex> lock(mutex_);
   ++waiters_;
-  // Declared after `lock`, so it runs first during unwinding while the
-  // mutex is still held; the last waiter out wakes a draining ~Mailbox.
-  struct WaiterGuard {
-    Mailbox& box;
-    std::unique_lock<std::mutex>& lock;
-    ~WaiterGuard() {
-      if (!lock.owns_lock()) lock.lock();
-      if (--box.waiters_ == 0 && box.closed_) box.cv_.notify_all();
-    }
-  } guard{*this, lock};
+  Waiter w;
+  w.has_tuple = true;
+  w.cls = detail.cls;
+  w.comm = detail.comm;
+  w.tag = detail.tag;
+  w.src = detail.src;
+  WaiterGuard guard{*this, lock, [this, &w] {
+                      deregister_locked(w);
+                      if (--waiters_ == 0 && closed_) drain_cv_.notify_all();
+                    }};
 
   bool timed_out = false;
   for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (match(*it)) {
-        Message out = std::move(*it);
-        queue_.erase(it);
+    if (auto bit = buckets_.find(key); bit != buckets_.end()) {
+      Bucket& bucket = bit->second;
+      // The cursor skips every message this waiter already rejected: only
+      // arrivals newer than the last examined seq are scanned, so a waiter
+      // behind N unmatching messages pays for each exactly once.
+      auto sit = std::lower_bound(bucket.seqs.begin(), bucket.seqs.end(),
+                                  w.cursor + 1);
+      for (; sit != bucket.seqs.end(); ++sit) {
+        const std::uint64_t seq = *sit;
+        auto qit = queue_.find(seq);
+        if (detail.src >= 0 && qit->second.src != detail.src) {
+          w.cursor = seq;
+          continue;
+        }
+        Message out = std::move(qit->second);
+        queue_.erase(qit);
+        bucket.seqs.erase(sit);
+        maybe_gc_bucket_locked(bit);
+        note_delivery_locked(out, obs_on);
         if (obs_on) {
           span.set_comm(out.comm);
           span.set_arg1(out.payload.size());
           // Recover the trace context stamped at Machine::send: the span's
           // flow id pairs this receive with its send in the exported trace.
           span.set_flow(out.flow);
-          wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
-          wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
-          wait_state_.queue_depth.store(queue_.size(),
-                                        std::memory_order_relaxed);
         }
         return out;
       }
@@ -172,45 +381,96 @@ Message Mailbox::receive_impl(const Predicate& match, const WaitDetail* detail,
       if (obs_on) {
         wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
       }
-      throw_timeout(detail, timeout_ms);
+      throw_timeout(&detail, timeout_ms);
     }
-    // A selective-receive miss: nothing queued matches and the receiver
-    // must block — the §3.4.1 hazard the disjoint type sets exist to bound.
-    if (obs_on) {
-      obs::instant(obs::Op::RecvMiss, 0,
-                   static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
-                   queue_.size());
-      miss_count.add();
-      // Publish what we are waiting for; keep the first block timestamp so
-      // the watchdog reports time-since-block, not time-since-last-wake.
-      if (detail != nullptr) {
-        wait_state_.wait_cls.store(static_cast<std::int32_t>(detail->cls),
-                                   std::memory_order_relaxed);
-        wait_state_.wait_comm.store(detail->comm, std::memory_order_relaxed);
-        wait_state_.wait_tag.store(detail->tag, std::memory_order_relaxed);
-        wait_state_.wait_src.store(detail->src, std::memory_order_relaxed);
-      } else {
-        // Opaque predicate: publish an explicit "opaque" detail and clear
-        // the tuple fields so a stall report never shows leftovers from an
-        // earlier detailed wait on the same mailbox.
-        wait_state_.wait_cls.store(-1, std::memory_order_relaxed);
-        wait_state_.wait_comm.store(0, std::memory_order_relaxed);
-        wait_state_.wait_tag.store(0, std::memory_order_relaxed);
-        wait_state_.wait_src.store(-1, std::memory_order_relaxed);
-      }
-      if (wait_state_.blocked_since_ns.load(std::memory_order_relaxed) == 0) {
-        wait_state_.blocked_since_ns.store(obs::now_ns(),
-                                           std::memory_order_relaxed);
-      }
+    if (!w.registered) {
+      buckets_[key].waiters.push_back(&w);
+      w.registered = true;
     }
+    note_block_locked(&detail, obs_on);
+    wait_state_.blocked_waiters.fetch_add(1, std::memory_order_relaxed);
+    w.notified = false;
     if (timeout_ms == 0) {
-      cv_.wait(lock);
-    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      w.cv.wait(lock);
+    } else if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One more scan at the top of the loop before giving up: a message
       // posted right at the deadline must still be delivered, not lost to
       // a spurious timeout.
       timed_out = true;
     }
+    wait_state_.blocked_waiters.fetch_sub(1, std::memory_order_relaxed);
+    wakeup_counter().add_at(owner_);
+  }
+}
+
+Message Mailbox::receive_scan(const Predicate& match,
+                              const WaitDetail* detail,
+                              std::uint64_t timeout_ms) {
+  static obs::Histogram& wait_hist =
+      obs::Registry::instance().histogram("mailbox.recv_wait_ns");
+  obs::Span span(obs::Op::MsgRecv, 0,
+                 static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
+                 &wait_hist);
+  const bool obs_on = obs::enabled();
+  const auto deadline =
+      timeout_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(timeout_ms)
+          : std::chrono::steady_clock::time_point{};
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++waiters_;
+  Waiter w;  // has_tuple = false: lives in the any-message lane
+  WaiterGuard guard{*this, lock, [this, &w] {
+                      deregister_locked(w);
+                      if (--waiters_ == 0 && closed_) drain_cv_.notify_all();
+                    }};
+
+  bool timed_out = false;
+  for (;;) {
+    // The legacy lane scans every queued message in arrival order — the
+    // map is keyed by the arrival seq, so iteration order IS arrival order.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (match(it->second)) {
+        Message out = std::move(it->second);
+        const std::uint64_t seq = it->first;
+        queue_.erase(it);
+        unlink_from_bucket_locked(out, seq);
+        note_delivery_locked(out, obs_on);
+        if (obs_on) {
+          span.set_comm(out.comm);
+          span.set_arg1(out.payload.size());
+          span.set_flow(out.flow);
+        }
+        return out;
+      }
+    }
+    if (closed_) {
+      if (obs_on) {
+        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+      }
+      throw MailboxClosed();
+    }
+    if (timed_out) {
+      if (obs_on) {
+        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+      }
+      throw_timeout(detail, timeout_ms);
+    }
+    if (!w.registered) {
+      scan_waiters_.push_back(&w);
+      w.registered = true;
+    }
+    note_block_locked(detail, obs_on);
+    wait_state_.blocked_waiters.fetch_add(1, std::memory_order_relaxed);
+    w.notified = false;
+    if (timeout_ms == 0) {
+      w.cv.wait(lock);
+    } else if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      timed_out = true;
+    }
+    wait_state_.blocked_waiters.fetch_sub(1, std::memory_order_relaxed);
+    wakeup_counter().add_at(owner_);
   }
 }
 
@@ -226,7 +486,7 @@ std::string Mailbox::describe_pending_locked() const {
   if (!queue_.empty()) {
     out << ": ";
     std::size_t shown = 0;
-    for (const Message& m : queue_) {
+    for (const auto& [seq, m] : queue_) {
       if (shown == kMaxShown) {
         out << " ...";
         break;
@@ -246,12 +506,35 @@ std::string Mailbox::describe_pending() const {
   return describe_pending_locked();
 }
 
-void Mailbox::close() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
+std::string Mailbox::describe_wait() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << describe_pending_locked();
+  std::size_t waiting = scan_waiters_.size();
+  for (const auto& [key, bucket] : buckets_) waiting += bucket.waiters.size();
+  if (waiting == 0) return out.str();
+  out << "; " << waiting << " waiting:";
+  for (const auto& [key, bucket] : buckets_) {
+    for (const Waiter* w : bucket.waiters) {
+      out << " (cls="
+          << (w->cls == MessageClass::DataParallel ? "data" : "task")
+          << ", comm=" << w->comm << ", tag=" << w->tag << ", src=";
+      if (w->src < 0) {
+        out << "any";
+      } else {
+        out << w->src;
+      }
+      out << ")";
+    }
   }
-  cv_.notify_all();
+  for (std::size_t i = 0; i < scan_waiters_.size(); ++i) out << " (opaque)";
+  return out.str();
+}
+
+void Mailbox::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  wake_all_locked();
 }
 
 }  // namespace tdp::vp

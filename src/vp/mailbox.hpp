@@ -13,6 +13,16 @@
 //    never intercept each other's messages (fig. 3.4), and
 //  * receive() is selective: it delivers the first queued message matching
 //    a caller-supplied predicate and leaves non-matching traffic queued.
+//
+// Selective receive is *indexed*: messages hash into per-(class, comm, tag)
+// buckets (FIFO within a bucket via a global arrival sequence number), each
+// blocked receiver registers a waiter record with a private condition-variable
+// slot, and post() wakes only waiters whose match tuple admits the new
+// message.  A waiter keeps a scan cursor so it never re-examines messages it
+// already rejected.  Opaque-predicate receives fall back to a legacy
+// any-message lane that scans the whole queue in arrival order; setting
+// TDP_MAILBOX=linear routes every receive through that lane with
+// broadcast wakeups — the pre-index behaviour, kept as the A/B baseline.
 #pragma once
 
 #include <condition_variable>
@@ -20,9 +30,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/watchdog.hpp"
@@ -43,6 +55,11 @@ struct Message {
   std::uint64_t comm = 0;  ///< communicator (distributed-call) id; 0 = none
   int tag = 0;             ///< user message type within the class
   int src = -1;            ///< sending processor number
+  /// Poison marker for collective failure propagation: when >= 0, this
+  /// message carries no data — it tells the receiver that the copy with
+  /// this group index stalled upstream, so the receiver should fail fast
+  /// instead of timing out itself (spmd::coll::Poisoned).
+  int poison_origin = -1;
   /// Causal trace context, stamped by Machine::send when observability is
   /// on (obs::next_flow_id: sender VP shard + monotonic per-VP sequence)
   /// and recovered by Mailbox::receive — the id that links the send instant
@@ -90,6 +107,27 @@ class ReceiveTimeout : public std::runtime_error {
   int src;
 };
 
+/// Receive-path implementation family: Indexed is the per-bucket targeted-
+/// wakeup design; Linear is the pre-index one-queue/broadcast-wakeup path,
+/// kept for A/B measurement (bench/ablation_mailbox).
+enum class MailboxMode : int {
+  Indexed = 0,
+  Linear = 1,
+};
+
+/// The mode new mailboxes snapshot at construction: a force_mailbox_mode()
+/// override if one is in effect, else TDP_MAILBOX from the environment
+/// ("indexed"/"linear", cached on first read; unknown values warn and fall
+/// back to indexed).
+MailboxMode mailbox_mode();
+
+/// Programmatic override of TDP_MAILBOX (benches, tests).  Affects only
+/// mailboxes constructed afterwards — a live mailbox never switches mode.
+void force_mailbox_mode(MailboxMode m);
+
+/// Removes the override; mailbox_mode() reads the environment again.
+void unforce_mailbox_mode();
+
 /// One processor's incoming message queue.  Many senders, selective
 /// receivers.  All operations are thread-safe.
 class Mailbox {
@@ -99,26 +137,34 @@ class Mailbox {
   /// `owner` is the processor number this mailbox belongs to (-1 when the
   /// mailbox is free-standing, e.g. in tests); used only to attribute
   /// observability events to the owning virtual processor.
-  explicit Mailbox(int owner = -1) : owner_(owner) {}
+  explicit Mailbox(int owner = -1)
+      : owner_(owner), mode_(mailbox_mode()) {}
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Closes the mailbox and waits for every blocked receiver to leave
-  /// receive_impl before the queue and condition variable are destroyed —
+  /// the receive path before the queue and waiter lists are destroyed —
   /// without this drain, a receiver woken by close() could still touch the
   /// mailbox while the owning Machine frees it.
   ~Mailbox();
 
-  /// Enqueues a message and wakes any waiting receivers.
+  /// Enqueues a message and wakes waiting receivers whose match tuple
+  /// admits it (plus every opaque-predicate waiter, whose match is
+  /// unknowable).  Posting into a closed mailbox drops the message (the
+  /// send raced machine teardown), bumps mailbox.post_after_close, and
+  /// emits a trace instant.
   void post(Message m);
 
   /// Blocks until a queued message satisfies `match`, removes and returns
-  /// it.  Messages that do not match stay queued in arrival order.
+  /// it.  Messages that do not match stay queued in arrival order.  Opaque
+  /// predicates always use the legacy scan lane: every post must wake them
+  /// because no index can prove a message uninteresting to them.
   Message receive(const Predicate& match);
 
   /// Convenience selective receive on (class, comm, tag, src); a negative
-  /// src matches any sender.  Unlike the predicate form, this one can tell
-  /// the stall watchdog exactly what the owner is waiting for.
+  /// src matches any sender.  Unlike the predicate form, this one is served
+  /// from the (class, comm, tag) bucket index with targeted wakeups, and
+  /// can tell the stall watchdog exactly what the owner is waiting for.
   Message receive(MessageClass cls, std::uint64_t comm, int tag, int src);
 
   /// Deadline-aware receive: like receive(match), but throws ReceiveTimeout
@@ -138,9 +184,17 @@ class Mailbox {
   /// One-line rendering of the queued messages ("3 pending: [cls=data
   /// comm=7 tag=1 src=0 flow=... 16B] ..."), capped at a few entries; the
   /// stall watchdog's "what was available but did not match" report.  The
+  /// messages walk the buckets in arrival order via the global sequence
+  /// number, so the rendering is identical across mailbox modes.  The
   /// flow id lets a stall report be cross-referenced with the exported
   /// trace's send→receive arrows.
   std::string describe_pending() const;
+
+  /// describe_pending() plus the registered waiter records ("2 waiting:
+  /// (cls=data, comm=7, tag=1, src=any) (opaque)"): both sides of a stall —
+  /// what is queued AND what every blocked receiver wants.  The watchdog
+  /// registers this as its describe callback.
+  std::string describe_wait() const;
 
   /// The watchdog-visible state of this mailbox (progress counter, blocked
   /// owner, queue depth); vp::Machine registers it with obs::Watchdog.
@@ -148,6 +202,9 @@ class Mailbox {
 
   /// Wakes all waiting receivers with MailboxClosed; used at teardown.
   void close();
+
+  /// The receive-path family this mailbox snapshotted at construction.
+  MailboxMode mode() const { return mode_; }
 
  private:
   /// What a blocked selective receive is waiting for, published to the
@@ -159,18 +216,85 @@ class Mailbox {
     int src;
   };
 
-  Message receive_impl(const Predicate& match, const WaitDetail* detail,
+  /// Bucket key: the indexable part of the match tuple.  src is filtered
+  /// inside the bucket (it may be a wildcard), everything else is exact.
+  struct BucketKey {
+    MessageClass cls;
+    std::uint64_t comm;
+    int tag;
+    bool operator==(const BucketKey& o) const {
+      return cls == o.cls && comm == o.comm && tag == o.tag;
+    }
+  };
+  struct BucketKeyHash {
+    std::size_t operator()(const BucketKey& k) const {
+      // splitmix64-style scramble of the three fields; buckets are few and
+      // short-lived, so quality matters more than speed here.
+      std::uint64_t x = k.comm + 0x9e3779b97f4a7c15ULL +
+                        (static_cast<std::uint64_t>(k.tag) << 32) +
+                        static_cast<std::uint64_t>(k.cls);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  /// One blocked receiver: its match tuple (or "opaque"), a private condvar
+  /// slot so post() can wake exactly this receiver, and a scan cursor (the
+  /// highest arrival seq it has examined and rejected) so a woken waiter
+  /// only looks at messages it has never seen.  Lives on the receiver's
+  /// stack; registered/deregistered under mutex_.
+  struct Waiter {
+    bool has_tuple = false;
+    MessageClass cls = MessageClass::TaskParallel;
+    std::uint64_t comm = 0;
+    int tag = 0;
+    int src = -1;
+    std::uint64_t cursor = 0;
+    std::condition_variable cv;
+    bool notified = false;
+    bool registered = false;
+  };
+
+  struct Bucket {
+    std::deque<std::uint64_t> seqs;  ///< arrival seqs, ascending
+    std::vector<Waiter*> waiters;    ///< registration order
+  };
+
+  using BucketMap = std::unordered_map<BucketKey, Bucket, BucketKeyHash>;
+
+  Message receive_indexed(const WaitDetail& detail, std::uint64_t timeout_ms);
+  Message receive_scan(const Predicate& match, const WaitDetail* detail,
                        std::uint64_t timeout_ms);
+  /// Removes `seq` (holding message `m`) from its bucket and the arrival
+  /// map; caller holds mutex_ and has already located the message.
+  void unlink_from_bucket_locked(const Message& m, std::uint64_t seq);
+  void maybe_gc_bucket_locked(BucketMap::iterator it);
+  void deregister_locked(Waiter& w);
+  void wake_all_locked();
+  /// Publishes the delivery to the wait state and the receive span; caller
+  /// holds mutex_.
+  void note_delivery_locked(const Message& out, bool obs_on);
+  /// Publishes "about to block" state: wait tuple, blocked-since, miss
+  /// instant; caller holds mutex_.
+  void note_block_locked(const WaitDetail* detail, bool obs_on);
   std::string describe_pending_locked() const;  // caller holds mutex_
   [[noreturn]] void throw_timeout(const WaitDetail* detail,
                                   std::uint64_t timeout_ms);
 
   const int owner_;
+  const MailboxMode mode_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::condition_variable drain_cv_;  ///< ~Mailbox waits for waiters_ == 0
+  /// All undelivered messages keyed by arrival sequence number — the
+  /// canonical arrival-order view (describe_pending, the opaque scan lane).
+  std::map<std::uint64_t, Message> queue_;
+  /// Per-(class, comm, tag) index into queue_; seqs mirror membership.
+  BucketMap buckets_;
+  std::vector<Waiter*> scan_waiters_;  ///< opaque / linear-mode receivers
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
-  int waiters_ = 0;  ///< receivers inside receive_impl; drained by ~Mailbox
+  int waiters_ = 0;  ///< receivers inside a receive path; drained by ~Mailbox
   // Last: cache-line aligned and only touched on the obs-enabled path, so
   // it cannot push the hot fields above onto separate lines.
   obs::VpWaitState wait_state_;

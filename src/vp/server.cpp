@@ -65,7 +65,10 @@ pcn::Def<std::any> ServerSystem::request(int proc, const std::string& type,
     }
     node.queue.push_back(std::move(req));
   }
-  node.cv.notify_all();
+  // Targeted wakeup: exactly one thread (the node's server loop) waits on
+  // this condition variable, so notify_one suffices — notify_all here would
+  // be the same broadcast habit the indexed mailbox removed from post().
+  node.cv.notify_one();
   return reply;
 }
 

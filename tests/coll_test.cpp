@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <numeric>
@@ -52,14 +53,20 @@ void run_group(vp::Machine& machine, int p,
 }
 
 TEST(CollAlgo, ForceOverridesAndDefaultsToTree) {
-  // No TDP_COLL in the test environment: the default family is Tree.
-  EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
+  // The un-forced selection follows TDP_COLL (Tree when unset), so this
+  // test holds under an ambient TDP_COLL=linear A/B run too.
+  bool known = false;
+  const char* env = std::getenv("TDP_COLL");
+  const coll::Algo ambient =
+      env != nullptr && env[0] != '\0' ? coll::algo_from_name(env, known)
+                                       : coll::Algo::Tree;
+  EXPECT_EQ(coll::algorithm(), ambient);
   coll::force(coll::Algo::Linear);
   EXPECT_EQ(coll::algorithm(), coll::Algo::Linear);
   coll::force(coll::Algo::Tree);
   EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
   coll::unforce();
-  EXPECT_EQ(coll::algorithm(), coll::Algo::Tree);
+  EXPECT_EQ(coll::algorithm(), ambient);
 }
 
 TEST(CollSweep, BarrierSeparatesArrivalsFromDepartures) {

@@ -1,0 +1,169 @@
+// Regression tests for the indexed selective-receive mailbox: post-after-close
+// semantics, the deadline-vs-delivery race, targeted wakeups, and FIFO within
+// a (cls, comm, tag, src) stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "vp/mailbox.hpp"
+
+namespace tdp::vp {
+namespace {
+
+Message make(MessageClass cls, std::uint64_t comm, int tag, int src,
+             std::vector<std::byte> payload = {}) {
+  Message m;
+  m.cls = cls;
+  m.comm = comm;
+  m.tag = tag;
+  m.src = src;
+  m.payload = Payload::take(std::move(payload));
+  return m;
+}
+
+// Restores the TDP_MAILBOX selection even when an assertion fails mid-test.
+struct ModeGuard {
+  explicit ModeGuard(MailboxMode m) { force_mailbox_mode(m); }
+  ~ModeGuard() { unforce_mailbox_mode(); }
+};
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+// Polls describe_wait() until `needle` appears, so tests can wait for
+// receiver threads to actually block without sleeping blind.
+bool wait_for_waiters(const Mailbox& mb, const std::string& needle) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (mb.describe_wait().find(needle) != std::string::npos) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(MailboxClose, PostAfterCloseDropsMessageAndCounts) {
+  Mailbox mb;
+  mb.close();
+  const std::uint64_t before = counter_value("mailbox.post_after_close");
+  mb.post(make(MessageClass::DataParallel, 1, 7, 0, {std::byte{1}}));
+  // The message must be dropped, not queued: a sender racing teardown must
+  // never leave a payload alive in a mailbox nobody will ever drain.
+  EXPECT_EQ(mb.pending(), 0u);
+  EXPECT_EQ(counter_value("mailbox.post_after_close"), before + 1);
+  EXPECT_THROW(mb.receive(MessageClass::DataParallel, 1, 7, 0),
+               MailboxClosed);
+}
+
+TEST(MailboxDeadline, QueuedMessageBeatsExpiredDeadline) {
+  Mailbox mb;
+  mb.post(make(MessageClass::DataParallel, 1, 3, 0, {std::byte{9}}));
+  // Even with an effectively already-expired deadline, a matching message
+  // sitting in the queue must be delivered — delivery wins the race.
+  Message m = mb.receive_for(MessageClass::DataParallel, 1, 3, 0, 1);
+  EXPECT_EQ(m.payload.bytes()[0], std::byte{9});
+}
+
+TEST(MailboxDeadline, PostRacingTimeoutNeverLosesTheMessage) {
+  // Aim the post squarely at the deadline.  Whatever side of the race the
+  // post lands on, the message must be accounted for: either the receiver
+  // delivered it, or it threw ReceiveTimeout and the message is still
+  // pending (the post landed after the final scan).  A lost message —
+  // timeout thrown, mailbox empty — is the regression this test pins.
+  for (int i = 0; i < 25; ++i) {
+    Mailbox mb;
+    std::thread poster([&mb] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      mb.post(make(MessageClass::DataParallel, 2, 4, 1, {std::byte{7}}));
+    });
+    bool delivered = true;
+    try {
+      Message m = mb.receive_for(MessageClass::DataParallel, 2, 4, 1, 10);
+      EXPECT_EQ(m.payload.bytes()[0], std::byte{7});
+    } catch (const ReceiveTimeout&) {
+      delivered = false;
+    }
+    poster.join();
+    if (delivered) {
+      EXPECT_EQ(mb.pending(), 0u);
+    } else {
+      ASSERT_EQ(mb.pending(), 1u) << "message lost in the deadline race";
+      Message m = mb.receive(MessageClass::DataParallel, 2, 4, 1);
+      EXPECT_EQ(m.payload.bytes()[0], std::byte{7});
+    }
+  }
+}
+
+TEST(MailboxWakeup, PostWakesOnlyTheMatchingWaiter) {
+  ModeGuard guard(MailboxMode::Indexed);
+  Mailbox mb;
+  ASSERT_EQ(mb.mode(), MailboxMode::Indexed);
+  std::atomic<bool> got_tag1{false};
+  std::atomic<bool> got_tag2{false};
+  std::thread a([&] {
+    (void)mb.receive(MessageClass::DataParallel, 1, 1, -1);
+    got_tag1.store(true);
+  });
+  std::thread b([&] {
+    (void)mb.receive(MessageClass::DataParallel, 1, 2, -1);
+    got_tag2.store(true);
+  });
+  ASSERT_TRUE(wait_for_waiters(mb, "2 waiting"));
+
+  const std::uint64_t wakes_before = counter_value("mailbox.wakeups");
+  mb.post(make(MessageClass::DataParallel, 1, 2, 0));
+  b.join();
+  EXPECT_TRUE(got_tag2.load());
+  // The tag-1 waiter must not have been disturbed: no delivery, and — the
+  // point of the indexed path — no wakeup either.  One post, one wake.
+  EXPECT_FALSE(got_tag1.load());
+  EXPECT_EQ(counter_value("mailbox.wakeups"), wakes_before + 1);
+
+  mb.post(make(MessageClass::DataParallel, 1, 1, 0));
+  a.join();
+  EXPECT_TRUE(got_tag1.load());
+}
+
+TEST(MailboxFifo, IndexedPathPreservesFifoWithinStream) {
+  ModeGuard guard(MailboxMode::Indexed);
+  Mailbox mb;
+  ASSERT_EQ(mb.mode(), MailboxMode::Indexed);
+  // Interleave two streams that share a bucket key (cls, comm, tag) but
+  // differ in src, plus a third stream on another tag, so the FIFO claim is
+  // tested per-stream rather than on the whole queue.
+  for (int i = 0; i < 16; ++i) {
+    mb.post(make(MessageClass::DataParallel, 1, 5, 2,
+                 {std::byte{static_cast<unsigned char>(i)}}));
+    mb.post(make(MessageClass::DataParallel, 1, 5, 3,
+                 {std::byte{static_cast<unsigned char>(100 + i)}}));
+    mb.post(make(MessageClass::TaskParallel, 1, 9, 2,
+                 {std::byte{static_cast<unsigned char>(200 + i)}}));
+  }
+  for (int i = 0; i < 16; ++i) {
+    Message m = mb.receive(MessageClass::DataParallel, 1, 5, 3);
+    EXPECT_EQ(m.payload.bytes()[0],
+              std::byte{static_cast<unsigned char>(100 + i)});
+  }
+  for (int i = 0; i < 16; ++i) {
+    Message m = mb.receive(MessageClass::DataParallel, 1, 5, 2);
+    EXPECT_EQ(m.payload.bytes()[0],
+              std::byte{static_cast<unsigned char>(i)});
+  }
+  // A wildcard-src receive still sees the remaining stream in arrival order.
+  for (int i = 0; i < 16; ++i) {
+    Message m = mb.receive(MessageClass::TaskParallel, 1, 9, -1);
+    EXPECT_EQ(m.payload.bytes()[0],
+              std::byte{static_cast<unsigned char>(200 + i)});
+  }
+  EXPECT_EQ(mb.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace tdp::vp
