@@ -1,6 +1,8 @@
 #include "obs/analyze.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
@@ -12,203 +14,18 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
 namespace tdp::obs {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader.  The exporter's output is a small, regular subset of
-// JSON (no exotic escapes, numbers that fit a double), but the parser below
-// accepts general JSON so hand-edited synthetic traces also load.
-
-struct JValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  const JValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  double num_or(const std::string& key, double fallback) const {
-    const JValue* v = find(key);
-    return v != nullptr && v->type == Type::Number ? v->number : fallback;
-  }
-  std::string str_or(const std::string& key) const {
-    const JValue* v = find(key);
-    return v != nullptr && v->type == Type::String ? v->string : std::string();
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  bool fail(const std::string& what) {
-    if (error_.empty()) {
-      error_ = what + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-  const std::string& error() const { return error_; }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool peek(char& c) {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    c = text_[pos_];
-    return true;
-  }
-
-  bool consume(char expected) {
-    char c = 0;
-    if (!peek(c) || c != expected) {
-      return fail(std::string("expected '") + expected + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool parse_string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u':
-          // The exporter never emits \u escapes; decode as '?' to stay
-          // total on foreign input.
-          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
-          pos_ += 4;
-          out.push_back('?');
-          break;
-        default: return fail("bad escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_value(JValue& out) {
-    char c = 0;
-    if (!peek(c)) return fail("unexpected end of input");
-    switch (c) {
-      case '{': {
-        out.type = JValue::Type::Object;
-        ++pos_;
-        if (peek(c) && c == '}') {
-          ++pos_;
-          return true;
-        }
-        while (true) {
-          std::string key;
-          if (!parse_string(key)) return false;
-          if (!consume(':')) return false;
-          JValue value;
-          if (!parse_value(value)) return false;
-          out.object.emplace_back(std::move(key), std::move(value));
-          if (!peek(c)) return fail("unterminated object");
-          if (c == ',') {
-            ++pos_;
-            continue;
-          }
-          return consume('}');
-        }
-      }
-      case '[': {
-        out.type = JValue::Type::Array;
-        ++pos_;
-        if (peek(c) && c == ']') {
-          ++pos_;
-          return true;
-        }
-        while (true) {
-          JValue value;
-          if (!parse_value(value)) return false;
-          out.array.push_back(std::move(value));
-          if (!peek(c)) return fail("unterminated array");
-          if (c == ',') {
-            ++pos_;
-            continue;
-          }
-          return consume(']');
-        }
-      }
-      case '"':
-        out.type = JValue::Type::String;
-        return parse_string(out.string);
-      case 't':
-        out.type = JValue::Type::Bool;
-        out.boolean = true;
-        return literal("true");
-      case 'f':
-        out.type = JValue::Type::Bool;
-        out.boolean = false;
-        return literal("false");
-      case 'n':
-        out.type = JValue::Type::Null;
-        return literal("null");
-      default: {
-        out.type = JValue::Type::Number;
-        const char* begin = text_.c_str() + pos_;
-        char* end = nullptr;
-        out.number = std::strtod(begin, &end);
-        if (end == begin) return fail("bad number");
-        pos_ += static_cast<std::size_t>(end - begin);
-        return true;
-      }
-    }
-  }
-
-  std::size_t pos() const { return pos_; }
-
- private:
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= text_.size() || text_[pos_] != *p) {
-        return fail(std::string("bad literal, expected ") + word);
-      }
-    }
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
 
 std::uint64_t as_u64(double v) {
   return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
 }
 
-void convert_event(const JValue& j, LoadedEvent& e) {
+void convert_event(const json::Value& j, LoadedEvent& e) {
   e.name = j.str_or("name");
   e.cat = j.str_or("cat");
   e.ph = j.str_or("ph");
@@ -216,8 +33,8 @@ void convert_event(const JValue& j, LoadedEvent& e) {
   e.ts_us = j.num_or("ts", 0.0);
   e.dur_us = j.num_or("dur", 0.0);
   e.id = as_u64(j.num_or("id", 0.0));
-  if (const JValue* args = j.find("args");
-      args != nullptr && args->type == JValue::Type::Object) {
+  if (const json::Value* args = j.find("args");
+      args != nullptr && args->type == json::Value::Type::Object) {
     e.comm = as_u64(args->num_or("comm", 0.0));
     e.flow = as_u64(args->num_or("flow", 0.0));
     e.arg0 = as_u64(args->num_or("arg0", 0.0));
@@ -227,16 +44,16 @@ void convert_event(const JValue& j, LoadedEvent& e) {
 
 /// Streams the elements of the traceEvents array without building a DOM for
 /// the whole document: one small JValue per event, converted and discarded.
-bool parse_event_array(JsonReader& reader, std::vector<LoadedEvent>& out) {
+bool parse_event_array(json::Reader& reader, std::vector<LoadedEvent>& out) {
   if (!reader.consume('[')) return false;
   char c = 0;
   if (reader.peek(c) && c == ']') {
     return reader.consume(']');
   }
   while (true) {
-    JValue element;
+    json::Value element;
     if (!reader.parse_value(element)) return false;
-    if (element.type == JValue::Type::Object) {
+    if (element.type == json::Value::Type::Object) {
       LoadedEvent e;
       convert_event(element, e);
       if (e.ph != "M") out.push_back(std::move(e));  // skip metadata rows
@@ -315,11 +132,11 @@ std::string row_name(std::int64_t tid) {
 }  // namespace
 
 bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
-                       std::string* error) {
+                       std::string* error, TraceMeta* meta) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string text = buffer.str();
-  JsonReader reader(text);
+  json::Reader reader(text);
 
   char c = 0;
   if (!reader.peek(c)) {
@@ -344,8 +161,18 @@ bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
       if (key == "traceEvents") {
         ok = parse_event_array(reader, out);
         found = true;
+      } else if (key == "otherData" && meta != nullptr) {
+        json::Value other;
+        ok = reader.parse_value(other);
+        if (ok && other.type == json::Value::Type::Object) {
+          meta->present = true;
+          meta->mode = other.str_or("mode");
+          meta->recorded = as_u64(other.num_or("recorded", 0.0));
+          meta->dropped = as_u64(other.num_or("dropped", 0.0));
+          meta->overwritten = as_u64(other.num_or("overwritten", 0.0));
+        }
       } else {
-        JValue skipped;
+        json::Value skipped;
         ok = reader.parse_value(skipped);
       }
       if (ok && reader.peek(c) && c == ',') reader.consume(',');
@@ -406,6 +233,10 @@ TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
   struct VpAccum {
     std::vector<std::pair<double, double>> active;
     std::vector<std::pair<double, double>> recv_wait;
+    // vp.recv durations rebucketed log2 (in ns) for the shared quantile
+    // math — same bucket→percentile routine as the live sampler, so the
+    // offline report and tdp_top agree on what "p99 recv wait" means.
+    std::array<std::uint64_t, Histogram::kBuckets> recv_buckets{};
     VpStats stats;
   };
   std::map<std::int64_t, VpAccum> per_vp;  // ordered by tid for the report
@@ -418,6 +249,10 @@ TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
       if (e.name == "vp.recv") {
         a.recv_wait.emplace_back(e.ts_us, span_end(e));
         ++a.stats.recv_count;
+        const std::uint64_t dur_ns =
+            e.dur_us > 0.0 ? static_cast<std::uint64_t>(e.dur_us * 1000.0)
+                           : 0;
+        ++a.recv_buckets[static_cast<std::size_t>(std::bit_width(dur_ns))];
       }
     } else {
       if (e.name == "vp.recv_miss") ++a.stats.recv_misses;
@@ -430,6 +265,14 @@ TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
     a.stats.compute_us = std::max(0.0, a.stats.active_us - a.stats.recv_wait_us);
     a.stats.utilization =
         report.wall_us > 0.0 ? a.stats.compute_us / report.wall_us : 0.0;
+    if (a.stats.recv_count != 0) {
+      a.stats.recv_p50_us = static_cast<double>(Histogram::percentile_from_buckets(
+                                a.recv_buckets, 0.50)) /
+                            1000.0;
+      a.stats.recv_p99_us = static_cast<double>(Histogram::percentile_from_buckets(
+                                a.recv_buckets, 0.99)) /
+                            1000.0;
+    }
     report.vps.push_back(a.stats);
   }
 
@@ -593,12 +436,15 @@ void write_report(std::ostream& os, const TraceReport& report) {
   os << "per-VP utilization (blocking breakdown):\n";
   os << "  " << std::left << std::setw(6) << "vp" << std::right << std::setw(12)
      << "active" << std::setw(12) << "compute" << std::setw(12) << "recv-wait"
+     << std::setw(12) << "recv-p50" << std::setw(12) << "recv-p99"
      << std::setw(8) << "recvs" << std::setw(8) << "misses" << std::setw(8)
      << "sends" << std::setw(8) << "util" << "\n";
   for (const VpStats& v : report.vps) {
     os << "  " << std::left << std::setw(6) << row_name(v.tid) << std::right
        << std::setw(12) << fmt_ms(v.active_us) << std::setw(12)
        << fmt_ms(v.compute_us) << std::setw(12) << fmt_ms(v.recv_wait_us)
+       << std::setw(12) << fmt_ms(v.recv_p50_us) << std::setw(12)
+       << fmt_ms(v.recv_p99_us)
        << std::setw(8) << v.recv_count << std::setw(8) << v.recv_misses
        << std::setw(8) << v.sends << std::setw(8) << fmt_pct(v.utilization)
        << "\n";

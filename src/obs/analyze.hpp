@@ -2,9 +2,8 @@
 // it into the performance report the thesis's figures argue from.
 //
 // The exporter (obs/export.hpp) writes spans, instants, counters and causal
-// flow pairs; this module loads that JSON (no external JSON dependency — a
-// small recursive-descent parser suffices for the exporter's own output),
-// reconstructs causality, and reports
+// flow pairs; this module loads that JSON through the shared obs::json
+// reader (no external JSON dependency), reconstructs causality, and reports
 //
 //  * per-VP utilization and a blocking breakdown: time computing vs time
 //    blocked in receive vs idle, plus selective-receive miss counts —
@@ -25,6 +24,19 @@
 #include <vector>
 
 namespace tdp::obs {
+
+/// Truncation sidecar the exporter stamps into "otherData": how much of
+/// the run the trace actually covers.  `present` is false for traces from
+/// before the sidecar existed (or foreign tools) — absence of evidence,
+/// not evidence of completeness.
+struct TraceMeta {
+  bool present = false;
+  std::string mode;  ///< "keep-first" or "ring"
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;      ///< keep-first: events lost past capacity
+  std::uint64_t overwritten = 0;  ///< ring: events displaced by newer ones
+  bool truncated() const { return dropped != 0 || overwritten != 0; }
+};
 
 /// One event loaded back from a Chrome trace_event JSON document.
 struct LoadedEvent {
@@ -51,6 +63,11 @@ struct VpStats {
   std::uint64_t recv_misses = 0;  ///< selective receives that had to block
   std::uint64_t sends = 0;
   double utilization = 0.0;   ///< compute / trace wall time
+  /// Windowless receive-wait quantiles: every vp.recv span duration on
+  /// this row, rebucketed log2 and interpolated through the shared
+  /// Histogram::percentile_from_buckets.
+  double recv_p50_us = 0.0;
+  double recv_p99_us = 0.0;
 };
 
 /// One link of a critical-path chain, annotated with how it causally feeds
@@ -83,9 +100,12 @@ struct TraceReport {
 
 /// Parses a Chrome trace_event document as written by write_chrome_trace
 /// (object form with "traceEvents", or a bare event array).  Returns false
-/// and fills *error on malformed input.
+/// and fills *error on malformed input.  When `meta` is non-null and the
+/// document carries the exporter's "otherData" truncation sidecar, fills
+/// it (meta->present says whether it was found) — tdp_trace uses this to
+/// warn when the analyzed trace is not the whole run.
 bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
-                       std::string* error);
+                       std::string* error, TraceMeta* meta = nullptr);
 
 /// Computes the report from loaded events.
 TraceReport analyze_trace(const std::vector<LoadedEvent>& events);

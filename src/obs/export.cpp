@@ -10,8 +10,10 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_print.hpp"
 
 namespace tdp::obs {
 
@@ -31,7 +33,8 @@ void write_ts(std::ostream& os, std::uint64_t ts_ns) {
 void write_event(std::ostream& os, const EventRecord& e, bool& first) {
   if (!first) os << ",\n";
   first = false;
-  os << "{\"name\":\"" << op_name(e.op) << "\",\"cat\":\"" << op_category(e.op)
+  os << "{\"name\":\"" << json::escape(op_name(e.op)) << "\",\"cat\":\""
+     << json::escape(op_category(e.op))
      << "\",\"pid\":1,\"tid\":" << tid_of(e.vp) << ",\"ts\":";
   write_ts(os, e.ts_ns);
   switch (e.kind) {
@@ -125,8 +128,8 @@ void write_chrome_trace(std::ostream& os) {
     first = false;
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
        << ",\"args\":{\"name\":\""
-       << (tid == kExternalTid ? std::string("external")
-                               : "vp " + std::to_string(tid))
+       << json::escape(tid == kExternalTid ? std::string("external")
+                                           : "vp " + std::to_string(tid))
        << "\"}}";
   }
 
@@ -150,15 +153,44 @@ void write_chrome_trace(std::ostream& os) {
                        e.ts_ns + e.dur_ns, e.comm, /*start=*/false, first);
     }
   }
-  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  // Truncation metadata rides along in the trace itself, so an offline
+  // reader (tdp_trace) can warn that what it analyzed is not everything
+  // that happened.  "otherData" is the Chrome trace_event escape hatch for
+  // exactly this kind of sidecar.
+  Tracer& tracer = Tracer::instance();
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"mode\":\""
+     << (tracer.mode() == TraceMode::Ring ? "ring" : "keep-first")
+     << "\",\"recorded\":" << tracer.recorded()
+     << ",\"dropped\":" << tracer.dropped()
+     << ",\"overwritten\":" << tracer.overwritten() << "}}\n";
+}
+
+bool dump_flight_recorder(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_chrome_trace(out);
+  out.flush();
+  return out.good();
 }
 
 void write_summary(std::ostream& os, const MachineStats* machine) {
   Tracer& tracer = Tracer::instance();
   os << "== tdp::obs summary ==\n";
-  os << "trace events: " << tracer.recorded() << " recorded, "
-     << tracer.dropped() << " dropped (capacity " << tracer.capacity()
-     << ")\n";
+  os << "trace events: " << tracer.recorded() << " recorded, ";
+  if (tracer.mode() == TraceMode::Ring) {
+    os << tracer.overwritten() << " overwritten (ring, capacity "
+       << tracer.capacity() << ")\n";
+  } else {
+    os << tracer.dropped() << " dropped (capacity " << tracer.capacity()
+       << ")\n";
+  }
+  if (tracer.mode() == TraceMode::KeepFirst && tracer.dropped() != 0) {
+    os << "WARNING: " << tracer.dropped()
+       << " events were DROPPED past capacity — the exported trace ends "
+          "early.\n"
+       << "  Raise TDP_OBS_CAPACITY or set TDP_OBS_MODE=ring to keep the "
+          "most recent events instead.\n";
+  }
 
   std::ostringstream counters;
   std::ostringstream histograms;
@@ -232,14 +264,19 @@ void flush_at_shutdown(const MachineStats* machine) {
       wrote = out.good();
     }
   }
-  write_summary(std::cerr, machine);
+  // One atomic block: the summary must not interleave with concurrent
+  // program output (the watchdog may still be printing, examples write
+  // results to stdout as they finish).
+  std::ostringstream block;
+  write_summary(block, machine);
   if (wrote) {
-    std::cerr << "chrome trace written to " << path
-              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    block << "chrome trace written to " << path
+          << " (open in chrome://tracing or ui.perfetto.dev)\n";
   } else {
-    std::cerr << "chrome trace NOT written: cannot open " << path
-              << " (set TDP_OBS_TRACE to a writable path)\n";
+    block << "chrome trace NOT written: cannot open " << path
+          << " (set TDP_OBS_TRACE to a writable path)\n";
   }
+  util::atomic_print_err(block.str());
 }
 
 void register_atexit_flush() {
@@ -261,9 +298,11 @@ void register_atexit_flush() {
         recorded == g_flushed_at.load(std::memory_order_relaxed)) {
       return;
     }
-    std::cerr << "tdp::obs: flushing trace at exit ("
-              << recorded - g_flushed_at.load(std::memory_order_relaxed)
-              << " events since last flush)\n";
+    util::atomic_print_err(
+        "tdp::obs: flushing trace at exit (" +
+        std::to_string(recorded -
+                       g_flushed_at.load(std::memory_order_relaxed)) +
+        " events since last flush)");
     flush_at_shutdown(nullptr);
   });
 }

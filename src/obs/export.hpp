@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace tdp::obs {
@@ -28,6 +29,13 @@ struct MachineStats {
 /// Flow endpoints whose partner fell past tracer capacity are suppressed,
 /// so every exported "s" has exactly one "f" and vice versa.
 void write_chrome_trace(std::ostream& os);
+
+/// Writes the tracer's current contents as a Chrome trace to `path` —
+/// the flight-recorder dump ("give me the last N events NOW", from a
+/// signal handler's service thread, a watchdog stall, or application
+/// code).  Safe against live emitters in ring mode.  Returns false when
+/// the file cannot be opened or written.
+bool dump_flight_recorder(const std::string& path);
 
 /// Writes the plain-text summary: event/drop counts, every registry counter,
 /// histogram (count, p50/p90/p99, max) and high-water gauge, and — when

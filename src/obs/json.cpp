@@ -1,0 +1,214 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tdp::obs::json {
+
+bool Reader::fail(const std::string& what) {
+  if (error_.empty()) {
+    error_ = what + " at offset " + std::to_string(pos_);
+  }
+  return false;
+}
+
+void Reader::skip_ws() {
+  while (pos_ < text_.size() &&
+         (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+          text_[pos_] == '\r')) {
+    ++pos_;
+  }
+}
+
+bool Reader::peek(char& c) {
+  skip_ws();
+  if (pos_ >= text_.size()) return false;
+  c = text_[pos_];
+  return true;
+}
+
+bool Reader::consume(char expected) {
+  char c = 0;
+  if (!peek(c) || c != expected) {
+    return fail(std::string("expected '") + expected + "'");
+  }
+  ++pos_;
+  return true;
+}
+
+bool Reader::parse_string(std::string& out) {
+  if (!consume('"')) return false;
+  out.clear();
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) break;
+    const char esc = text_[pos_++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = text_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return fail("bad \\u escape");
+          }
+        }
+        if (code < 0x80) {
+          // The escaper only emits \u00XX (control characters); decode
+          // those exactly and degrade non-ASCII escapes to '?' to stay
+          // total on foreign input.
+          out.push_back(static_cast<char>(code));
+        } else {
+          out.push_back('?');
+        }
+        break;
+      }
+      default: return fail("bad escape");
+    }
+  }
+  return fail("unterminated string");
+}
+
+bool Reader::parse_value(Value& out) {
+  char c = 0;
+  if (!peek(c)) return fail("unexpected end of input");
+  switch (c) {
+    case '{': {
+      out.type = Value::Type::Object;
+      ++pos_;
+      if (peek(c) && c == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return false;
+        Value value;
+        if (!parse_value(value)) return false;
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (!peek(c)) return fail("unterminated object");
+        if (c == ',') {
+          ++pos_;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    case '[': {
+      out.type = Value::Type::Array;
+      ++pos_;
+      if (peek(c) && c == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Value value;
+        if (!parse_value(value)) return false;
+        out.array.push_back(std::move(value));
+        if (!peek(c)) return fail("unterminated array");
+        if (c == ',') {
+          ++pos_;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    case '"':
+      out.type = Value::Type::String;
+      return parse_string(out.string);
+    case 't':
+      out.type = Value::Type::Bool;
+      out.boolean = true;
+      return literal("true");
+    case 'f':
+      out.type = Value::Type::Bool;
+      out.boolean = false;
+      return literal("false");
+    case 'n':
+      out.type = Value::Type::Null;
+      return literal("null");
+    default: {
+      out.type = Value::Type::Number;
+      const char* begin = text_.c_str() + pos_;
+      char* end = nullptr;
+      out.number = std::strtod(begin, &end);
+      if (end == begin) return fail("bad number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      return true;
+    }
+  }
+}
+
+bool Reader::literal(const char* word) {
+  for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+    if (pos_ >= text_.size() || text_[pos_] != *p) {
+      return fail(std::string("bad literal, expected ") + word);
+    }
+  }
+  return true;
+}
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  Reader reader(text);
+  if (!reader.parse_value(out)) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  reader.skip_ws();
+  if (reader.pos() != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(reader.pos());
+    }
+    return false;
+  }
+  return true;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tdp::obs::json

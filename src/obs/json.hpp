@@ -1,0 +1,86 @@
+// tdp::obs::json — the one JSON reader/escaper shared by every obs surface.
+//
+// Three consumers, one grammar: the offline trace analyzer
+// (obs/analyze.cpp) loads Chrome trace_event documents, the telemetry
+// round-trip tests parse the exposition endpoint's time-series dump, and
+// tools/tdp_top parses the same dump over the live socket.  Keeping the
+// parser here (no external JSON dependency) means the exporters and the
+// readers agree on exactly one dialect — and the escaper below is the
+// single place a string enters a JSON document, so "parses cleanly" is a
+// property of the pair, testable as a round trip.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tdp::obs::json {
+
+/// A parsed JSON value.  Objects preserve key order (the exporters write
+/// deterministic documents; tests diff them).
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const Value* v = find(key);
+    return v != nullptr && v->type == Type::Number ? v->number : fallback;
+  }
+  std::string str_or(const std::string& key) const {
+    const Value* v = find(key);
+    return v != nullptr && v->type == Type::String ? v->string : std::string();
+  }
+};
+
+/// Incremental reader over a JSON text.  The trace analyzer streams the
+/// traceEvents array element-by-element through this (one small Value per
+/// event, converted and discarded) instead of building a DOM for the whole
+/// document; parse() below is the whole-document convenience wrapper.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  /// Records the first error with its input offset; returns false so call
+  /// sites can `return fail(...)`.
+  bool fail(const std::string& what);
+  const std::string& error() const { return error_; }
+
+  void skip_ws();
+  /// Peeks the next non-whitespace character without consuming it.
+  bool peek(char& c);
+  bool consume(char expected);
+  bool parse_string(std::string& out);
+  bool parse_value(Value& out);
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool literal(const char* word);
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Parses a complete JSON document.  Returns false and fills *error on
+/// malformed input (trailing garbage after the document is also an error).
+bool parse(const std::string& text, Value& out, std::string* error);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, common control characters
+/// use their short escapes, and everything else below 0x20 becomes \u00XX.
+/// parse() inverts this exactly — the round trip the exporter tests assert.
+std::string escape(std::string_view s);
+
+}  // namespace tdp::obs::json

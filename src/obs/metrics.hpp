@@ -134,7 +134,9 @@ class MaxGauge {
 /// A log2-scale histogram of non-negative samples (typically latencies in
 /// ns).  Bucket b holds samples whose bit width is b, i.e. values in
 /// [2^(b-1), 2^b - 1]; bucket 0 holds zeros.  Per-VP sharded, merged on
-/// read; percentiles report the upper bound of the containing bucket.
+/// read; percentiles interpolate linearly inside the containing bucket
+/// (percentile_from_buckets — the one bucket→quantile routine shared by
+/// the shutdown summary, the trace analyzer, and the telemetry sampler).
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;
@@ -187,21 +189,50 @@ class Histogram {
     return m;
   }
 
-  /// The upper bound of the bucket containing the p-quantile (0 < p <= 1)
-  /// of the recorded distribution; 0 when empty.
+  /// The p-quantile (0 < p <= 1) of the recorded distribution; 0 when
+  /// empty.  Interpolated inside the containing log2 bucket — see
+  /// percentile_from_buckets, which this forwards to on the merged counts.
   std::uint64_t percentile(double p) const {
-    const std::array<std::uint64_t, kBuckets> buckets = merged();
+    return percentile_from_buckets(merged(), p);
+  }
+
+  /// The shared bucket math: given log2-bucket counts (bucket b = values
+  /// of bit width b, bucket 0 = zeros), finds the bucket containing the
+  /// p-quantile's rank and interpolates linearly between the bucket's
+  /// bounds by the rank's position within it.  Callers with *windowed*
+  /// counts (the telemetry sampler's per-tick deltas, the trace analyzer's
+  /// rebucketed span durations) use this directly; Histogram::percentile
+  /// applies it to the lifetime counts.
+  static std::uint64_t percentile_from_buckets(
+      const std::array<std::uint64_t, kBuckets>& buckets, double p) {
     std::uint64_t total = 0;
     for (const std::uint64_t n : buckets) total += n;
     if (total == 0) return 0;
-    auto target = static_cast<std::uint64_t>(p * static_cast<double>(total));
-    if (target < 1) target = 1;
+    double target = p * static_cast<double>(total);
+    if (target < 1.0) target = 1.0;
+    if (target > static_cast<double>(total)) {
+      target = static_cast<double>(total);
+    }
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      if (static_cast<double>(seen + buckets[b]) >= target) {
+        const std::uint64_t lo = bucket_lower_bound(b);
+        const std::uint64_t hi = bucket_upper_bound(b);
+        const double frac = (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets[b]);
+        return lo + static_cast<std::uint64_t>(
+                        frac * static_cast<double>(hi - lo));
+      }
       seen += buckets[b];
-      if (seen >= target) return bucket_upper_bound(b);
     }
     return bucket_upper_bound(kBuckets - 1);
+  }
+
+  /// Smallest value that falls into bucket b.
+  static std::uint64_t bucket_lower_bound(std::size_t b) {
+    if (b == 0) return 0;
+    return std::uint64_t{1} << (b - 1);
   }
 
   /// Largest value that falls into bucket b.

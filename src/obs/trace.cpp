@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <thread>
 
 #include "obs/export.hpp"
@@ -175,6 +177,41 @@ const char* op_category(Op op) {
 
 namespace {
 
+// -1 = no override; read TDP_OBS_MODE (cached) instead.
+std::atomic<int> g_mode_override{-1};
+
+TraceMode mode_from_env() {
+  static const TraceMode cached = [] {
+    const char* env = std::getenv("TDP_OBS_MODE");
+    if (env == nullptr || env[0] == '\0') return TraceMode::KeepFirst;
+    const std::string_view v(env);
+    if (v == "ring") return TraceMode::Ring;
+    if (v == "keep" || v == "keep-first" || v == "first") {
+      return TraceMode::KeepFirst;
+    }
+    std::fprintf(stderr,
+                 "tdp::obs: unknown TDP_OBS_MODE '%s' (want keep|ring); "
+                 "using keep-first\n",
+                 env);
+    return TraceMode::KeepFirst;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+TraceMode trace_mode() {
+  const int forced = g_mode_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<TraceMode>(forced);
+  return mode_from_env();
+}
+
+void set_trace_mode(TraceMode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+namespace {
+
 std::size_t default_shard_capacity() {
   // TDP_OBS_CAPACITY is the total record budget across all shards.
   std::size_t total = std::size_t{1} << 19;  // 512Ki records ≈ 24 MiB max
@@ -188,7 +225,8 @@ std::size_t default_shard_capacity() {
 
 }  // namespace
 
-Tracer::Tracer() : shard_capacity_(default_shard_capacity()) {}
+Tracer::Tracer()
+    : shard_capacity_(default_shard_capacity()), mode_(trace_mode()) {}
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
@@ -211,6 +249,18 @@ EventRecord* Tracer::slots_for(Shard& s) {
 
 void Tracer::emit(const EventRecord& rec) {
   Shard& s = shards_[shard_index(rec.vp)];
+  if (mode_ == TraceMode::Ring) {
+    // Flight recorder: overwrite the oldest slot.  The shard mutex is
+    // held only for the 56-byte copy and two plain stores; each shard is
+    // effectively owned by one VP's thread, so this is uncontended.
+    EventRecord* slots = slots_for(s);
+    std::lock_guard<std::mutex> lock(s.ring_mutex);
+    const std::uint64_t claim = s.head.load(std::memory_order_relaxed);
+    slots[claim % shard_capacity_] = rec;
+    s.head.store(claim + 1, std::memory_order_relaxed);
+    s.committed.store(claim + 1, std::memory_order_relaxed);
+    return;
+  }
   const std::uint64_t claim = s.head.fetch_add(1, std::memory_order_relaxed);
   if (claim >= shard_capacity_) {
     s.dropped.fetch_add(1, std::memory_order_relaxed);
@@ -224,7 +274,21 @@ void Tracer::emit(const EventRecord& rec) {
 
 std::vector<EventRecord> Tracer::snapshot() const {
   std::vector<EventRecord> out;
-  for (const Shard& s : shards_) {
+  for (Shard& s : shards_) {
+    if (mode_ == TraceMode::Ring) {
+      // Under the shard mutex the ring is consistent even against live
+      // emitters; copy oldest-first.
+      std::lock_guard<std::mutex> lock(s.ring_mutex);
+      const EventRecord* slots = s.slots.load(std::memory_order_acquire);
+      if (slots == nullptr) continue;
+      const std::uint64_t head = s.head.load(std::memory_order_relaxed);
+      const std::uint64_t n = std::min<std::uint64_t>(head, shard_capacity_);
+      for (std::uint64_t i = head - n; i < head; ++i) {
+        const EventRecord& rec = slots[i % shard_capacity_];
+        if (rec.op != Op::None) out.push_back(rec);
+      }
+      continue;
+    }
     const std::uint64_t head = s.head.load(std::memory_order_acquire);
     const std::uint64_t n = std::min<std::uint64_t>(head, shard_capacity_);
     if (n == 0) continue;
@@ -264,8 +328,19 @@ std::uint64_t Tracer::dropped() const {
   return total;
 }
 
+std::uint64_t Tracer::overwritten() const {
+  if (mode_ != TraceMode::Ring) return 0;
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    const std::uint64_t head = s.head.load(std::memory_order_relaxed);
+    if (head > shard_capacity_) total += head - shard_capacity_;
+  }
+  return total;
+}
+
 void Tracer::reset(std::size_t capacity_per_shard) {
   if (capacity_per_shard > 0) shard_capacity_ = capacity_per_shard;
+  mode_ = trace_mode();
   for (Shard& s : shards_) {
     delete[] s.slots.exchange(nullptr, std::memory_order_acq_rel);
     s.head.store(0, std::memory_order_relaxed);

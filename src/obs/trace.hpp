@@ -21,10 +21,22 @@
 // Shards are selected by the emitting thread's virtual-processor placement
 // (obs::current_vp — the canonical thread-local behind vp::current_proc),
 // so concurrent virtual processors do not contend on one buffer head.
+//
+// Flight-recorder mode (TDP_OBS_MODE=ring) inverts the retention policy:
+// each shard becomes a ring that keeps the *last* N events, so a
+// long-running service always has recent history to dump on demand
+// (SIGUSR1, a watchdog stall, or obs::dump_flight_recorder) instead of
+// going blind after the first TDP_OBS_CAPACITY events.  Overwriting makes
+// slots multi-writer, so the ring path serialises each shard's emit under
+// a tiny per-shard mutex — contended only by threads that map to the same
+// shard (one VP per shard up to 64 VPs), i.e. effectively never — which
+// keeps the mode TSan-clean by construction.  Keep-first mode stays on the
+// wait-free lock-free path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace tdp::obs {
@@ -138,6 +150,25 @@ void set_enabled(bool on);
 /// Nanoseconds since the process's trace epoch (steady clock).
 std::uint64_t now_ns();
 
+/// Trace retention policy (TDP_OBS_MODE).  KeepFirst is the historical
+/// post-mortem behaviour: fill the buffer once, count everything after as
+/// dropped.  Ring is the flight recorder: keep the most recent events,
+/// count everything displaced as overwritten.
+enum class TraceMode : int {
+  KeepFirst = 0,
+  Ring = 1,
+};
+
+/// The mode new Tracer state uses: a set_trace_mode() override if one is in
+/// effect, else TDP_OBS_MODE from the environment ("keep"/"ring", cached on
+/// first read; unknown values warn once and fall back to keep-first).
+TraceMode trace_mode();
+
+/// Programmatic override of TDP_OBS_MODE (tests, benches, embedders).  NOT
+/// thread-safe versus concurrent emitters — call at startup or between
+/// runs, like Tracer::reset.
+void set_trace_mode(TraceMode mode);
+
 /// A fresh causal flow id, never 0.  Composed of the calling thread's
 /// virtual-processor shard and that shard's monotonic send sequence
 /// ((shard+1) << 40 | seq), so ids are process-unique, stay below 2^53
@@ -158,17 +189,26 @@ class Tracer {
   void emit(const EventRecord& rec);
 
   /// All committed records, merged across shards and sorted by timestamp.
-  /// Call only when emitters are quiescent.
+  /// In keep-first mode call only when emitters are quiescent; in ring mode
+  /// the per-shard mutex makes a concurrent snapshot safe (each shard is
+  /// internally consistent; cross-shard skew is bounded by the copy time),
+  /// which is what lets the flight recorder dump a *live* service.
   std::vector<EventRecord> snapshot() const;
 
-  std::uint64_t recorded() const;  ///< events stored
-  std::uint64_t dropped() const;   ///< events lost past capacity
+  std::uint64_t recorded() const;     ///< events stored (ever)
+  std::uint64_t dropped() const;      ///< keep-first: events lost past capacity
+  std::uint64_t overwritten() const;  ///< ring: events displaced by newer ones
+
+  /// The retention policy this tracer is currently using.
+  TraceMode mode() const { return mode_; }
 
   /// Total record capacity across shards.
   std::size_t capacity() const { return shard_capacity_ * kShards; }
 
-  /// Clears all shards; `capacity_per_shard` > 0 also resizes them.
-  /// NOT thread-safe versus concurrent emitters — tests and startup only.
+  /// Clears all shards; `capacity_per_shard` > 0 also resizes them.  The
+  /// retention mode is re-read from trace_mode() (so set_trace_mode takes
+  /// effect on the next reset).  NOT thread-safe versus concurrent
+  /// emitters — tests and startup only.
   void reset(std::size_t capacity_per_shard = 0);
 
  private:
@@ -179,6 +219,10 @@ class Tracer {
     std::atomic<std::uint64_t> head{0};        // claims (may exceed capacity)
     std::atomic<std::uint64_t> committed{0};   // fully-written records
     std::atomic<std::uint64_t> dropped{0};
+    /// Ring mode only: serialises slot writes (overwrites make slots
+    /// multi-writer) and snapshot reads against them.  Never touched on
+    /// the keep-first path.
+    std::mutex ring_mutex;
   };
 
   EventRecord* slots_for(Shard& s);
@@ -187,7 +231,8 @@ class Tracer {
   }
 
   std::size_t shard_capacity_;
-  Shard shards_[kShards];
+  TraceMode mode_;
+  mutable Shard shards_[kShards];
 };
 
 namespace detail {

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_print.hpp"
 
 namespace tdp::obs {
 
@@ -109,6 +111,13 @@ void Watchdog::run() {
     const auto period = std::chrono::milliseconds(period_ms_);
     if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
     sample(now_ns());
+    // The watchdog doubles as a servicer of the flight-dump flag: a
+    // SIGUSR1 must produce a dump even when the telemetry sampler and the
+    // exposition server are both off.  Outside our lock — the dump renders
+    // through Telemetry, which has its own.
+    lock.unlock();
+    service_flight_dump_request();
+    lock.lock();
   }
 }
 
@@ -137,11 +146,21 @@ void Watchdog::sample(std::uint64_t now) {
            << " ms (" << blocked << " of " << sources_.size()
            << " VPs blocked in receive) ==\n"
            << describe_blocked_locked();
+    static ShardedCounter& stall_counter =
+        Registry::instance().counter("watchdog.stalls");
+    stall_counter.add();
+    Telemetry::instance().note_stall(report.str());
     if (sink_) {
       sink_(report.str());
     } else {
-      std::fputs(report.str().c_str(), stderr);
-      std::fflush(stderr);
+      util::atomic_print_err(report.str());
+    }
+    // A stall is exactly the moment the flight recorder exists for: in
+    // ring mode, dump the recent past before the operator even asks.
+    // Keep-first runs (the test suites deliberately provoke stalls under
+    // a 100 ms watchdog) stay file-quiet.
+    if (Tracer::instance().mode() == TraceMode::Ring) {
+      request_flight_dump();
     }
   }
   last_progress_ = progress;

@@ -44,6 +44,12 @@ struct alignas(64) VpWaitState {
   std::atomic<std::uint64_t> progress{0};
   /// now_ns() when the owner blocked in receive; 0 while it is runnable.
   std::atomic<std::uint64_t> blocked_since_ns{0};
+  /// Cumulative nanoseconds spent blocked in receive over the process
+  /// lifetime (closed blocks only; add the current block's age from
+  /// blocked_since_ns for an instantaneous figure).  The telemetry
+  /// sampler differences this per window to derive each VP's run
+  /// fraction.
+  std::atomic<std::uint64_t> blocked_ns_total{0};
   /// What the blocked receive is waiting for; meaningful only while
   /// blocked_since_ns != 0.  cls/src are -1 and comm/tag 0 when the wait
   /// uses an opaque predicate.

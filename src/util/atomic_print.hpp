@@ -14,6 +14,12 @@ namespace tdp::util {
 /// other concurrent atomic_print calls.
 void atomic_print(const std::string& line);
 
+/// Writes a (possibly multi-line) block to standard error atomically,
+/// appending a trailing newline if the block lacks one.  Shares the
+/// atomic_print mutex, so a watchdog stall report or shutdown summary
+/// never interleaves with concurrent stdout lines either.
+void atomic_print_err(const std::string& block);
+
 /// Formats all arguments with operator<< into one line and prints it
 /// atomically.
 template <typename... Args>

@@ -2,10 +2,21 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 
 namespace tdp::vp {
+
+void Machine::count_delivery(int dst) {
+  messages_sent_.add_at(dst);
+  // The registry twin of messages_sent_: process-global so the telemetry
+  // sampler can difference per-destination shards without a Machine
+  // reference (the obs layer must not depend on vp).
+  static obs::ShardedCounter& vp_messages =
+      obs::Registry::instance().counter("vp.messages");
+  vp_messages.add_at(dst);
+}
 
 Machine::Machine(int nprocs) {
   if (nprocs <= 0) {
@@ -20,7 +31,9 @@ Machine::Machine(int nprocs) {
   }
   if (obs::enabled()) {
     obs::Watchdog& wd = obs::Watchdog::instance();
+    obs::Telemetry& tel = obs::Telemetry::instance();
     watchdog_tokens_.reserve(mailboxes_.size());
+    telemetry_tokens_.reserve(mailboxes_.size());
     for (int i = 0; i < nprocs; ++i) {
       Mailbox* mb = mailboxes_[static_cast<std::size_t>(i)].get();
       // describe_wait renders both sides of a stall: the pending queue AND
@@ -28,8 +41,10 @@ Machine::Machine(int nprocs) {
       // several selective receivers blocked at once).
       watchdog_tokens_.push_back(wd.add_source(
           i, &mb->wait_state(), [mb] { return mb->describe_wait(); }));
+      telemetry_tokens_.push_back(tel.add_vp_source(i, &mb->wait_state()));
     }
     wd.start(obs::Watchdog::env_period_ms());
+    obs::telemetry_start_from_env();
   }
 }
 
@@ -40,12 +55,16 @@ Machine::~Machine() {
     obs::Watchdog& wd = obs::Watchdog::instance();
     for (int token : watchdog_tokens_) wd.remove_source(token);
   }
+  if (!telemetry_tokens_.empty()) {
+    obs::Telemetry& tel = obs::Telemetry::instance();
+    for (int token : telemetry_tokens_) tel.remove_vp_source(token);
+  }
   // Flush any messages the injector held back for reordering; an unflushed
   // stash would act as an unplanned drop.
   if (injector_) {
     injector_->drain([this](int dst, Message&& m) {
       mailboxes_[static_cast<std::size_t>(dst)]->post(std::move(m));
-      messages_sent_.add_at(dst);
+      count_delivery(dst);
     });
   }
   for (auto& mb : mailboxes_) mb->close();
@@ -82,12 +101,12 @@ void Machine::send(int dst, Message m) {
     injector_->on_send(current_proc(), dst, std::move(m),
                        [&box, this, dst](Message&& routed) {
                          box.post(std::move(routed));
-                         messages_sent_.add_at(dst);
+                         count_delivery(dst);
                        });
     return;
   }
   box.post(std::move(m));
-  messages_sent_.add_at(dst);
+  count_delivery(dst);
 }
 
 // The canonical placement thread-local lives in the obs layer so tracing

@@ -90,9 +90,12 @@ class Machine {
   }
 
  private:
+  void count_delivery(int dst);
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   obs::ShardedCounter messages_sent_;
   std::vector<int> watchdog_tokens_;
+  std::vector<int> telemetry_tokens_;
   std::unique_ptr<fault::Injector> injector_;  // nullptr = no active plan
 };
 

@@ -254,10 +254,22 @@ void Mailbox::wake_all_locked() {
 
 void Mailbox::note_delivery_locked(const Message& out, bool obs_on) {
   if (!obs_on) return;
-  wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
+  note_unblock_locked();
   wait_state_.progress.fetch_add(1, std::memory_order_relaxed);
   wait_state_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
   (void)out;
+}
+
+void Mailbox::note_unblock_locked() {
+  const std::uint64_t since =
+      wait_state_.blocked_since_ns.load(std::memory_order_relaxed);
+  if (since == 0) return;
+  const std::uint64_t now = obs::now_ns();
+  if (now > since) {
+    wait_state_.blocked_ns_total.fetch_add(now - since,
+                                           std::memory_order_relaxed);
+  }
+  wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
 }
 
 void Mailbox::note_block_locked(const WaitDetail* detail, bool obs_on) {
@@ -371,16 +383,12 @@ Message Mailbox::receive_indexed(const WaitDetail& detail,
       }
     }
     if (closed_) {
-      if (obs_on) {
-        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
-      }
+      if (obs_on) note_unblock_locked();
       throw MailboxClosed();
     }
     if (timed_out) {
       // The deadline passed and a final scan (above) still found nothing.
-      if (obs_on) {
-        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
-      }
+      if (obs_on) note_unblock_locked();
       throw_timeout(&detail, timeout_ms);
     }
     if (!w.registered) {
@@ -446,15 +454,11 @@ Message Mailbox::receive_scan(const Predicate& match,
       }
     }
     if (closed_) {
-      if (obs_on) {
-        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
-      }
+      if (obs_on) note_unblock_locked();
       throw MailboxClosed();
     }
     if (timed_out) {
-      if (obs_on) {
-        wait_state_.blocked_since_ns.store(0, std::memory_order_relaxed);
-      }
+      if (obs_on) note_unblock_locked();
       throw_timeout(detail, timeout_ms);
     }
     if (!w.registered) {

@@ -278,6 +278,12 @@ class Mailbox {
   /// Publishes "about to block" state: wait tuple, blocked-since, miss
   /// instant; caller holds mutex_.
   void note_block_locked(const WaitDetail* detail, bool obs_on);
+  /// Closes the current block interval, if any: folds its duration into
+  /// wait_state_.blocked_ns_total and clears blocked_since_ns.  Every exit
+  /// from a blocked receive (delivery, close, timeout) funnels through
+  /// here so the telemetry sampler's run-fraction accounting never leaks a
+  /// block.  Caller holds mutex_.
+  void note_unblock_locked();
   std::string describe_pending_locked() const;  // caller holds mutex_
   [[noreturn]] void throw_timeout(const WaitDetail* detail,
                                   std::uint64_t timeout_ms);

@@ -237,9 +237,12 @@ TEST_F(ObsTest, HistogramPercentilesOnKnownDistribution) {
   EXPECT_EQ(h.count(), 300u);
   EXPECT_EQ(h.sum(), 100u * 10 + 100u * 1000 + 100u * 100000);
   EXPECT_EQ(h.max(), 100000u);
-  EXPECT_EQ(h.percentile(0.10), 15u);
-  EXPECT_EQ(h.percentile(0.50), 1023u);
-  EXPECT_EQ(h.percentile(0.99), 131071u);
+  // Interpolated within the containing log2 bucket: p10's rank 30 sits
+  // 30% into the [8,15] bucket, p50's rank 150 halfway into [512,1023],
+  // p99's rank 297 97% into [65536,131071]; p100 is the bucket upper bound.
+  EXPECT_EQ(h.percentile(0.10), 10u);
+  EXPECT_EQ(h.percentile(0.50), 767u);
+  EXPECT_EQ(h.percentile(0.99), 129104u);
   EXPECT_EQ(h.percentile(1.0), 131071u);
 
   obs::Histogram zeros;
@@ -259,7 +262,9 @@ TEST_F(ObsTest, HistogramMergesShardsFromConcurrentVps) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(h.count(), 4000u);
-  EXPECT_EQ(h.percentile(0.5), 127u);
+  // All 4000 samples share the [64,127] bucket; the median interpolates
+  // to its midpoint.
+  EXPECT_EQ(h.percentile(0.5), 95u);
 }
 
 TEST_F(ObsTest, RegistryReturnsStableReferences) {

@@ -1,0 +1,308 @@
+// tdp_top — live terminal view of a running tdp program.
+//
+//   TDP_OBS=1 TDP_OBS_MODE=ring TDP_OBS_SOCKET=/tmp/tdp.sock ./your_program &
+//   tdp_top --socket /tmp/tdp.sock
+//
+// Polls the exposition endpoint's `json` command on an interval and renders
+// per-VP utilization (run fraction over the last sample window), mailbox
+// depth, message rate, and blocked state, plus headline counter rates,
+// windowed histogram quantiles, trace-ring status, and recent watchdog
+// stalls.  `--once` prints a single snapshot and exits (CI smoke-tests
+// this); `--metrics` prints the raw Prometheus text instead.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+int usage(const char* argv0, int code) {
+  std::cerr
+      << "usage: " << argv0 << " [--socket <path>] [options]\n"
+      << "  --socket <path>   exposition socket (default: $TDP_OBS_SOCKET)\n"
+      << "  --once            print one snapshot and exit\n"
+      << "  --interval <ms>   polling period in live mode (default 1000)\n"
+      << "  --metrics         print raw Prometheus exposition text\n"
+      << "  the target program must run with TDP_OBS=1 and TDP_OBS_SOCKET "
+         "set\n";
+  return code;
+}
+
+/// One request/response exchange: connect, send the command, read to EOF.
+bool query(const std::string& socket_path, const std::string& command,
+           std::string& out, std::string& error) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long";
+    ::close(fd);
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string line = command + "\n";
+  if (::write(fd, line.data(), line.size()) < 0) {
+    error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  out.clear();
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 5000) <= 0) {
+      error = "timed out waiting for reply";
+      ::close(fd);
+      return false;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+std::string fmt_rate(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM/s", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk/s", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f/s", v);
+  }
+  return buf;
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+/// A 10-cell utilization bar: ██████░░░░
+std::string run_bar(double frac) {
+  if (frac < 0.0) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  const int filled = static_cast<int>(frac * 10.0 + 0.5);
+  std::string bar;
+  for (int i = 0; i < 10; ++i) bar += i < filled ? "█" : "░";
+  return bar;
+}
+
+const tdp::obs::json::Value* latest_point(const tdp::obs::json::Value& series,
+                                          const char* key) {
+  const tdp::obs::json::Value* points = series.find(key);
+  if (points == nullptr ||
+      points->type != tdp::obs::json::Value::Type::Array ||
+      points->array.empty()) {
+    return nullptr;
+  }
+  return &points->array.back();
+}
+
+/// Counters whose rates headline the view; everything else stays in the
+/// raw `--metrics` output.
+constexpr const char* kHeadlineCounters[] = {
+    "vp.messages", "comm.bytes_delivered", "am.bytes_moved",
+    "call.count",  "mailbox.recv_miss",
+};
+
+void render(std::ostream& os, const tdp::obs::json::Value& doc) {
+  using tdp::obs::json::Value;
+
+  const std::uint64_t samples =
+      static_cast<std::uint64_t>(doc.num_or("samples", 0.0));
+  os << "tdp_top — " << samples << " samples @ "
+     << static_cast<std::uint64_t>(doc.num_or("period_ms", 0.0)) << " ms\n";
+
+  if (const Value* trace = doc.find("trace");
+      trace != nullptr && trace->type == Value::Type::Object) {
+    os << "trace: mode=" << trace->str_or("mode") << " recorded="
+       << static_cast<std::uint64_t>(trace->num_or("recorded", 0.0));
+    const auto dropped =
+        static_cast<std::uint64_t>(trace->num_or("dropped", 0.0));
+    const auto overwritten =
+        static_cast<std::uint64_t>(trace->num_or("overwritten", 0.0));
+    if (dropped != 0) os << " dropped=" << dropped;
+    if (overwritten != 0) os << " overwritten=" << overwritten;
+    os << "\n";
+  }
+  if (const Value* stalls = doc.find("stalls");
+      stalls != nullptr && stalls->type == Value::Type::Object) {
+    const auto count = static_cast<std::uint64_t>(stalls->num_or("count", 0.0));
+    if (count != 0) {
+      os << "stalls: " << count << " episode" << (count == 1 ? "" : "s")
+         << "; last: " << stalls->str_or("last") << "\n";
+    }
+  }
+  os << "\n";
+
+  // --- per-VP table -------------------------------------------------------
+  os << std::left << std::setw(6) << "vp" << std::setw(12) << "run"
+     << std::right << std::setw(7) << "run%" << std::setw(8) << "depth"
+     << std::setw(12) << "msgs" << std::setw(12) << "recv/s" << "  state"
+     << "\n";
+  if (const Value* vps = doc.find("vps");
+      vps != nullptr && vps->type == Value::Type::Array) {
+    for (const Value& row : vps->array) {
+      const Value* p = latest_point(row, "points");
+      if (p == nullptr) continue;
+      const double run = p->num_or("run", 1.0);
+      const bool blocked = p->num_or("blocked", 0.0) != 0.0;
+      std::ostringstream state;
+      if (blocked) {
+        state << "blocked";
+        const auto ms =
+            static_cast<std::uint64_t>(p->num_or("blocked_ms", 0.0));
+        if (ms != 0) state << " " << ms << "ms";
+      } else {
+        state << "run";
+      }
+      os << std::left << std::setw(6)
+         << ("vp" + std::to_string(
+                        static_cast<std::int64_t>(row.num_or("vp", -1.0))))
+         << std::setw(12) << run_bar(run) << std::right << std::setw(6)
+         << static_cast<int>(run * 100.0 + 0.5) << "%" << std::setw(8)
+         << static_cast<std::uint64_t>(p->num_or("depth", 0.0))
+         << std::setw(12) << fmt_rate(p->num_or("rate", 0.0)) << std::setw(12)
+         << fmt_rate(p->num_or("prog", 0.0)) << "  " << state.str() << "\n";
+    }
+  }
+  os << "\n";
+
+  // --- headline counter rates --------------------------------------------
+  if (const Value* counters = doc.find("counters");
+      counters != nullptr && counters->type == Value::Type::Array) {
+    for (const Value& series : counters->array) {
+      const std::string name = series.str_or("name");
+      bool headline = false;
+      for (const char* h : kHeadlineCounters) headline |= name == h;
+      if (!headline) continue;
+      const Value* p = latest_point(series, "points");
+      if (p == nullptr) continue;
+      os << std::left << std::setw(24) << name << std::right << std::setw(16)
+         << static_cast<std::uint64_t>(p->num_or("v", 0.0)) << std::setw(12)
+         << fmt_rate(p->num_or("rate", 0.0)) << "\n";
+    }
+  }
+
+  // --- windowed histogram quantiles --------------------------------------
+  if (const Value* hists = doc.find("histograms");
+      hists != nullptr && hists->type == Value::Type::Array) {
+    bool header = false;
+    for (const Value& series : hists->array) {
+      const Value* p = latest_point(series, "points");
+      if (p == nullptr || p->num_or("n", 0.0) == 0.0) continue;
+      if (!header) {
+        os << "\n" << std::left << std::setw(24) << "histogram (window)"
+           << std::right << std::setw(12) << "n" << std::setw(12) << "p50"
+           << std::setw(12) << "p99" << "\n";
+        header = true;
+      }
+      os << std::left << std::setw(24) << series.str_or("name") << std::right
+         << std::setw(12) << static_cast<std::uint64_t>(p->num_or("n", 0.0))
+         << std::setw(12) << fmt_ns(p->num_or("p50", 0.0)) << std::setw(12)
+         << fmt_ns(p->num_or("p99", 0.0)) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  if (const char* env = std::getenv("TDP_OBS_SOCKET");
+      env != nullptr && env[0] != '\0') {
+    socket_path = env;
+  }
+  bool once = false;
+  bool raw_metrics = false;
+  long interval_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage(argv[0], 0);
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--metrics") {
+      raw_metrics = true;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atol(argv[++i]);
+      if (interval_ms <= 0) interval_ms = 1000;
+    } else {
+      return usage(argv[0], 2);
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "tdp_top: no socket (pass --socket or set TDP_OBS_SOCKET)\n";
+    return usage(argv[0], 2);
+  }
+
+  for (;;) {
+    std::string reply;
+    std::string error;
+    if (!query(socket_path, raw_metrics ? "metrics" : "json", reply, error)) {
+      std::cerr << "tdp_top: " << socket_path << ": " << error << "\n";
+      return 1;
+    }
+    std::ostringstream frame;
+    if (raw_metrics) {
+      frame << reply;
+    } else {
+      tdp::obs::json::Value doc;
+      if (!tdp::obs::json::parse(reply, doc, &error)) {
+        std::cerr << "tdp_top: bad reply: " << error << "\n";
+        return 1;
+      }
+      render(frame, doc);
+    }
+    if (once || raw_metrics) {
+      std::cout << frame.str();
+      return 0;
+    }
+    // Live mode: home the cursor and clear to end of screen per frame.
+    std::cout << "\033[H\033[2J" << frame.str() << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}

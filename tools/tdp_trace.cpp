@@ -42,10 +42,27 @@ int main(int argc, char** argv) {
   }
   std::vector<tdp::obs::LoadedEvent> events;
   std::string error;
-  if (!tdp::obs::load_chrome_trace(in, events, &error)) {
+  tdp::obs::TraceMeta meta;
+  if (!tdp::obs::load_chrome_trace(in, events, &error, &meta)) {
     std::cerr << "tdp_trace: failed to parse " << path << ": " << error
               << "\n";
     return 1;
+  }
+  if (meta.present && meta.truncated()) {
+    // Loudly, before the report: every number below describes a partial
+    // run, and "partial" means different things per retention mode.
+    if (meta.overwritten != 0) {
+      std::cerr << "tdp_trace: WARNING: flight-recorder trace — the oldest "
+                << meta.overwritten << " of " << meta.recorded
+                << " events were overwritten; the report covers only the "
+                   "most recent window\n";
+    }
+    if (meta.dropped != 0) {
+      std::cerr << "tdp_trace: WARNING: " << meta.dropped
+                << " events were dropped past capacity — the trace ends "
+                   "early (raise TDP_OBS_CAPACITY or use TDP_OBS_MODE=ring)"
+                   "\n";
+    }
   }
   const tdp::obs::TraceReport report = tdp::obs::analyze_trace(events);
   tdp::obs::write_report(std::cout, report);
