@@ -15,13 +15,21 @@
 //       slot, so the cost never changes with run length;
 //   (d) ring + telemetry sampler — (c) plus the background sampler on an
 //       aggressive 10 ms period (25x the default rate), snapshotting the
-//       registry and per-VP wait state while calls run.
+//       registry and per-VP wait state while calls run;
+//   (e) ring + sampler + per-call attribution armed — (d) with a slow-call
+//       threshold set, so every call runs the CallTable ledger (begin,
+//       marshal/exec folds, per-delivery queue/blocked accounting, end)
+//       and the exemplar reservoir admission check.  The threshold is far
+//       above the workload's latency, so captures stop once the top-K
+//       reservoir fills — the steady-state cost, which the acceptance bar
+//       requires within noise of (d).
 //
 // The acceptance bar for the live plane is (d) within 5% of (a).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/distributed_call.hpp"
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +64,7 @@ void obs_quiesce() {
   obs::set_trace_mode(obs::TraceMode::KeepFirst);
   obs::Tracer::instance().reset();
   obs::Registry::instance().reset_values();
+  obs::CallTable::instance().reset_for_test();
 }
 
 void BM_CallObsOff(benchmark::State& state) {
@@ -105,6 +114,30 @@ void BM_CallObsRingPlusSampler(benchmark::State& state) {
   obs_quiesce();
 }
 BENCHMARK(BM_CallObsRingPlusSampler)->UseRealTime();
+
+void BM_CallObsRingSamplerAttr(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::set_trace_mode(obs::TraceMode::Ring);
+  obs::Tracer::instance().reset();
+  obs::CallTable::instance().reset_for_test();
+  // Arm capture with a threshold no empty call reaches: the reservoir
+  // fills with the first kMaxExemplars completions, then admission is a
+  // strictly-slower check that near-identical calls keep failing — the
+  // snapshot path goes quiet and the ledger cost is what's measured.
+  obs::CallTable::instance().set_slow_threshold_ms(60000);
+  obs::Telemetry::instance().start(10);
+  run_call_workload(state);
+  state.counters["recorded"] =
+      static_cast<double>(obs::Tracer::instance().recorded());
+  state.counters["overwritten"] =
+      static_cast<double>(obs::Tracer::instance().overwritten());
+  state.counters["calls_tracked"] =
+      static_cast<double>(obs::CallTable::instance().completed());
+  state.counters["exemplars"] =
+      static_cast<double>(obs::CallTable::instance().captured());
+  obs_quiesce();
+}
+BENCHMARK(BM_CallObsRingSamplerAttr)->UseRealTime();
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spmd/context.hpp"
@@ -295,6 +296,15 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
       obs::Registry::instance().counter("call.count");
   call_count.add();
 
+  // Open this call's attribution ledger under its call-root id (the comm):
+  // the mailbox folds queue waits and blocked-receive time in as messages
+  // flow, the copies add execute time below, and the combine process
+  // closes the ledger (obs::CallTable::call_end) once the status defines.
+  const bool attr_on = obs::enabled();
+  if (attr_on) {
+    obs::CallTable::instance().call_begin(comm, obs::CallKind::Call, n);
+  }
+
   // Phase 1 of the call machinery (§3.3.2.2): marshal the argument list
   // into the shared, immutable view all copies use.  The spawned processes
   // must not reference *this, which may be destroyed while the asynchronous
@@ -302,6 +312,7 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   std::shared_ptr<std::vector<Param>> shared;
   std::shared_ptr<std::vector<int>> procs;
   std::shared_ptr<std::vector<pcn::Def<WrapperResult>>> results;
+  const std::uint64_t marshal_t0 = attr_on ? obs::now_ns() : 0;
   {
     obs::Span marshal(obs::Op::CallMarshal, comm,
                       static_cast<std::uint64_t>(n), nullptr);
@@ -310,6 +321,10 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
     procs = std::make_shared<std::vector<int>>(processors_);
     results = std::make_shared<std::vector<pcn::Def<WrapperResult>>>(
         static_cast<std::size_t>(n));
+  }
+  if (attr_on) {
+    obs::CallTable::instance().add_marshal(comm,
+                                           obs::now_ns() - marshal_t0);
   }
   const bool has_status = status_params_ == 1;
   vp::Machine* machine = &machine_;
@@ -347,6 +362,7 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
          has_status, spawn_flows, join_flows] {
           obs::Span exec(obs::Op::CallExecute, comm,
                          static_cast<std::uint64_t>(i), &execute_hist);
+          const std::uint64_t exec_t0 = obs::enabled() ? obs::now_ns() : 0;
           if (spawn_flows) {
             obs::flow_end(obs::Op::CallExecute,
                           (*spawn_flows)[static_cast<std::size_t>(i)], comm);
@@ -371,6 +387,10 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
             static obs::ShardedCounter& copy_errors =
                 obs::Registry::instance().counter("call.copy_errors");
             copy_errors.add();
+          }
+          if (exec_t0 != 0) {
+            obs::CallTable::instance().add_exec(comm,
+                                                obs::now_ns() - exec_t0);
           }
           // Flow origin before define(): the combine process may emit the
           // matching flow end the instant the result becomes readable.
@@ -430,6 +450,11 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
     // valid once the call's status is defined).
     if (error_out != nullptr) *error_out = std::move(first_error);
     status.define(merged.status);
+    // Close the combine span before the ledger: the exemplar capture
+    // inside call_end snapshots the ring, and the combine span must be in
+    // it — an open span has emitted nothing yet.
+    comb.finish();
+    if (obs::enabled()) obs::CallTable::instance().call_end(comm);
   });
   return status;
 }

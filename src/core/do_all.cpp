@@ -2,9 +2,11 @@
 
 #include <memory>
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/status.hpp"
+#include "vp/machine.hpp"
 
 namespace tdp::core {
 
@@ -32,9 +34,18 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
       obs::Registry::instance().counter("do_all.copies");
   copies.add(static_cast<std::uint64_t>(n));
 
+  // do_all has no communicator of its own, but per-call attribution still
+  // wants a call-root id — mint one from the same process-global counter
+  // distributed calls draw their comms from, so the id space stays unique
+  // and the do_all's spans land in the same ledger/exemplar machinery.
+  const std::uint64_t call_id = obs::enabled() ? machine.next_comm() : 0;
+  if (call_id != 0) {
+    obs::CallTable::instance().call_begin(call_id, obs::CallKind::DoAll, n);
+  }
+
   // Causal chaining, mirroring distributed_call: spawn→copy and copy→merge
   // arrows so the trace shows the fan-out/fan-in structure of the §4.3.1
-  // fork/join even though do_all has no communicator.
+  // fork/join.
   std::shared_ptr<std::vector<std::uint64_t>> spawn_flows;
   std::shared_ptr<std::vector<std::uint64_t>> join_flows;
   if (obs::enabled()) {
@@ -53,16 +64,19 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
   for (int i = 0; i < n; ++i) {
     if (spawn_flows) {
       obs::flow_start(obs::Op::DoAllCopy,
-                      (*spawn_flows)[static_cast<std::size_t>(i)]);
+                      (*spawn_flows)[static_cast<std::size_t>(i)], call_id);
     }
     group.spawn_on(machine, processors[static_cast<std::size_t>(i)],
-                   [body, locals, i, spawn_flows, join_flows] {
-                     obs::Span copy(obs::Op::DoAllCopy, 0,
+                   [body, locals, i, call_id, spawn_flows, join_flows] {
+                     obs::Span copy(obs::Op::DoAllCopy, call_id,
                                     static_cast<std::uint64_t>(i));
+                     const std::uint64_t body_t0 =
+                         call_id != 0 ? obs::now_ns() : 0;
                      if (spawn_flows) {
                        obs::flow_end(
                            obs::Op::DoAllCopy,
-                           (*spawn_flows)[static_cast<std::size_t>(i)]);
+                           (*spawn_flows)[static_cast<std::size_t>(i)],
+                           call_id);
                      }
                      int local;
                      try {
@@ -73,19 +87,29 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
                        // recorded by the ProcessGroup, which rethrows the
                        // first one on the joining thread (instead of the
                        // old behaviour: std::terminate in this thread).
+                       if (body_t0 != 0) {
+                         obs::CallTable::instance().add_exec(
+                             call_id, obs::now_ns() - body_t0);
+                       }
                        if (join_flows) {
                          obs::flow_start(
                              obs::Op::DoAllCopy,
-                             (*join_flows)[static_cast<std::size_t>(i)]);
+                             (*join_flows)[static_cast<std::size_t>(i)],
+                             call_id);
                        }
                        (*locals)[static_cast<std::size_t>(i)].define(
                            kStatusError);
                        throw;
                      }
+                     if (body_t0 != 0) {
+                       obs::CallTable::instance().add_exec(
+                           call_id, obs::now_ns() - body_t0);
+                     }
                      if (join_flows) {
                        obs::flow_start(
                            obs::Op::DoAllCopy,
-                           (*join_flows)[static_cast<std::size_t>(i)]);
+                           (*join_flows)[static_cast<std::size_t>(i)],
+                           call_id);
                      }
                      (*locals)[static_cast<std::size_t>(i)].define(local);
                    });
@@ -94,17 +118,20 @@ pcn::Def<int> do_all_async(vp::Machine& machine,
   // The merge process suspends on each local status in turn and combines
   // them pairwise; the result defines `status` only after every copy has
   // terminated (§4.3.1 postcondition).
-  group.spawn([locals, combine, status, n, join_flows] {
+  group.spawn([locals, combine, status, n, call_id, join_flows] {
     int merged = (*locals)[0].read();
-    if (join_flows) obs::flow_end(obs::Op::DoAllCopy, (*join_flows)[0]);
+    if (join_flows) {
+      obs::flow_end(obs::Op::DoAllCopy, (*join_flows)[0], call_id);
+    }
     for (int i = 1; i < n; ++i) {
       merged = combine(merged, (*locals)[static_cast<std::size_t>(i)].read());
       if (join_flows) {
         obs::flow_end(obs::Op::DoAllCopy,
-                      (*join_flows)[static_cast<std::size_t>(i)]);
+                      (*join_flows)[static_cast<std::size_t>(i)], call_id);
       }
     }
     status.define(merged);
+    if (call_id != 0) obs::CallTable::instance().call_end(call_id);
   });
   return status;
 }

@@ -1,5 +1,6 @@
 #include "dp/forall.hpp"
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -30,6 +31,7 @@ void multiple_assign(spmd::SpmdContext& ctx, std::span<double> local,
   if (obs::enabled()) {
     span.set_arg1(next_statement_seq());
     statement_count().add();
+    obs::CallTable::instance().add_statement(ctx.comm());
   }
   // Phase 1: freeze the pre-statement values of the whole vector.
   std::vector<double> snapshot =
@@ -51,6 +53,7 @@ void parallel_for(spmd::SpmdContext& ctx, std::span<double> local,
   if (obs::enabled()) {
     span.set_arg1(next_statement_seq());
     statement_count().add();
+    obs::CallTable::instance().add_statement(ctx.comm());
   }
   const long long base =
       static_cast<long long>(ctx.index()) * static_cast<long long>(local.size());

@@ -191,6 +191,63 @@ bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
   return true;
 }
 
+bool load_exemplars(std::istream& in, std::vector<CallExemplar>& out,
+                    std::string* error, std::uint64_t* slow_ms) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Exemplar documents are bounded (top-K calls, capped subtrees), so a
+  // whole-document DOM is fine where the trace loader has to stream.
+  json::Value doc;
+  if (!json::parse(text, doc, error)) return false;
+  if (doc.type != json::Value::Type::Object) {
+    if (error != nullptr) *error = "exemplar document is not an object";
+    return false;
+  }
+  if (slow_ms != nullptr) *slow_ms = as_u64(doc.num_or("slow_ms", 0.0));
+  const json::Value* exs = doc.find("exemplars");
+  if (exs == nullptr || exs->type != json::Value::Type::Array) {
+    if (error != nullptr) *error = "no exemplars array in document";
+    return false;
+  }
+  for (const json::Value& j : exs->array) {
+    if (j.type != json::Value::Type::Object) continue;
+    CallExemplar ex;
+    ex.call_id = as_u64(j.num_or("call_id", 0.0));
+    ex.kind = j.str_or("kind");
+    ex.copies = static_cast<int>(j.num_or("copies", 0.0));
+    ex.over_threshold = j.num_or("over_threshold", 0.0) != 0.0;
+    ex.start_ns = as_u64(j.num_or("start_ns", 0.0));
+    ex.end_ns = as_u64(j.num_or("end_ns", 0.0));
+    ex.latency_ns = as_u64(j.num_or("latency_ns", 0.0));
+    if (const json::Value* p = j.find("phases");
+        p != nullptr && p->type == json::Value::Type::Object) {
+      ex.marshal_ns = as_u64(p->num_or("marshal_ns", 0.0));
+      ex.queue_ns = as_u64(p->num_or("queue_ns", 0.0));
+      ex.blocked_ns = as_u64(p->num_or("blocked_ns", 0.0));
+      ex.exec_ns = as_u64(p->num_or("exec_ns", 0.0));
+      ex.compute_ns = as_u64(p->num_or("compute_ns", 0.0));
+      ex.copy_bytes = as_u64(p->num_or("copy_bytes", 0.0));
+      ex.messages = as_u64(p->num_or("messages", 0.0));
+      ex.dp_statements = as_u64(p->num_or("dp_statements", 0.0));
+    }
+    ex.subtree_events = as_u64(j.num_or("subtree_events", 0.0));
+    ex.captured_events = as_u64(j.num_or("captured_events", 0.0));
+    if (const json::Value* evs = j.find("events");
+        evs != nullptr && evs->type == json::Value::Type::Array) {
+      for (const json::Value& je : evs->array) {
+        if (je.type != json::Value::Type::Object) continue;
+        LoadedEvent e;
+        convert_event(je, e);
+        if (e.ph != "M") ex.events.push_back(std::move(e));
+      }
+    }
+    out.push_back(std::move(ex));
+  }
+  return true;
+}
+
 TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
   TraceReport report;
   report.events = events.size();
@@ -472,6 +529,83 @@ void write_report(std::ostream& os, const TraceReport& report) {
       if (!n.via.empty()) os << "  --" << n.via << "-->";
       os << "\n";
     }
+  }
+}
+
+void write_why_report(std::ostream& os, const CallExemplar& ex) {
+  const double latency_ms = static_cast<double>(ex.latency_ns) / 1e6;
+  os << "== tdp_trace why: " << ex.kind << " " << ex.call_id << " ("
+     << ex.copies << (ex.copies == 1 ? " copy" : " copies") << ") ==\n";
+  os << "latency: " << std::fixed << std::setprecision(3) << latency_ms
+     << " ms  ("
+     << (ex.over_threshold ? "over TDP_OBS_SLOW_MS"
+                           : "top-K reservoir exemplar, under threshold")
+     << ")\n\n";
+
+  // Phase times sum over the call's concurrently-running copies
+  // (copy-seconds), so shares are reported against the attributed total,
+  // which can legitimately exceed the wall latency.
+  const std::uint64_t attributed =
+      ex.marshal_ns + ex.queue_ns + ex.blocked_ns + ex.compute_ns;
+  const auto phase_row = [&](const char* label, std::uint64_t ns) {
+    os << "  " << std::left << std::setw(16) << label << std::right
+       << std::setw(14) << fmt_ms(static_cast<double>(ns) / 1000.0)
+       << std::setw(9)
+       << (attributed != 0
+               ? fmt_pct(static_cast<double>(ns) /
+                         static_cast<double>(attributed))
+               : std::string("-"))
+       << "\n";
+  };
+  os << "attributed phase time (copy-seconds; copies run concurrently, so "
+        "the\ntotal can exceed wall latency):\n";
+  phase_row("marshal", ex.marshal_ns);
+  phase_row("queue wait", ex.queue_ns);
+  phase_row("blocked recv", ex.blocked_ns);
+  phase_row("compute", ex.compute_ns);
+  os << "  " << std::left << std::setw(16) << "total" << std::right
+     << std::setw(14) << fmt_ms(static_cast<double>(attributed) / 1000.0)
+     << "\n\n";
+  os << "traffic: " << ex.messages << " messages, " << ex.copy_bytes
+     << " payload bytes, " << ex.dp_statements << " dp statements\n";
+  os << "captured events: " << ex.captured_events << " of "
+     << ex.subtree_events << " subtree events";
+  if (ex.captured_events < ex.subtree_events) {
+    os << " (oldest truncated by the per-exemplar cap)";
+  }
+  os << "\n\n";
+
+  // The captured subtree is a valid Chrome-event set, so the ordinary
+  // critical-path reconstruction applies to it directly.
+  const TraceReport report = analyze_trace(ex.events);
+  const CallStats* call = nullptr;
+  for (const CallStats& c : report.calls) {
+    if (c.comm == ex.call_id) {
+      call = &c;
+      break;
+    }
+  }
+  if (call == nullptr || call->critical_path.empty()) {
+    os << "critical path: not reconstructible from the captured subtree\n"
+          "(no call.execute spans — a do_all exemplar, or the spans were\n"
+          "evicted from the ring before capture); the phase table above is\n"
+          "the attribution.\n";
+    return;
+  }
+  os << "critical path (from the captured span subtree): "
+     << fmt_ms(call->path_us) << " of " << fmt_ms(call->makespan_us)
+     << " makespan";
+  if (call->makespan_us > 0.0) {
+    os << " (" << fmt_pct(call->path_us / call->makespan_us) << ")";
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < call->critical_path.size(); ++i) {
+    const PathNode& n = call->critical_path[i];
+    os << "    " << (i == 0 ? "  " : "└─ ") << "[" << std::left << std::setw(5)
+       << row_name(n.tid) << std::right << "] " << std::left << std::setw(16)
+       << n.name << std::right << " " << fmt_ms(n.dur_us);
+    if (!n.via.empty()) os << "  --" << n.via << "-->";
+    os << "\n";
   }
 }
 

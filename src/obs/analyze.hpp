@@ -98,6 +98,30 @@ struct TraceReport {
   std::vector<CallStats> calls;      ///< ranked by makespan, descending
 };
 
+/// One slow-call exemplar loaded back from the attribution document the
+/// exposition server's `slow` verb (and `<prefix>.slow.json`) emits: the
+/// call's phase ledger plus its captured causal span subtree.
+struct CallExemplar {
+  std::uint64_t call_id = 0;
+  std::string kind;  ///< "call" / "do_all"
+  int copies = 0;
+  bool over_threshold = false;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t latency_ns = 0;
+  std::uint64_t marshal_ns = 0;
+  std::uint64_t queue_ns = 0;
+  std::uint64_t blocked_ns = 0;
+  std::uint64_t exec_ns = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t copy_bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t dp_statements = 0;
+  std::uint64_t subtree_events = 0;
+  std::uint64_t captured_events = 0;
+  std::vector<LoadedEvent> events;
+};
+
 /// Parses a Chrome trace_event document as written by write_chrome_trace
 /// (object form with "traceEvents", or a bare event array).  Returns false
 /// and fills *error on malformed input.  When `meta` is non-null and the
@@ -106,6 +130,18 @@ struct TraceReport {
 /// warn when the analyzed trace is not the whole run.
 bool load_chrome_trace(std::istream& in, std::vector<LoadedEvent>& out,
                        std::string* error, TraceMeta* meta = nullptr);
+
+/// Parses a slow-call exemplar document (CallTable::render_exemplars_json).
+/// Returns false and fills *error on malformed input; fills *slow_ms with
+/// the document's armed threshold when non-null.  Exemplars come back in
+/// document order (slowest first).
+bool load_exemplars(std::istream& in, std::vector<CallExemplar>& out,
+                    std::string* error, std::uint64_t* slow_ms = nullptr);
+
+/// Renders one exemplar's "why was this call slow" explanation: the phase
+/// attribution table and, when the captured subtree supports it, the
+/// call's critical path via analyze_trace.
+void write_why_report(std::ostream& os, const CallExemplar& ex);
 
 /// Computes the report from loaded events.
 TraceReport analyze_trace(const std::vector<LoadedEvent>& events);

@@ -1,0 +1,273 @@
+#include "obs/attr.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdp::obs {
+
+namespace {
+
+Histogram& latency_hist() {
+  static Histogram& h = Registry::instance().histogram("call.latency_ns");
+  return h;
+}
+
+/// Minimum spacing between *reservoir* captures (under-threshold calls
+/// displacing the retained minimum).  Each capture snapshots the whole
+/// trace ring; without this, a steady stream of near-identical calls would
+/// churn the top-K store — and pay a snapshot — on every completion.
+constexpr std::uint64_t kReservoirCooldownNs = 1000000000ull;  // 1 s
+
+}  // namespace
+
+const char* call_kind_name(CallKind k) {
+  return k == CallKind::DoAll ? "do_all" : "call";
+}
+
+CallTable& CallTable::instance() {
+  // Ordered after the singletons capture and fold-in read, so both outlive
+  // the table's last use at shutdown.
+  Tracer::instance();
+  Registry::instance();
+  static CallTable table;
+  return table;
+}
+
+std::uint64_t CallTable::env_slow_ms() {
+  const char* env = std::getenv("TDP_OBS_SLOW_MS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+void CallTable::set_slow_threshold_ms(std::uint64_t ms) {
+  threshold_override_ms_.store(ms, std::memory_order_relaxed);
+  threshold_overridden_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t CallTable::slow_threshold_ms() const {
+  if (threshold_overridden_.load(std::memory_order_relaxed)) {
+    return threshold_override_ms_.load(std::memory_order_relaxed);
+  }
+  static const std::uint64_t env = env_slow_ms();
+  return env;
+}
+
+void CallTable::call_begin(std::uint64_t id, CallKind kind, int copies) {
+  if (id == 0) return;
+  CallRecord rec;
+  rec.id = id;
+  rec.kind = kind;
+  rec.copies = copies;
+  rec.start_ns = now_ns();
+  Shard& s = shard_for(id);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.active.emplace(id, rec);
+  }
+  started_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CallTable::add_marshal(std::uint64_t id, std::uint64_t ns) {
+  if (id == 0) return;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.active.find(id); it != s.active.end()) {
+    it->second.phases.marshal_ns += ns;
+  }
+}
+
+void CallTable::add_exec(std::uint64_t id, std::uint64_t ns) {
+  if (id == 0) return;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.active.find(id); it != s.active.end()) {
+    it->second.phases.exec_ns += ns;
+  }
+}
+
+void CallTable::on_delivery(std::uint64_t id, std::uint64_t queue_ns,
+                            std::uint64_t bytes, std::uint64_t blocked_ns) {
+  if (id == 0) return;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.active.find(id); it != s.active.end()) {
+    it->second.phases.queue_ns += queue_ns;
+    it->second.phases.blocked_ns += blocked_ns;
+    it->second.phases.copy_bytes += bytes;
+    it->second.phases.messages += 1;
+  }
+}
+
+void CallTable::add_statement(std::uint64_t id) {
+  if (id == 0) return;
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.active.find(id); it != s.active.end()) {
+    it->second.phases.dp_statements += 1;
+  }
+}
+
+void CallTable::call_end(std::uint64_t id) {
+  if (id == 0) return;
+  CallRecord rec;
+  {
+    Shard& s = shard_for(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.active.find(id);
+    if (it == s.active.end()) return;  // never began, or already ended
+    rec = it->second;
+    s.active.erase(it);
+  }
+  rec.end_ns = now_ns();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  latency_hist().record(rec.latency_ns());
+  if (slow_threshold_ms() != 0) maybe_capture(rec);
+}
+
+void CallTable::maybe_capture(const CallRecord& rec) {
+  const std::uint64_t threshold_ns = slow_threshold_ms() * 1000000ull;
+  const bool over = rec.latency_ns() >= threshold_ns;
+
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  std::size_t evict = exemplars_.size();  // "none"
+  bool take = false;
+  if (exemplars_.size() < kMaxExemplars) {
+    // Reservoir not yet full: every completion is, so far, a top-K call.
+    take = true;
+  } else {
+    // Full: admit only calls strictly slower than the retained minimum —
+    // the store converges on the K slowest calls seen.
+    std::size_t min_i = 0;
+    for (std::size_t i = 1; i < exemplars_.size(); ++i) {
+      if (exemplars_[i].call.latency_ns() <
+          exemplars_[min_i].call.latency_ns()) {
+        min_i = i;
+      }
+    }
+    if (rec.latency_ns() > exemplars_[min_i].call.latency_ns()) {
+      take = true;
+      evict = min_i;
+    }
+  }
+  if (take && !over) {
+    if (last_reservoir_capture_ns_ != 0 &&
+        rec.end_ns - last_reservoir_capture_ns_ < kReservoirCooldownNs) {
+      take = false;
+    } else {
+      last_reservoir_capture_ns_ = rec.end_ns;
+    }
+  }
+  if (!take) return;
+
+  Exemplar ex;
+  ex.call = rec;
+  ex.over_threshold = over;
+  // The call's causal span subtree: every ring event stamped with its comm
+  // (execute/combine spans, the receive spans that matched its messages,
+  // the send instants, dp statements).  Snapshot is timestamp-sorted, so a
+  // cap keeps the newest tail — ring semantics, applied per call.
+  const std::vector<EventRecord> snap = Tracer::instance().snapshot();
+  for (const EventRecord& e : snap) {
+    if (e.comm != rec.id) continue;
+    ++ex.subtree_events;
+    ex.events.push_back(e);
+  }
+  if (ex.events.size() > kMaxExemplarEvents) {
+    ex.events.erase(ex.events.begin(),
+                    ex.events.end() -
+                        static_cast<std::ptrdiff_t>(kMaxExemplarEvents));
+  }
+  ex.captured_events = ex.events.size();
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  instant(Op::CallSlow, rec.id, rec.latency_ns(), ex.subtree_events);
+
+  if (evict < exemplars_.size()) {
+    exemplars_.erase(exemplars_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+  exemplars_.push_back(std::move(ex));
+  std::sort(exemplars_.begin(), exemplars_.end(),
+            [](const Exemplar& a, const Exemplar& b) {
+              return a.call.latency_ns() > b.call.latency_ns();
+            });
+}
+
+std::uint64_t CallTable::started() const {
+  return started_.load(std::memory_order_relaxed);
+}
+std::uint64_t CallTable::completed() const {
+  return completed_.load(std::memory_order_relaxed);
+}
+std::uint64_t CallTable::captured() const {
+  return captured_.load(std::memory_order_relaxed);
+}
+
+std::vector<ExemplarSummary> CallTable::exemplar_summaries() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  std::vector<ExemplarSummary> out;
+  out.reserve(exemplars_.size());
+  for (const Exemplar& ex : exemplars_) {
+    out.push_back(static_cast<const ExemplarSummary&>(ex));
+  }
+  return out;
+}
+
+std::vector<Exemplar> CallTable::exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
+}
+
+std::string CallTable::render_exemplars_json() const {
+  const std::vector<Exemplar> exs = exemplars();
+  std::ostringstream os;
+  os << "{\"slow_ms\":" << slow_threshold_ms() << ",\"started\":" << started()
+     << ",\"completed\":" << completed() << ",\"captured\":" << captured()
+     << ",\"exemplars\":[";
+  bool first = true;
+  for (const Exemplar& ex : exs) {
+    if (!first) os << ",";
+    first = false;
+    const CallPhases& p = ex.call.phases;
+    os << "{\"call_id\":" << ex.call.id << ",\"kind\":\""
+       << call_kind_name(ex.call.kind) << "\",\"copies\":" << ex.call.copies
+       << ",\"over_threshold\":" << (ex.over_threshold ? 1 : 0)
+       << ",\"start_ns\":" << ex.call.start_ns
+       << ",\"end_ns\":" << ex.call.end_ns
+       << ",\"latency_ns\":" << ex.call.latency_ns()
+       << ",\"phases\":{\"marshal_ns\":" << p.marshal_ns
+       << ",\"queue_ns\":" << p.queue_ns << ",\"blocked_ns\":" << p.blocked_ns
+       << ",\"exec_ns\":" << p.exec_ns
+       << ",\"compute_ns\":" << p.compute_ns()
+       << ",\"copy_bytes\":" << p.copy_bytes << ",\"messages\":" << p.messages
+       << ",\"dp_statements\":" << p.dp_statements << "}"
+       << ",\"subtree_events\":" << ex.subtree_events
+       << ",\"captured_events\":" << ex.captured_events << ",\"events\":";
+    write_trace_event_array(os, ex.events, /*thread_names=*/false);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void CallTable::reset_for_test() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.active.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    exemplars_.clear();
+    last_reservoir_capture_ns_ = 0;
+  }
+  started_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  captured_.store(0, std::memory_order_relaxed);
+  threshold_overridden_.store(false, std::memory_order_relaxed);
+  threshold_override_ms_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tdp::obs

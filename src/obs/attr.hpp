@@ -1,0 +1,191 @@
+// tdp::obs per-call latency attribution — "why was this call slow?", online.
+//
+// The thesis's unit of work is the distributed call over a process group,
+// and the serving scenario the roadmap aims at is judged on p50/p99 *call*
+// latency — so the interesting breakdown is per call, not per VP.  This
+// module keeps a sharded table of in-flight calls keyed by the call-root id
+// (the communicator a distributed call draws from Machine::next_comm; do_all
+// mints one from the same counter), and the instrumented layers fold phase
+// time into the ledger as it happens:
+//
+//  * vp::Mailbox delivery — queue wait (delivery time minus the enqueue
+//    timestamp stamped at post), payload bytes, message count, and the
+//    receiver's blocked-in-receive wall time, attributed to the delivered
+//    message's comm;
+//  * core::DistributedCall — marshal duration and each copy's execute
+//    duration; core::do_all — each copy's body duration;
+//  * dp::forall — data-parallel statement counts, keyed by the enclosing
+//    call's comm.
+//
+// call_end() folds the completed call into the `call.latency_ns` histogram
+// and, when TDP_OBS_SLOW_MS is set, decides whether the call is worth
+// keeping as an *exemplar*: over the threshold, or slow enough to land in
+// the bounded top-K reservoir of the slowest calls seen.  An exemplar
+// snapshots the call's causal span subtree (every ring event carrying its
+// comm) out of the flight recorder, so `tdp_trace why <call-id>` can print
+// the attributed critical path of a call that was slow *minutes ago* in a
+// still-running service.  With the threshold unset only the cheap ledger
+// runs — no snapshots — which is what keeps the attribution path within
+// noise of plain ring+sampler tracing (bench/ablation_obs).
+//
+// Layering: pure obs (trace + metrics); the vp/core/dp layers call in, never
+// the other way.  Every add_* is a no-op for unknown ids, so traffic whose
+// comm is not a tracked call (array-server requests, foreign tests) costs
+// one shard lock + hash miss and nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tdp::obs {
+
+/// What kind of fan-out the call-root id names.
+enum class CallKind : std::uint8_t {
+  Call = 0,   ///< core::DistributedCall (has a real communicator)
+  DoAll = 1,  ///< core::do_all (id minted from the same counter)
+};
+
+const char* call_kind_name(CallKind k);  ///< "call" / "do_all"
+
+/// The per-call phase ledger.  Phase times sum over all copies of the call
+/// (copies run concurrently), so they are copy-seconds: their sum can
+/// exceed the call's wall latency, and each phase's share is reported
+/// against the total attributed time, not the latency.
+struct CallPhases {
+  std::uint64_t marshal_ns = 0;  ///< argument marshal (caller side)
+  std::uint64_t queue_ns = 0;    ///< delivered messages' time spent queued
+  std::uint64_t blocked_ns = 0;  ///< receivers' wall time inside receive
+  std::uint64_t exec_ns = 0;     ///< copies' execute/body wall time
+  std::uint64_t copy_bytes = 0;  ///< payload bytes delivered to the call
+  std::uint64_t messages = 0;    ///< messages delivered to the call
+  std::uint64_t dp_statements = 0;  ///< forall statements executed
+  /// Execute time not spent blocked in receive — the "actually computing"
+  /// share of the copies' wall time.
+  std::uint64_t compute_ns() const {
+    return exec_ns > blocked_ns ? exec_ns - blocked_ns : 0;
+  }
+};
+
+/// One call's ledger entry.
+struct CallRecord {
+  std::uint64_t id = 0;
+  CallKind kind = CallKind::Call;
+  int copies = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;  ///< 0 while the call is in flight
+  CallPhases phases;
+  std::uint64_t latency_ns() const {
+    return end_ns > start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+/// A retained slow call: its ledger plus the causal span subtree captured
+/// from the flight-recorder ring at completion.
+struct ExemplarSummary {
+  CallRecord call;
+  bool over_threshold = false;      ///< crossed TDP_OBS_SLOW_MS (vs top-K)
+  std::uint64_t subtree_events = 0; ///< ring events carrying the call's comm
+  std::uint64_t captured_events = 0;  ///< kept after the per-exemplar cap
+};
+
+struct Exemplar : ExemplarSummary {
+  std::vector<EventRecord> events;  ///< newest-biased, capped
+};
+
+/// The process-wide call table.  Sharded by id so concurrent calls touching
+/// the ledger (every mailbox delivery) do not serialise on one mutex; the
+/// shard mutexes are leaves — nothing is called while one is held.
+class CallTable {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kMaxExemplars = 8;
+  static constexpr std::size_t kMaxExemplarEvents = 512;
+
+  static CallTable& instance();
+
+  /// TDP_OBS_SLOW_MS from the environment; 0 when unset/invalid (exemplar
+  /// capture disabled — the ledger and latency histogram still run).
+  static std::uint64_t env_slow_ms();
+
+  /// Programmatic override of TDP_OBS_SLOW_MS (tests, benches, embedders).
+  void set_slow_threshold_ms(std::uint64_t ms);
+
+  /// The effective threshold: the override if one is set, else the
+  /// environment value.
+  std::uint64_t slow_threshold_ms() const;
+
+  // --- ledger feed (instrumented layers; all no-ops for unknown ids) ------
+  void call_begin(std::uint64_t id, CallKind kind, int copies);
+  void add_marshal(std::uint64_t id, std::uint64_t ns);
+  void add_exec(std::uint64_t id, std::uint64_t ns);
+  /// One delivered message: its queue wait, payload size, and the
+  /// receiver's wall time inside the receive that matched it.
+  void on_delivery(std::uint64_t id, std::uint64_t queue_ns,
+                   std::uint64_t bytes, std::uint64_t blocked_ns);
+  void add_statement(std::uint64_t id);
+  /// Completes the call: records latency, and captures an exemplar when
+  /// the threshold is armed and the call crosses it or ranks in the top-K
+  /// reservoir.
+  void call_end(std::uint64_t id);
+
+  std::uint64_t started() const;    ///< call_begin count (ever)
+  std::uint64_t completed() const;  ///< call_end count (ever)
+  std::uint64_t captured() const;   ///< exemplar snapshots taken (ever)
+
+  /// Retained exemplar summaries, slowest first (no event payloads — the
+  /// telemetry sampler's `slow` section and the Prometheus exemplar
+  /// annotation render from these on every tick).
+  std::vector<ExemplarSummary> exemplar_summaries() const;
+
+  /// Retained exemplars with their captured event subtrees, slowest first.
+  std::vector<Exemplar> exemplars() const;
+
+  /// The full exemplar document: threshold, counts, and every retained
+  /// exemplar with its event subtree serialised as Chrome trace events —
+  /// the `slow` exposition verb and the <prefix>.slow.json flight-dump
+  /// sidecar.  tdp_trace's `why` subcommand reads this back.
+  std::string render_exemplars_json() const;
+
+  /// Clears the table, the exemplar store, counters, and the threshold
+  /// override.  Tests only — not safe versus concurrent instrumented code.
+  void reset_for_test();
+
+ private:
+  CallTable() = default;
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, CallRecord> active;
+  };
+
+  Shard& shard_for(std::uint64_t id) const {
+    // The ids are consecutive counter draws; multiply-scramble so
+    // neighbouring calls land on different shards.
+    return shards_[(id * 0x9e3779b97f4a7c15ULL) >> 60];
+  }
+
+  void maybe_capture(const CallRecord& rec);
+
+  mutable Shard shards_[kShards];
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> captured_{0};
+  std::atomic<std::uint64_t> threshold_override_ms_{0};
+  std::atomic<bool> threshold_overridden_{false};
+
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  ///< sorted by latency, descending
+  /// Reservoir admissions (under-threshold calls displacing the retained
+  /// minimum) are rate-limited so a steady stream of near-identical calls
+  /// cannot turn every completion into a ring snapshot; over-threshold
+  /// calls always capture.
+  std::uint64_t last_reservoir_capture_ns_ = 0;
+};
+
+}  // namespace tdp::obs

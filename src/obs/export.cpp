@@ -100,14 +100,14 @@ std::atomic<std::uint64_t> g_flushed_at{0};
 
 }  // namespace
 
-void write_chrome_trace(std::ostream& os) {
-  const std::vector<EventRecord> events = Tracer::instance().snapshot();
-
-  // A flow arrow needs both endpoints in the snapshot: under keep-first
-  // drops one side can be missing, and an unpaired "s"/"f" renders as a
-  // dangling arrow (and violates the exactly-one-match invariant the
-  // tests enforce).  Two passes: collect ids seen on each side, emit the
-  // intersection.
+void write_trace_event_array(std::ostream& os,
+                             const std::vector<EventRecord>& events,
+                             bool thread_names) {
+  // A flow arrow needs both endpoints in the output: under keep-first
+  // drops (or an exemplar's truncated subtree) one side can be missing,
+  // and an unpaired "s"/"f" renders as a dangling arrow (and violates the
+  // exactly-one-match invariant the tests enforce).  Two passes: collect
+  // ids seen on each side, emit the intersection.
   std::unordered_set<std::uint64_t> origins;
   std::unordered_set<std::uint64_t> targets;
   for (const EventRecord& e : events) {
@@ -118,19 +118,21 @@ void write_chrome_trace(std::ostream& os) {
     return origins.count(e.flow) != 0 && targets.count(e.flow) != 0;
   };
 
-  os << "{\"traceEvents\":[\n";
+  os << "[\n";
   bool first = true;
 
-  std::set<std::int64_t> tids;
-  for (const EventRecord& e : events) tids.insert(tid_of(e.vp));
-  for (const std::int64_t tid : tids) {
-    if (!first) os << ",\n";
-    first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-       << ",\"args\":{\"name\":\""
-       << json::escape(tid == kExternalTid ? std::string("external")
-                                           : "vp " + std::to_string(tid))
-       << "\"}}";
+  if (thread_names) {
+    std::set<std::int64_t> tids;
+    for (const EventRecord& e : events) tids.insert(tid_of(e.vp));
+    for (const std::int64_t tid : tids) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":\""
+         << json::escape(tid == kExternalTid ? std::string("external")
+                                             : "vp " + std::to_string(tid))
+         << "\"}}";
+    }
   }
 
   for (const EventRecord& e : events) {
@@ -153,12 +155,20 @@ void write_chrome_trace(std::ostream& os) {
                        e.ts_ns + e.dur_ns, e.comm, /*start=*/false, first);
     }
   }
+  os << "\n]";
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<EventRecord> events = Tracer::instance().snapshot();
+
+  os << "{\"traceEvents\":";
+  write_trace_event_array(os, events, /*thread_names=*/true);
   // Truncation metadata rides along in the trace itself, so an offline
   // reader (tdp_trace) can warn that what it analyzed is not everything
   // that happened.  "otherData" is the Chrome trace_event escape hatch for
   // exactly this kind of sidecar.
   Tracer& tracer = Tracer::instance();
-  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"mode\":\""
+  os << ",\"displayTimeUnit\":\"ms\",\"otherData\":{\"mode\":\""
      << (tracer.mode() == TraceMode::Ring ? "ring" : "keep-first")
      << "\",\"recorded\":" << tracer.recorded()
      << ",\"dropped\":" << tracer.dropped()

@@ -22,6 +22,20 @@ struct MachineStats {
   std::uint64_t total_messages = 0;
 };
 
+struct EventRecord;  // trace.hpp
+
+/// Writes `events` as a Chrome trace_event JSON *array* (brackets
+/// included): span/instant/counter records plus the matched causal flow
+/// pairs among them (unpaired endpoints are suppressed, as in the full
+/// trace).  `thread_names` adds the per-row "thread_name" metadata
+/// records.  write_chrome_trace wraps this in the object form; the
+/// slow-call exemplar store (obs/attr.cpp) embeds the bare array so
+/// tdp_trace's `why` subcommand can feed a captured subtree straight back
+/// through the trace analyzer.
+void write_trace_event_array(std::ostream& os,
+                             const std::vector<EventRecord>& events,
+                             bool thread_names);
+
 /// Writes the tracer's snapshot as Chrome trace_event JSON, including the
 /// causal flow arrows: every send instant whose flow id was recovered by a
 /// matching receive span becomes a `ph:"s"` event, the receive a `ph:"f"`

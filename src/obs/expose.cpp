@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/attr.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/atomic_print.hpp"
@@ -130,13 +131,16 @@ std::string ExpositionServer::respond(const std::string& command) {
   if (cmd == "json") {
     return Telemetry::instance().render_json() + "\n";
   }
+  if (cmd == "slow") {
+    return CallTable::instance().render_exemplars_json() + "\n";
+  }
   if (cmd == "dump") {
     const std::string trace_path = dump_flight_data("socket request");
     return trace_path.empty() ? std::string("error: dump failed\n")
                               : "dumped " + trace_path + "\n";
   }
   return "error: unknown command \"" + cmd +
-         "\" (expected metrics, json, or dump)\n";
+         "\" (expected metrics, json, slow, or dump)\n";
 }
 
 void ExpositionServer::run() {

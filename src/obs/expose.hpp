@@ -7,7 +7,10 @@
 //   metrics   Prometheus-style text: every registry counter/histogram plus
 //             per-VP utilization rows from the telemetry sampler.
 //   json      the full bounded time-series history as one JSON document
-//             (counters, histogram windows, per-VP points).
+//             (counters, histogram windows, per-VP points, slow-call
+//             summaries).
+//   slow      the retained slow-call exemplars with their captured span
+//             subtrees, as one JSON document (`tdp_trace why` input).
 //   dump      triggers a flight-recorder dump (same path as SIGUSR1) and
 //             replies with the trace file's path.
 //

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/attr.hpp"
 #include "obs/expose.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
@@ -273,14 +274,39 @@ std::string Telemetry::render_prometheus() const {
          << "\n";
       os << base << "_rate " << fmt_double(point.rate) << "\n";
     }
+    // The slowest retained exemplar annotates the call-latency p99 line in
+    // OpenMetrics exemplar syntax, so a dashboard's tail-latency panel
+    // links straight to a concrete call id `tdp_trace why` can explain.
+    const std::vector<ExemplarSummary> slow =
+        CallTable::instance().exemplar_summaries();
     for (const Snapshot::HistRow& row : snapshot_.histograms) {
       const std::string base = "tdp_" + sanitize_metric_name(row.name);
       os << base << "_count " << row.lifetime_count << "\n";
       os << base << "_max " << row.lifetime_max << "\n";
       os << base << "{quantile=\"0.5\"} " << row.latest.p50 << "\n";
-      os << base << "{quantile=\"0.99\"} " << row.latest.p99 << "\n";
+      os << base << "{quantile=\"0.99\"} " << row.latest.p99;
+      if (row.name == "call.latency_ns" && !slow.empty()) {
+        os << " # {call_id=\"" << slow.front().call.id << "\"} "
+           << slow.front().call.latency_ns();
+      }
+      os << "\n";
     }
+    // Cardinality bound: individual rows for the first kMaxVpSeries VPs,
+    // one folded {vp="64+"} row for the rest.  The folded row has no
+    // message rate — vp.messages shards alias at vp mod 64, so folded VPs'
+    // deltas would double-count the low VPs they share a shard with.
+    std::size_t folded = 0;
+    double fold_min_run = 1.0;
+    std::uint64_t fold_depth = 0;
+    std::size_t fold_blocked = 0;
     for (const Snapshot::VpRow& row : snapshot_.vps) {
+      if (row.vp >= 0 && static_cast<std::size_t>(row.vp) >= kMaxVpSeries) {
+        ++folded;
+        fold_min_run = std::min(fold_min_run, row.latest.run_frac);
+        fold_depth += row.latest.depth;
+        if (row.latest.blocked) ++fold_blocked;
+        continue;
+      }
       const std::string label = "{vp=\"" + std::to_string(row.vp) + "\"}";
       os << "tdp_vp_run_fraction" << label << " "
          << fmt_double(row.latest.run_frac) << "\n";
@@ -290,6 +316,19 @@ std::string Telemetry::render_prometheus() const {
       os << "tdp_vp_blocked" << label << " " << (row.latest.blocked ? 1 : 0)
          << "\n";
     }
+    if (folded != 0) {
+      const std::string label =
+          "{vp=\"" + std::to_string(kMaxVpSeries) + "+\"}";
+      os << "tdp_vp_folded " << folded << "\n";
+      os << "tdp_vp_run_fraction" << label << " " << fmt_double(fold_min_run)
+         << "\n";
+      os << "tdp_vp_queue_depth" << label << " " << fold_depth << "\n";
+      os << "tdp_vp_blocked" << label << " " << fold_blocked << "\n";
+    }
+    os << "tdp_calls_started " << CallTable::instance().started() << "\n";
+    os << "tdp_calls_completed " << CallTable::instance().completed() << "\n";
+    os << "tdp_call_exemplars_captured " << CallTable::instance().captured()
+       << "\n";
     os << "tdp_trace_recorded " << snapshot_.trace_recorded << "\n";
     os << "tdp_trace_dropped " << snapshot_.trace_dropped << "\n";
     os << "tdp_trace_overwritten " << snapshot_.trace_overwritten << "\n";
@@ -366,7 +405,36 @@ std::string Telemetry::render_json() const {
     }
     os << "]}";
   }
-  os << "]}";
+  os << "]";
+
+  // Slow-call attribution: retained exemplar summaries (no event payloads
+  // here — the full subtrees come from the `slow` verb / .slow.json).
+  {
+    CallTable& table = CallTable::instance();
+    os << ",\"slow\":{\"threshold_ms\":" << table.slow_threshold_ms()
+       << ",\"started\":" << table.started()
+       << ",\"completed\":" << table.completed()
+       << ",\"captured\":" << table.captured() << ",\"calls\":[";
+    first = true;
+    for (const ExemplarSummary& ex : table.exemplar_summaries()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"call_id\":" << ex.call.id << ",\"kind\":\""
+         << call_kind_name(ex.call.kind) << "\",\"copies\":" << ex.call.copies
+         << ",\"over_threshold\":" << (ex.over_threshold ? 1 : 0)
+         << ",\"latency_ns\":" << ex.call.latency_ns()
+         << ",\"marshal_ns\":" << ex.call.phases.marshal_ns
+         << ",\"queue_ns\":" << ex.call.phases.queue_ns
+         << ",\"blocked_ns\":" << ex.call.phases.blocked_ns
+         << ",\"compute_ns\":" << ex.call.phases.compute_ns()
+         << ",\"copy_bytes\":" << ex.call.phases.copy_bytes
+         << ",\"messages\":" << ex.call.phases.messages
+         << ",\"dp_statements\":" << ex.call.phases.dp_statements
+         << ",\"captured_events\":" << ex.captured_events << "}";
+    }
+    os << "]}";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -407,6 +475,7 @@ std::string dump_flight_data(const char* reason) {
   const std::string prefix = dump_prefix();
   const std::string trace_path = prefix + ".trace.json";
   const std::string telemetry_path = prefix + ".telemetry.json";
+  const std::string slow_path = prefix + ".slow.json";
   const bool trace_ok = dump_flight_recorder(trace_path);
   bool telemetry_ok = false;
   {
@@ -414,6 +483,14 @@ std::string dump_flight_data(const char* reason) {
     if (out) {
       out << Telemetry::instance().render_json() << "\n";
       telemetry_ok = out.good();
+    }
+  }
+  bool slow_ok = false;
+  {
+    std::ofstream out(slow_path, std::ios::trunc);
+    if (out) {
+      out << CallTable::instance().render_exemplars_json() << "\n";
+      slow_ok = out.good();
     }
   }
   std::ostringstream line;
@@ -430,6 +507,7 @@ std::string dump_flight_data(const char* reason) {
   }
   line << (telemetry_ok ? ", " : ", telemetry NOT written to ")
        << telemetry_path;
+  line << (slow_ok ? ", " : ", slow calls NOT written to ") << slow_path;
   util::atomic_print_err(line.str());
   return trace_ok ? trace_path : std::string();
 }

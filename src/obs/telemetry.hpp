@@ -53,6 +53,13 @@ class Telemetry {
   /// philosophy applied to metrics).
   static constexpr std::size_t kHistoryDepth = 120;
 
+  /// Per-VP Prometheus series are emitted for the first kMaxVpSeries VPs
+  /// only; higher-numbered VPs fold into one aggregate {vp="64+"} row so
+  /// scrape cardinality stays bounded no matter how many VPs a process
+  /// spawns.  Matches the vp.messages counter's shard count — beyond it
+  /// per-VP message rates alias anyway (metric_shard is vp mod 64).
+  static constexpr std::size_t kMaxVpSeries = 64;
+
   /// One counter sample: cumulative value and the rate over the window
   /// ending at ts_ms (0 on a series' first point).
   struct Point {
@@ -227,11 +234,11 @@ void request_flight_dump();
 /// written.
 bool service_flight_dump_request();
 
-/// Writes the flight-recorder trace ring to `<prefix>.trace.json` and the
-/// telemetry history to `<prefix>.telemetry.json` (prefix: TDP_OBS_DUMP,
-/// default "tdp_flight"), logging one atomic stderr line tagged with
-/// `reason`.  Returns the trace path ("" when the file could not be
-/// written).
+/// Writes the flight-recorder trace ring to `<prefix>.trace.json`, the
+/// telemetry history to `<prefix>.telemetry.json`, and the retained slow-
+/// call exemplars to `<prefix>.slow.json` (prefix: TDP_OBS_DUMP, default
+/// "tdp_flight"), logging one atomic stderr line tagged with `reason`.
+/// Returns the trace path ("" when the file could not be written).
 std::string dump_flight_data(const char* reason);
 
 /// Installs the SIGUSR1 → request_flight_dump handler (once).

@@ -88,6 +88,7 @@ const char* op_name(Op op) {
     case Op::CallMarshal: return "call.marshal";
     case Op::CallExecute: return "call.execute";
     case Op::CallCombine: return "call.combine";
+    case Op::CallSlow: return "call.slow";
     case Op::AmCreate: return "am.create_array";
     case Op::AmFree: return "am.free_array";
     case Op::AmRead: return "am.read_element";
@@ -133,6 +134,7 @@ const char* op_category(Op op) {
     case Op::CallMarshal:
     case Op::CallExecute:
     case Op::CallCombine:
+    case Op::CallSlow:
       return "call";
     case Op::AmCreate:
     case Op::AmFree:

@@ -60,6 +60,8 @@ enum class Op : std::uint16_t {
   CallMarshal,     ///< distributed call: argument marshal phase
   CallExecute,     ///< distributed call: one copy's SPMD execute phase
   CallCombine,     ///< distributed call: status/reduction combine phase
+  CallSlow,        ///< slow-call exemplar captured (arg0 latency ns, arg1
+                   ///< subtree size); comm = the call-root id
   AmCreate,        ///< array manager: create_array
   AmFree,          ///< array manager: free_array
   AmRead,          ///< array manager: read_element

@@ -40,6 +40,18 @@ std::uint64_t Watchdog::env_period_ms() {
   return v > 0 ? static_cast<std::uint64_t>(v) : 0;
 }
 
+std::uint64_t Watchdog::env_dump_cooldown_ms() {
+  const char* env = std::getenv("TDP_OBS_DUMP_COOLDOWN_MS");
+  if (env == nullptr || env[0] == '\0') return 30000;
+  const long long v = std::atoll(env);
+  return v >= 0 ? static_cast<std::uint64_t>(v) : 30000;
+}
+
+void Watchdog::reset_auto_dump_cooldown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_auto_dump_ns_ = 0;
+}
+
 int Watchdog::add_source(int vp, const VpWaitState* state,
                          Describe describe) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -158,9 +170,21 @@ void Watchdog::sample(std::uint64_t now) {
     // A stall is exactly the moment the flight recorder exists for: in
     // ring mode, dump the recent past before the operator even asks.
     // Keep-first runs (the test suites deliberately provoke stalls under
-    // a 100 ms watchdog) stay file-quiet.
+    // a 100 ms watchdog) stay file-quiet.  Auto-dumps are rate-limited:
+    // the dump overwrites <prefix>.* in place, so a flapping stall
+    // re-dumping every episode would destroy the evidence of the first
+    // one and churn disk for as long as the flap lasts.
     if (Tracer::instance().mode() == TraceMode::Ring) {
-      request_flight_dump();
+      const std::uint64_t cooldown_ns = env_dump_cooldown_ms() * 1000000ull;
+      if (last_auto_dump_ns_ == 0 || cooldown_ns == 0 ||
+          now >= last_auto_dump_ns_ + cooldown_ns) {
+        last_auto_dump_ns_ = now;
+        request_flight_dump();
+      } else {
+        static ShardedCounter& suppressed =
+            Registry::instance().counter("watchdog.dumps_suppressed");
+        suppressed.add();
+      }
     }
   }
   last_progress_ = progress;

@@ -104,6 +104,15 @@ class Watchdog {
   /// TDP_OBS_WATCHDOG_MS from the environment, 0 when unset/invalid.
   static std::uint64_t env_period_ms();
 
+  /// TDP_OBS_DUMP_COOLDOWN_MS from the environment (minimum spacing of
+  /// stall auto-dumps; 0 disables the cooldown), default 30000 when unset
+  /// or invalid.  Read per stall, not cached, so tests can flip it.
+  static std::uint64_t env_dump_cooldown_ms();
+
+  /// Forgets the last stall auto-dump time, so the next stall dumps
+  /// regardless of the cooldown.  Tests only.
+  void reset_auto_dump_cooldown();
+
  private:
   Watchdog() = default;
   ~Watchdog();
@@ -127,6 +136,12 @@ class Watchdog {
   std::thread thread_;
   std::uint64_t period_ms_ = 0;
   std::uint64_t last_progress_ = 0;
+  /// now_ns() of the last stall auto-dump; stall episodes inside the
+  /// TDP_OBS_DUMP_COOLDOWN_MS window after it report but do not dump
+  /// (counted in watchdog.dumps_suppressed) — a flapping stall must not
+  /// rewrite the flight dump every period, destroying the evidence of the
+  /// first episode.
+  std::uint64_t last_auto_dump_ns_ = 0;
   bool seen_progress_ = false;  // last_progress_ holds a real sample
   bool reported_ = false;       // one report per stall episode
   bool stopping_ = false;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -86,6 +87,7 @@ void Mailbox::post(Message m) {
   }
   const std::uint64_t seq = ++next_seq_;
   const int src = m.src;
+  if (obs_on) m.enq_ns = obs::now_ns();
   Bucket& bucket = buckets_[BucketKey{m.cls, m.comm, m.tag}];
   bucket.seqs.push_back(seq);
   queue_.emplace(seq, std::move(m));
@@ -318,6 +320,20 @@ struct WaiterGuard {
   }
 };
 
+/// Folds one delivery into the owning call's attribution ledger: the
+/// message's queue wait (delivery minus enqueue), its payload bytes, and
+/// the receiver's wall time inside this receive.  Caller holds the mailbox
+/// lock; the CallTable shard mutex is a leaf, so the order is safe.  No-op
+/// for traffic outside any tracked call (comm 0, foreign comms).
+void attribute_delivery(const Message& out, std::uint64_t recv_t0) {
+  if (out.comm == 0) return;
+  const std::uint64_t now = obs::now_ns();
+  obs::CallTable::instance().on_delivery(
+      out.comm, out.enq_ns != 0 && now > out.enq_ns ? now - out.enq_ns : 0,
+      out.payload.size(),
+      recv_t0 != 0 && now > recv_t0 ? now - recv_t0 : 0);
+}
+
 }  // namespace
 
 Message Mailbox::receive_indexed(const WaitDetail& detail,
@@ -331,6 +347,7 @@ Message Mailbox::receive_indexed(const WaitDetail& detail,
   // a single predicted branch on a register-cached bool when tracing is
   // off, exactly like the un-instrumented baseline.
   const bool obs_on = obs::enabled();
+  const std::uint64_t recv_t0 = obs_on ? obs::now_ns() : 0;
   const auto deadline =
       timeout_ms > 0
           ? std::chrono::steady_clock::now() +
@@ -378,6 +395,7 @@ Message Mailbox::receive_indexed(const WaitDetail& detail,
           // Recover the trace context stamped at Machine::send: the span's
           // flow id pairs this receive with its send in the exported trace.
           span.set_flow(out.flow);
+          attribute_delivery(out, recv_t0);
         }
         return out;
       }
@@ -420,6 +438,7 @@ Message Mailbox::receive_scan(const Predicate& match,
                  static_cast<std::uint64_t>(static_cast<unsigned>(owner_)),
                  &wait_hist);
   const bool obs_on = obs::enabled();
+  const std::uint64_t recv_t0 = obs_on ? obs::now_ns() : 0;
   const auto deadline =
       timeout_ms > 0
           ? std::chrono::steady_clock::now() +
@@ -449,6 +468,7 @@ Message Mailbox::receive_scan(const Predicate& match,
           span.set_comm(out.comm);
           span.set_arg1(out.payload.size());
           span.set_flow(out.flow);
+          attribute_delivery(out, recv_t0);
         }
         return out;
       }

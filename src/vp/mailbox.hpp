@@ -66,6 +66,11 @@ struct Message {
   /// to the receive span as a Chrome flow arrow.  0 when tracing is off or
   /// the message bypassed Machine::send.
   std::uint64_t flow = 0;
+  /// obs::now_ns() at enqueue, stamped by Mailbox::post when observability
+  /// is on; 0 otherwise.  Delivery differences it into the owning call's
+  /// queue-wait ledger (obs::CallTable) — the "how long did this message
+  /// sit before anyone wanted it" phase of per-call attribution.
+  std::uint64_t enq_ns = 0;
   /// The message body: an immutable refcounted buffer (see vp/payload.hpp).
   /// Senders that fan one buffer out to many destinations share it; the
   /// substrate never copies it again once wrapped.

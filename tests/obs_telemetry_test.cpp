@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/analyze.hpp"
+#include "obs/attr.hpp"
 #include "obs/export.hpp"
 #include "obs/expose.hpp"
 #include "obs/json.hpp"
@@ -49,18 +50,25 @@ class ObsTelemetryTest : public ::testing::Test {
     obs::Registry::instance().reset_values();
     obs::Telemetry::instance().stop();
     obs::Telemetry::instance().reset_for_test();
+    obs::CallTable::instance().reset_for_test();
+    // A stall auto-dump in an earlier test must not put this one's stall
+    // inside the cooldown window.
+    obs::Watchdog::instance().reset_auto_dump_cooldown();
   }
   void TearDown() override {
     if (!obs::kCompiledIn) return;
     obs::ExpositionServer::instance().stop();
     obs::Telemetry::instance().stop();
     obs::Telemetry::instance().reset_for_test();
+    obs::CallTable::instance().reset_for_test();
     obs::Watchdog::instance().set_report_sink(nullptr);
+    obs::Watchdog::instance().reset_auto_dump_cooldown();
     obs::set_trace_mode(obs::TraceMode::KeepFirst);
     obs::Tracer::instance().reset();
     obs::Registry::instance().reset_values();
     obs::set_enabled(false);
     ::unsetenv("TDP_OBS_DUMP");
+    ::unsetenv("TDP_OBS_DUMP_COOLDOWN_MS");
     // Swallow any dump request a test armed but never serviced.
     obs::service_flight_dump_request();
   }
@@ -236,6 +244,29 @@ TEST_F(ObsTelemetryTest, SamplerDerivesCounterRatesAndWindowedPercentiles) {
   EXPECT_TRUE(found_hist);
 }
 
+TEST_F(ObsTelemetryTest, SamplerWindowWithNoNewSamplesReadsZero) {
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  obs::Histogram& h = obs::Registry::instance().histogram("test.idle_ns");
+  for (int i = 0; i < 50; ++i) h.record(1000);
+  tel.sample_now();  // primes the track (the recorded samples land here)
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  tel.sample_now();  // an all-zero bucket-delta window
+
+  const obs::Telemetry::Snapshot snap = tel.snapshot();
+  bool found = false;
+  for (const auto& row : snap.histograms) {
+    if (row.name != "test.idle_ns") continue;
+    found = true;
+    EXPECT_EQ(row.latest.count, 0u);
+    EXPECT_DOUBLE_EQ(row.latest.rate, 0.0);
+    // An idle window's quantiles read 0, not stale lifetime values.
+    EXPECT_EQ(row.latest.p50, 0u);
+    EXPECT_EQ(row.latest.p99, 0u);
+    EXPECT_EQ(row.lifetime_count, 50u);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST_F(ObsTelemetryTest, SamplerTracksPerVpRunFractionAndQueueDepth) {
   obs::Telemetry& tel = obs::Telemetry::instance();
   obs::VpWaitState state;
@@ -368,6 +399,34 @@ TEST_F(ObsTelemetryTest, PrometheusRenderingNamesAndLabels) {
   tel.remove_vp_source(token);
 }
 
+TEST_F(ObsTelemetryTest, PrometheusFoldsHighVpsIntoOneRow) {
+  obs::Telemetry& tel = obs::Telemetry::instance();
+  obs::VpWaitState low, high_a, high_b;
+  const int t1 = tel.add_vp_source(3, &low);
+  const int t2 = tel.add_vp_source(64, &high_a);
+  const int t3 = tel.add_vp_source(200, &high_b);
+  high_a.queue_depth.store(2, std::memory_order_relaxed);
+  high_b.queue_depth.store(5, std::memory_order_relaxed);
+  high_b.blocked_since_ns.store(1, std::memory_order_relaxed);
+  tel.sample_now();
+
+  const std::string text = tel.render_prometheus();
+  EXPECT_NE(text.find("tdp_vp_run_fraction{vp=\"3\"}"), std::string::npos);
+  // VPs past the cardinality bound get no individual rows...
+  EXPECT_EQ(text.find("{vp=\"64\"}"), std::string::npos);
+  EXPECT_EQ(text.find("{vp=\"200\"}"), std::string::npos);
+  // ...they fold into one aggregate row: summed depth, blocked count.
+  EXPECT_NE(text.find("tdp_vp_folded 2\n"), std::string::npos);
+  EXPECT_NE(text.find("tdp_vp_queue_depth{vp=\"64+\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("tdp_vp_blocked{vp=\"64+\"} 1"), std::string::npos);
+  // No folded message rate: vp.messages shards alias at vp mod 64, so the
+  // folded delta would double-count low VPs.
+  EXPECT_EQ(text.find("tdp_vp_message_rate{vp=\"64+\"}"), std::string::npos);
+  tel.remove_vp_source(t1);
+  tel.remove_vp_source(t2);
+  tel.remove_vp_source(t3);
+}
+
 // --- flight dump -----------------------------------------------------------
 
 TEST_F(ObsTelemetryTest, FlightDumpWritesParsableTraceAndTelemetry) {
@@ -399,8 +458,18 @@ TEST_F(ObsTelemetryTest, FlightDumpWritesParsableTraceAndTelemetry) {
   buf << telemetry.rdbuf();
   obs::json::Value doc;
   ASSERT_TRUE(obs::json::parse(buf.str(), doc, &error)) << error;
+
+  // The dump also writes the slow-call sidecar, parsable by the `why`
+  // loader even when no exemplars were retained.
+  std::ifstream slow(prefix + ".slow.json");
+  ASSERT_TRUE(slow.good());
+  std::vector<obs::CallExemplar> exemplars;
+  ASSERT_TRUE(obs::load_exemplars(slow, exemplars, &error)) << error;
+  EXPECT_TRUE(exemplars.empty());
+
   std::remove((prefix + ".trace.json").c_str());
   std::remove((prefix + ".telemetry.json").c_str());
+  std::remove((prefix + ".slow.json").c_str());
 }
 
 TEST_F(ObsTelemetryTest, WatchdogStallAutoDumpsRing) {
@@ -450,6 +519,57 @@ TEST_F(ObsTelemetryTest, WatchdogStallAutoDumpsRing) {
   EXPECT_GE(obs::Telemetry::instance().snapshot().stalls, 1u);
   std::remove((prefix + ".trace.json").c_str());
   std::remove((prefix + ".telemetry.json").c_str());
+  std::remove((prefix + ".slow.json").c_str());
+}
+
+TEST_F(ObsTelemetryTest, WatchdogCooldownSuppressesRepeatAutoDumps) {
+  obs::set_trace_mode(obs::TraceMode::Ring);
+  obs::Tracer::instance().reset(32);
+  const std::string prefix = ::testing::TempDir() + "tdp_flight_cooldown";
+  ::setenv("TDP_OBS_DUMP", prefix.c_str(), 1);
+  ::unsetenv("TDP_OBS_DUMP_COOLDOWN_MS");  // the default 30 s window
+
+  obs::Watchdog& wd = obs::Watchdog::instance();
+  std::atomic<int> reports{0};
+  wd.set_report_sink([&](const std::string&) { ++reports; });
+  obs::VpWaitState state;
+  state.blocked_since_ns.store(1, std::memory_order_relaxed);
+  const int token = wd.add_source(7, &state, nullptr);
+  obs::ShardedCounter& suppressed =
+      obs::Registry::instance().counter("watchdog.dumps_suppressed");
+  const std::uint64_t suppressed0 = suppressed.value();
+
+  wd.start(5);
+  for (int i = 0; i < 400 && reports.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(reports.load(), 0);
+  // The first episode's dump goes through; wait for it, then clear the
+  // files so a second dump would be visible.
+  bool dumped = false;
+  for (int i = 0; i < 400 && !dumped; ++i) {
+    dumped = std::ifstream(prefix + ".telemetry.json").good();
+    if (!dumped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(dumped);
+  std::remove((prefix + ".trace.json").c_str());
+  std::remove((prefix + ".telemetry.json").c_str());
+  std::remove((prefix + ".slow.json").c_str());
+
+  // End the stall (one unit of progress), then freeze again: a second
+  // episode well inside the cooldown window.
+  const int before = reports.load();
+  state.progress.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < 400 && reports.load() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(reports.load(), before);
+  // Give the watchdog a few more periods: it must NOT write a new dump.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  wd.remove_source(token);  // stops the thread (last source out)
+
+  EXPECT_GT(suppressed.value(), suppressed0);
+  EXPECT_FALSE(std::ifstream(prefix + ".trace.json").good());
 }
 
 // --- exposition server -----------------------------------------------------

@@ -6,14 +6,18 @@
 // Polls the exposition endpoint's `json` command on an interval and renders
 // per-VP utilization (run fraction over the last sample window), mailbox
 // depth, message rate, and blocked state, plus headline counter rates,
-// windowed histogram quantiles, trace-ring status, and recent watchdog
-// stalls.  `--once` prints a single snapshot and exits (CI smoke-tests
-// this); `--metrics` prints the raw Prometheus text instead.
+// windowed histogram quantiles, trace-ring status, recent watchdog stalls,
+// and the slowest retained calls with their phase attribution.  `--once`
+// prints a single snapshot and exits (CI smoke-tests this); `--metrics`
+// prints the raw Prometheus text, `--slow` the raw slow-call exemplar JSON.
+// In live mode a disappearing peer (restart, crash) is reported as "peer
+// lost" and polled for with exponential backoff, not treated as fatal.
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -37,6 +41,7 @@ int usage(const char* argv0, int code) {
       << "  --once            print one snapshot and exit\n"
       << "  --interval <ms>   polling period in live mode (default 1000)\n"
       << "  --metrics         print raw Prometheus exposition text\n"
+      << "  --slow            print the raw slow-call exemplar JSON\n"
       << "  the target program must run with TDP_OBS=1 and TDP_OBS_SOCKET "
          "set\n";
   return code;
@@ -245,6 +250,45 @@ void render(std::ostream& os, const tdp::obs::json::Value& doc) {
          << fmt_ns(p->num_or("p99", 0.0)) << "\n";
     }
   }
+
+  // --- slowest retained calls --------------------------------------------
+  if (const Value* slow = doc.find("slow");
+      slow != nullptr && slow->type == Value::Type::Object) {
+    const Value* calls = slow->find("calls");
+    if (calls != nullptr && calls->type == Value::Type::Array &&
+        !calls->array.empty()) {
+      os << "\nslowest calls (TDP_OBS_SLOW_MS="
+         << static_cast<std::uint64_t>(slow->num_or("threshold_ms", 0.0))
+         << ", " << static_cast<std::uint64_t>(slow->num_or("captured", 0.0))
+         << " captured; `tdp_trace why <id>` explains one):\n";
+      os << std::left << std::setw(12) << "call" << std::setw(8) << "kind"
+         << std::right << std::setw(7) << "copies" << std::setw(12)
+         << "latency" << std::setw(9) << "queue%" << std::setw(9) << "block%"
+         << std::setw(9) << "comp%" << std::setw(6) << "over" << "\n";
+      for (const Value& row : calls->array) {
+        const double queue = row.num_or("queue_ns", 0.0);
+        const double blocked = row.num_or("blocked_ns", 0.0);
+        const double compute = row.num_or("compute_ns", 0.0);
+        const double total =
+            row.num_or("marshal_ns", 0.0) + queue + blocked + compute;
+        const auto pct = [&](double v) {
+          char buf[16];
+          std::snprintf(buf, sizeof(buf), "%.1f%%",
+                        total > 0.0 ? v / total * 100.0 : 0.0);
+          return std::string(buf);
+        };
+        os << std::left << std::setw(12)
+           << static_cast<std::uint64_t>(row.num_or("call_id", 0.0))
+           << std::setw(8) << row.str_or("kind") << std::right << std::setw(7)
+           << static_cast<int>(row.num_or("copies", 0.0)) << std::setw(12)
+           << fmt_ns(row.num_or("latency_ns", 0.0)) << std::setw(9)
+           << pct(queue) << std::setw(9) << pct(blocked) << std::setw(9)
+           << pct(compute) << std::setw(6)
+           << (row.num_or("over_threshold", 0.0) != 0.0 ? "yes" : "-")
+           << "\n";
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -257,6 +301,7 @@ int main(int argc, char** argv) {
   }
   bool once = false;
   bool raw_metrics = false;
+  bool raw_slow = false;
   long interval_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -265,6 +310,8 @@ int main(int argc, char** argv) {
       once = true;
     } else if (arg == "--metrics") {
       raw_metrics = true;
+    } else if (arg == "--slow") {
+      raw_slow = true;
     } else if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (arg == "--interval" && i + 1 < argc) {
@@ -279,25 +326,48 @@ int main(int argc, char** argv) {
     return usage(argv[0], 2);
   }
 
+  const bool one_shot = once || raw_metrics || raw_slow;
+  const char* verb = raw_metrics ? "metrics" : raw_slow ? "slow" : "json";
+  // Live-mode reconnect backoff: interval → ×2 per failure → 5 s cap,
+  // reset on the first successful exchange.
+  constexpr long kBackoffCapMs = 5000;
+  long backoff_ms = interval_ms;
   for (;;) {
     std::string reply;
     std::string error;
-    if (!query(socket_path, raw_metrics ? "metrics" : "json", reply, error)) {
-      std::cerr << "tdp_top: " << socket_path << ": " << error << "\n";
-      return 1;
-    }
+    bool ok = query(socket_path, verb, reply, error);
     std::ostringstream frame;
-    if (raw_metrics) {
+    if (ok && raw_metrics) {
       frame << reply;
-    } else {
+    } else if (ok && raw_slow) {
+      frame << reply;
+    } else if (ok) {
       tdp::obs::json::Value doc;
       if (!tdp::obs::json::parse(reply, doc, &error)) {
-        std::cerr << "tdp_top: bad reply: " << error << "\n";
+        // A half-written reply from a peer dying mid-response is a lost
+        // peer, not a fatal protocol error.
+        error = "bad reply: " + error;
+        ok = false;
+      } else {
+        render(frame, doc);
+      }
+    }
+    if (!ok) {
+      if (one_shot) {
+        std::cerr << "tdp_top: " << socket_path << ": " << error << "\n";
         return 1;
       }
-      render(frame, doc);
+      // Live mode survives the peer disappearing (restart, crash, socket
+      // unlinked): say so, back off, keep polling until it returns.
+      frame << "tdp_top — peer lost (" << socket_path << ": " << error
+            << "); retrying every " << backoff_ms << " ms\n";
+      std::cout << "\033[H\033[2J" << frame.str() << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+      continue;
     }
-    if (once || raw_metrics) {
+    backoff_ms = interval_ms;
+    if (one_shot) {
       std::cout << frame.str();
       return 0;
     }

@@ -7,6 +7,15 @@
 // blocked in receive vs selective-receive misses) and, for each distributed
 // call in the trace, the critical path: the longest chain of causally-linked
 // spans recovered from the flow ids the runtime stamps into every message.
+//
+// The `why` subcommand explains one slow call from an exemplar document
+// (the exposition server's `slow` verb, or a flight dump's
+// <prefix>.slow.json):
+//
+//   tdp_trace why <call-id> slow.json    # a specific retained call
+//   tdp_trace why slowest slow.json      # the slowest retained call
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -17,23 +26,82 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " <trace.json>\n"
-            << "  analyzes a Chrome trace exported by tdp::obs\n"
-            << "  (capture one with TDP_OBS=1 TDP_OBS_TRACE=<path>)\n";
+  std::cerr
+      << "usage: " << argv0 << " <trace.json>\n"
+      << "       " << argv0 << " why <call-id|slowest> <slow.json>\n"
+      << "  analyzes a Chrome trace exported by tdp::obs\n"
+      << "  (capture one with TDP_OBS=1 TDP_OBS_TRACE=<path>)\n"
+      << "  `why` explains one slow call from an exemplar document\n"
+      << "  (TDP_OBS_SLOW_MS + the `slow` socket verb, or <dump>.slow.json)\n";
   return 2;
+}
+
+int run_why(const std::string& which, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "tdp_trace: cannot open " << path << "\n";
+    return 1;
+  }
+  std::vector<tdp::obs::CallExemplar> exemplars;
+  std::string error;
+  std::uint64_t slow_ms = 0;
+  if (!tdp::obs::load_exemplars(in, exemplars, &error, &slow_ms)) {
+    std::cerr << "tdp_trace: failed to parse " << path << ": " << error
+              << "\n";
+    return 1;
+  }
+  if (exemplars.empty()) {
+    std::cerr << "tdp_trace: no exemplars in " << path
+              << (slow_ms == 0
+                      ? " (TDP_OBS_SLOW_MS was not set in the producer)"
+                      : "")
+              << "\n";
+    return 1;
+  }
+  const tdp::obs::CallExemplar* chosen = nullptr;
+  if (which == "slowest") {
+    chosen = &exemplars.front();  // document order is slowest-first
+    for (const tdp::obs::CallExemplar& ex : exemplars) {
+      if (ex.latency_ns > chosen->latency_ns) chosen = &ex;
+    }
+  } else {
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(std::strtoull(which.c_str(), nullptr, 10));
+    for (const tdp::obs::CallExemplar& ex : exemplars) {
+      if (ex.call_id == id) {
+        chosen = &ex;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      std::cerr << "tdp_trace: call " << which << " not among the "
+                << exemplars.size() << " retained exemplars (ids:";
+      for (const tdp::obs::CallExemplar& ex : exemplars) {
+        std::cerr << " " << ex.call_id;
+      }
+      std::cerr << ")\n";
+      return 1;
+    }
+  }
+  tdp::obs::write_why_report(std::cout, *chosen);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-h" || arg == "--help") return usage(argv[0]);
-    if (!path.empty()) return usage(argv[0]);
-    path = arg;
+    args.push_back(arg);
   }
-  if (path.empty()) return usage(argv[0]);
+  if (!args.empty() && args[0] == "why") {
+    if (args.size() != 3) return usage(argv[0]);
+    return run_why(args[1], args[2]);
+  }
+  if (args.size() != 1) return usage(argv[0]);
+  const std::string& path = args[0];
 
   std::ifstream in(path);
   if (!in) {
