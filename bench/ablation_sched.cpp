@@ -1,0 +1,140 @@
+// Ablation — work-stealing scheduler vs thread-per-VP (ROADMAP item 1).
+//
+// The paper's PCN layer assumes processes are cheap and abundant; the
+// thread-per-VP lane prices every blocked process at an OS thread, capping
+// realistic runs.  The workload here is the scheduler's worst case turned
+// exit proof: a token ring of V virtual processors where at any instant
+// V-1 processes are blocked in a selective receive and exactly one is
+// runnable.  Under TDP_SCHED=steal the blocked V-1 cost suspended-task
+// records on a fixed pool of workers (TDP_SCHED_WORKERS, pinned to 4 here
+// so the series measures multiplexing, not core count); under the legacy
+// thread lane they cost V parked OS threads.  The steal series runs to
+// 16384 VPs; the thread series stops at 4096, the largest count the lane
+// sustains comfortably on this host (per-thread stacks and spawn latency
+// dominate long before then — which is the point).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "pcn/process.hpp"
+#include "sched/sched.hpp"
+#include "vp/machine.hpp"
+#include "vp/mailbox.hpp"
+
+namespace {
+
+using namespace tdp;
+
+// Pin the steal pool before the scheduler first starts (worker_count is
+// cached on first use); an explicit TDP_SCHED_WORKERS in the environment
+// still wins.
+const bool g_pin_workers = [] {
+  ::setenv("TDP_SCHED_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+constexpr int kRounds = 4;
+
+void run_token_ring(benchmark::State& state, int nvps) {
+  for (auto _ : state) {
+    vp::Machine machine(nvps);
+    pcn::ProcessGroup group;
+    for (int i = 0; i < nvps; ++i) {
+      group.spawn_on(machine, i, [&machine, i, nvps] {
+        const int next = (i + 1) % nvps;
+        const int prev = (i + nvps - 1) % nvps;
+        for (int r = 0; r < kRounds; ++r) {
+          vp::Message token;
+          token.cls = vp::MessageClass::TaskParallel;
+          token.tag = r;
+          token.src = i;
+          if (i == 0) {
+            machine.send(next, std::move(token));
+            (void)machine.mailbox(i).receive(vp::MessageClass::TaskParallel,
+                                             0, r, prev);
+          } else {
+            (void)machine.mailbox(i).receive(vp::MessageClass::TaskParallel,
+                                             0, r, prev);
+            machine.send(next, std::move(token));
+          }
+        }
+      });
+    }
+    group.join();
+  }
+  state.counters["vps"] = nvps;
+  state.counters["messages_per_iter"] = nvps * kRounds;
+}
+
+void BM_TokenRingSteal(benchmark::State& state) {
+  sched::force_sched_mode(sched::SchedMode::Steal);
+  run_token_ring(state, static_cast<int>(state.range(0)));
+  state.counters["workers"] =
+      static_cast<double>(sched::stats().workers);
+  state.SetLabel("steal");
+  sched::unforce_sched_mode();
+}
+BENCHMARK(BM_TokenRingSteal)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(10240)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+void BM_TokenRingThread(benchmark::State& state) {
+  sched::force_sched_mode(sched::SchedMode::Thread);
+  run_token_ring(state, static_cast<int>(state.range(0)));
+  // One OS thread per VP: the "pool" is the VP count itself.
+  state.counters["workers"] = static_cast<double>(state.range(0));
+  state.SetLabel("thread");
+  sched::unforce_sched_mode();
+}
+BENCHMARK(BM_TokenRingThread)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+// Spawn/complete throughput with no blocking at all: the floor cost of a
+// process on each lane (fiber + stack-pool reuse vs pthread create/join).
+void BM_SpawnJoinSteal(benchmark::State& state) {
+  sched::force_sched_mode(sched::SchedMode::Steal);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pcn::ProcessGroup group;
+    for (int i = 0; i < n; ++i) {
+      group.spawn([] { benchmark::DoNotOptimize(0); });
+    }
+    group.join();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("steal");
+  sched::unforce_sched_mode();
+}
+BENCHMARK(BM_SpawnJoinSteal)->Arg(1024)->Arg(10240)->UseRealTime();
+
+void BM_SpawnJoinThread(benchmark::State& state) {
+  sched::force_sched_mode(sched::SchedMode::Thread);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pcn::ProcessGroup group;
+    for (int i = 0; i < n; ++i) {
+      group.spawn([] { benchmark::DoNotOptimize(0); });
+    }
+    group.join();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("thread");
+  sched::unforce_sched_mode();
+}
+BENCHMARK(BM_SpawnJoinThread)->Arg(1024)->UseRealTime();
+
+}  // namespace
+
+TDP_BENCH_MAIN();

@@ -348,7 +348,10 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
     }
   }
 
-  // Phase 2: one SPMD execute per copy, placed on its processor.
+  // Phase 2: one SPMD execute per copy, placed on its processor.  The
+  // copies inherit the group's execution lane: scheduler tasks under
+  // TDP_SCHED=steal (blocked receives suspend the fiber, freeing its
+  // worker), dedicated threads on the legacy lane.
   static obs::Histogram& execute_hist =
       obs::Registry::instance().histogram("call.execute_ns");
   for (int i = 0; i < n; ++i) {

@@ -12,6 +12,10 @@ namespace tdp::core {
 
 int do_all(vp::Machine& machine, const std::vector<int>& processors,
            const DoAllBody& body, const DoAllCombine& combine) {
+  // The copies execute on whatever lane pcn::ProcessGroup spawns onto:
+  // under TDP_SCHED=steal a do_all over thousands of processors costs
+  // thousands of fiber records on a fixed worker pool, not thousands of
+  // OS threads.
   pcn::ProcessGroup group;
   pcn::Def<int> status =
       do_all_async(machine, processors, body, combine, group);

@@ -128,6 +128,12 @@ void Telemetry::sample_now() {
   tick_locked(now_ns());
 }
 
+void Telemetry::set_sched_probe(SchedProbe probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sched_probe_ = std::move(probe);
+  if (!sched_probe_) sched_track_ = SchedTrack{};
+}
+
 void Telemetry::note_stall(const std::string& report) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stalls_;
@@ -243,6 +249,30 @@ void Telemetry::tick_locked(std::uint64_t now) {
     snap.vps.push_back(std::move(row));
   }
 
+  // Scheduler plane: per-worker run fractions from busy_ns deltas over the
+  // window, runnable/suspended depths at the tick.
+  if (sched_probe_) {
+    const SchedSample s = sched_probe_();
+    snap.sched.present = true;
+    snap.sched.runnable = s.runnable;
+    snap.sched.suspended = s.suspended;
+    snap.sched.worker_run_frac.resize(s.worker_busy_ns.size(), 0.0);
+    if (sched_track_.primed && dt_s > 0.0 &&
+        sched_track_.last_busy_ns.size() == s.worker_busy_ns.size()) {
+      const double dt_ns = dt_s * 1e9;
+      for (std::size_t i = 0; i < s.worker_busy_ns.size(); ++i) {
+        const std::uint64_t prev = sched_track_.last_busy_ns[i];
+        const double busy =
+            s.worker_busy_ns[i] >= prev
+                ? static_cast<double>(s.worker_busy_ns[i] - prev)
+                : 0.0;
+        snap.sched.worker_run_frac[i] = std::clamp(busy / dt_ns, 0.0, 1.0);
+      }
+    }
+    sched_track_.last_busy_ns = s.worker_busy_ns;
+    sched_track_.primed = true;
+  }
+
   Tracer& tracer = Tracer::instance();
   snap.trace_recorded = tracer.recorded();
   snap.trace_dropped = tracer.dropped();
@@ -324,6 +354,15 @@ std::string Telemetry::render_prometheus() const {
          << "\n";
       os << "tdp_vp_queue_depth" << label << " " << fold_depth << "\n";
       os << "tdp_vp_blocked" << label << " " << fold_blocked << "\n";
+    }
+    if (snapshot_.sched.present) {
+      os << "tdp_sched_runnable " << snapshot_.sched.runnable << "\n";
+      os << "tdp_sched_suspended " << snapshot_.sched.suspended << "\n";
+      for (std::size_t i = 0; i < snapshot_.sched.worker_run_frac.size();
+           ++i) {
+        os << "tdp_sched_worker_run_frac{worker=\"" << i << "\"} "
+           << fmt_double(snapshot_.sched.worker_run_frac[i]) << "\n";
+      }
     }
     os << "tdp_calls_started " << CallTable::instance().started() << "\n";
     os << "tdp_calls_completed " << CallTable::instance().completed() << "\n";
@@ -407,6 +446,19 @@ std::string Telemetry::render_json() const {
   }
   os << "]";
 
+  if (snapshot_.sched.present) {
+    os << ",\"sched\":{\"workers\":" << snapshot_.sched.worker_run_frac.size()
+       << ",\"runnable\":" << snapshot_.sched.runnable
+       << ",\"suspended\":" << snapshot_.sched.suspended << ",\"run_frac\":[";
+    first = true;
+    for (const double f : snapshot_.sched.worker_run_frac) {
+      if (!first) os << ",";
+      first = false;
+      os << fmt_double(f);
+    }
+    os << "]}";
+  }
+
   // Slow-call attribution: retained exemplar summaries (no event payloads
   // here — the full subtrees come from the `slow` verb / .slow.json).
   {
@@ -451,6 +503,7 @@ void Telemetry::reset_for_test() {
     t.last_msgs = 0;
     t.ring.points.clear();
   }
+  sched_track_ = SchedTrack{};
   stalls_ = 0;
   last_stall_.clear();
   snapshot_ = Snapshot{};

@@ -91,6 +91,21 @@ class Telemetry {
     std::uint64_t blocked_ms = 0;  ///< age of the current block, 0 if none
   };
 
+  /// One scheduler sample, pulled from the probe the work-stealing
+  /// scheduler registers (obs must not depend on sched, so the data
+  /// arrives through this callback, mirroring the VpWaitState injection).
+  struct SchedSample {
+    std::uint64_t runnable = 0;
+    std::uint64_t suspended = 0;
+    std::vector<std::uint64_t> worker_busy_ns;  ///< cumulative, per worker
+  };
+  using SchedProbe = std::function<SchedSample()>;
+
+  /// Installs/clears the scheduler probe.  The sampler calls it once per
+  /// tick and differences worker_busy_ns into per-worker run fractions.
+  /// The scheduler clears the probe (nullptr) before joining its workers.
+  void set_sched_probe(SchedProbe probe);
+
   /// The latest state across every series — what the exposition endpoint
   /// and tdp_top render.
   struct Snapshot {
@@ -110,6 +125,14 @@ class Telemetry {
       VpPoint latest;
     };
     std::vector<VpRow> vps;
+    /// Scheduler plane (present only while the steal pool is live).
+    struct SchedState {
+      bool present = false;
+      std::uint64_t runnable = 0;
+      std::uint64_t suspended = 0;
+      std::vector<double> worker_run_frac;  ///< busy fraction per worker
+    };
+    SchedState sched;
     std::uint64_t trace_recorded = 0;
     std::uint64_t trace_dropped = 0;
     std::uint64_t trace_overwritten = 0;
@@ -198,6 +221,11 @@ class Telemetry {
     Ring<VpPoint> ring;
   };
 
+  struct SchedTrack {
+    bool primed = false;
+    std::vector<std::uint64_t> last_busy_ns;
+  };
+
   void run();
   void tick_locked(std::uint64_t now_ns);
 
@@ -212,6 +240,8 @@ class Telemetry {
   std::map<std::string, CounterTrack> counters_;
   std::map<std::string, HistTrack> histograms_;
   std::vector<VpTrack> vps_;
+  SchedProbe sched_probe_;
+  SchedTrack sched_track_;
   int next_token_ = 1;
   std::uint64_t stalls_ = 0;
   std::string last_stall_;

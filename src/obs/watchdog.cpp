@@ -117,6 +117,11 @@ void Watchdog::set_report_sink(std::function<void(const std::string&)> sink) {
   sink_ = std::move(sink);
 }
 
+void Watchdog::set_aux_report(AuxReport aux) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aux_report_ = std::move(aux);
+}
+
 void Watchdog::run() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
@@ -158,6 +163,9 @@ void Watchdog::sample(std::uint64_t now) {
            << " ms (" << blocked << " of " << sources_.size()
            << " VPs blocked in receive) ==\n"
            << describe_blocked_locked();
+    if (aux_report_) {
+      report << "  " << aux_report_() << "\n";
+    }
     static ShardedCounter& stall_counter =
         Registry::instance().counter("watchdog.stalls");
     stall_counter.add();
@@ -207,11 +215,22 @@ std::string Watchdog::describe_blocked_locked() const {
         src.state->wait_cls.load(std::memory_order_relaxed);
     const std::int32_t src_proc =
         src.state->wait_src.load(std::memory_order_relaxed);
-    out << "  vp" << src.vp << ": blocked in selective receive for "
-        << (now > since ? (now - since) / 1000000 : 0) << " ms";
     const std::int32_t sleepers =
         src.state->blocked_waiters.load(std::memory_order_relaxed);
-    if (sleepers > 1) out << " (" << sleepers << " receivers)";
+    const std::int32_t suspended =
+        src.state->suspended_waiters.load(std::memory_order_relaxed);
+    out << "  vp" << src.vp << ": "
+        << (suspended >= sleepers ? "suspended (task, not thread-blocked)"
+                                  : "blocked")
+        << " in selective receive for "
+        << (now > since ? (now - since) / 1000000 : 0) << " ms";
+    if (sleepers > 1) {
+      out << " (" << sleepers << " receivers";
+      if (suspended > 0 && suspended < sleepers) {
+        out << ", " << suspended << " suspended tasks";
+      }
+      out << ")";
+    }
     out << " waiting for ";
     if (cls < 0) {
       out << "(opaque predicate)";

@@ -65,6 +65,12 @@ struct alignas(64) VpWaitState {
   /// report uses this count to say how many more are waiting (the mailbox's
   /// describe callback renders each one's tuple).
   std::atomic<std::int32_t> blocked_waiters{0};
+  /// Of blocked_waiters, how many are suspended scheduler tasks
+  /// (TDP_SCHED=steal) rather than blocked OS threads.  A stall report
+  /// must say which: a suspended task costs a record and its worker keeps
+  /// running other tasks, so "blocked" there means "no matching message",
+  /// never "thread wedged".
+  std::atomic<std::int32_t> suspended_waiters{0};
 };
 
 class Watchdog {
@@ -96,6 +102,14 @@ class Watchdog {
 
   /// Diverts stall reports from stderr (tests); nullptr restores stderr.
   void set_report_sink(std::function<void(const std::string&)> sink);
+
+  /// Extra context appended to every stall report — the scheduler installs
+  /// one rendering its runnable/suspended/steal counts so a TDP_SCHED=steal
+  /// stall reads as "tasks suspended awaiting messages", not "threads
+  /// deadlocked".  Called from the watchdog thread; nullptr clears (the
+  /// scheduler clears it before tearing down its workers).
+  using AuxReport = std::function<std::string()>;
+  void set_aux_report(AuxReport aux);
 
   /// The current diagnosis text for blocked sources ("" when none are
   /// blocked) — what a stall report contains, without the stall detection.
@@ -133,6 +147,7 @@ class Watchdog {
   std::condition_variable cv_;
   std::vector<Source> sources_;
   std::function<void(const std::string&)> sink_;
+  AuxReport aux_report_;
   std::thread thread_;
   std::uint64_t period_ms_ = 0;
   std::uint64_t last_progress_ = 0;

@@ -10,8 +10,15 @@
 // Def<T> is a copyable handle to shared single-assignment state, mirroring
 // how PCN definition variables are shared between concurrently-executing
 // processes.
+//
+// Suspension is lane-aware: a reader on a scheduler fiber (TDP_SCHED=steal)
+// registers itself as a dependency edge — a task handle in the state's
+// waiter list — and parks, costing a record instead of a blocked thread;
+// define() requeues every registered reader.  Thread-lane readers block on
+// the condition variable exactly as before.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -19,6 +26,9 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "sched/sched.hpp"
 
 namespace tdp::pcn {
 
@@ -39,6 +49,7 @@ class Def {
       std::lock_guard<std::mutex> lock(state_->mutex);
       if (state_->value.has_value()) throw DoubleDefinition();
       state_->value.emplace(std::move(value));
+      state_->ready_waiters_locked();
     }
     state_->cv.notify_all();
   }
@@ -51,6 +62,7 @@ class Def {
       std::lock_guard<std::mutex> lock(state_->mutex);
       if (!state_->value.has_value()) {
         state_->value.emplace(std::move(value));
+        state_->ready_waiters_locked();
         defined = true;
       }
     }
@@ -61,6 +73,13 @@ class Def {
   /// Reads the value, suspending the calling process until defined.
   const T& read() const {
     std::unique_lock<std::mutex> lock(state_->mutex);
+    if (sched::on_worker_fiber()) {
+      while (!state_->value.has_value()) {
+        state_->register_waiter_locked(sched::current_task());
+        sched::park(lock);
+      }
+      return *state_->value;
+    }
     state_->cv.wait(lock, [&] { return state_->value.has_value(); });
     return *state_->value;
   }
@@ -69,6 +88,20 @@ class Def {
   template <typename Rep, typename Period>
   const T* read_for(std::chrono::duration<Rep, Period> timeout) const {
     std::unique_lock<std::mutex> lock(state_->mutex);
+    if (sched::on_worker_fiber()) {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      const sched::TaskRef self = sched::current_task();
+      while (!state_->value.has_value()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          state_->deregister_waiter_locked(self);
+          return nullptr;
+        }
+        state_->register_waiter_locked(self);
+        sched::park_until(lock, deadline);
+      }
+      state_->deregister_waiter_locked(self);
+      return &*state_->value;
+    }
     if (!state_->cv.wait_for(lock, timeout,
                              [&] { return state_->value.has_value(); })) {
       return nullptr;
@@ -90,6 +123,26 @@ class Def {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::optional<T> value;
+    /// Suspended fiber readers — the dependency edges define() resolves.
+    std::vector<sched::TaskRef> waiters;
+
+    void register_waiter_locked(sched::TaskRef self) {
+      if (std::find(waiters.begin(), waiters.end(), self) == waiters.end()) {
+        waiters.push_back(self);
+      }
+    }
+
+    void deregister_waiter_locked(sched::TaskRef self) {
+      const auto it = std::find(waiters.begin(), waiters.end(), self);
+      if (it != waiters.end()) waiters.erase(it);
+    }
+
+    /// Requeues every suspended reader.  Caller holds mutex — the mutex
+    /// each reader parked with, satisfying the sched::ready lifetime rule.
+    void ready_waiters_locked() {
+      for (sched::TaskRef t : waiters) sched::ready(t);
+      waiters.clear();
+    }
   };
   std::shared_ptr<State> state_;
 };

@@ -17,6 +17,7 @@
 //   pg.join();
 #pragma once
 
+#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <initializer_list>
@@ -25,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "sched/sched.hpp"
 #include "vp/machine.hpp"
 
 namespace tdp::pcn {
@@ -34,6 +36,15 @@ using Block = std::function<void()>;
 /// A set of dynamically-created processes with a fork/join lifetime.  The
 /// destructor joins any processes still running (a parallel composition
 /// terminates only when all its statements have, §3.1.1.1).
+///
+/// Execution lane: under TDP_SCHED=steal (sched::sched_mode, snapshotted
+/// per spawn) each process is a scheduler task — a fiber multiplexed onto
+/// the work-stealing pool — instead of a dedicated std::thread, so a group
+/// can hold tens of thousands of concurrently-blocked processes.  join()
+/// then waits on a completion count: a fiber joiner suspends as a task
+/// record, a thread joiner blocks on a condvar.  Both lanes preserve the
+/// exception policy below, and a group may mix lanes (spawns before and
+/// after a mode switch).
 ///
 /// Exception policy: a body that throws no longer takes the whole OS
 /// process down with std::terminate.  The group records the first
@@ -67,16 +78,24 @@ class ProcessGroup {
   /// processes have terminated.  join() consumes it.
   std::exception_ptr first_exception() const;
 
-  /// Number of processes ever spawned in this group.
-  std::size_t spawned() const { return threads_.size(); }
+  /// Number of processes ever spawned in this group (both lanes).
+  std::size_t spawned() const;
 
  private:
   void run_guarded(const Block& body) noexcept;
-  void join_threads();
+  void spawn_task(int proc, Block body);
+  void task_finished();
+  void join_all();
 
   std::vector<std::thread> threads_;
   mutable std::mutex mutex_;
   std::exception_ptr first_exception_;
+  /// Steal-lane bookkeeping, all under mutex_: spawned/active task counts
+  /// and the joiners suspended until the active count drains to zero.
+  std::size_t tasks_spawned_ = 0;
+  std::size_t tasks_active_ = 0;
+  std::vector<sched::TaskRef> join_waiters_;
+  std::condition_variable done_cv_;
 };
 
 /// Parallel composition: runs every block concurrently and waits for all to

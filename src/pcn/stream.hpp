@@ -4,6 +4,11 @@
 // suspends on the undefined tail.  Closing a stream defines the tail to be
 // the empty list (the PCN `[]`).
 //
+// Suspension is inherited from Def<T>: a consumer blocked on the undefined
+// tail parks as a scheduler task under TDP_SCHED=steal (the producer's
+// define requeues it) and blocks its thread on the legacy lane, so long
+// producer/consumer chains scale with the fiber count, not the thread count.
+//
 // Stream<T> is a copyable handle to one cell position.  Typical use:
 //
 //   Stream<int> s;                // shared between producer and consumer

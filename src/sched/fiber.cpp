@@ -1,0 +1,66 @@
+#include "sched/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace tdp::sched {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+void* FiberStack::limit() const {
+  return static_cast<char*>(base) + page_size();
+}
+
+std::size_t FiberStack::usable() const { return size - page_size(); }
+
+std::size_t fiber_stack_bytes() {
+  static const std::size_t bytes = [] {
+    long kb = 256;
+    if (const char* env = std::getenv("TDP_SCHED_STACK_KB");
+        env != nullptr && env[0] != '\0') {
+      const long v = std::atol(env);
+      if (v >= 64) {
+        kb = v;
+      } else {
+        std::fprintf(stderr,
+                     "tdp::sched: ignoring TDP_SCHED_STACK_KB \"%s\" "
+                     "(minimum 64; using 256)\n",
+                     env);
+      }
+    }
+    const std::size_t page = page_size();
+    const std::size_t raw = static_cast<std::size_t>(kb) * 1024;
+    return (raw + page - 1) / page * page;
+  }();
+  return bytes;
+}
+
+FiberStack fiber_stack_alloc(std::size_t usable_bytes) {
+  const std::size_t total = usable_bytes + page_size();
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | MAP_NORESERVE,
+                      -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc();
+  // Guard page at the low end: a fiber that overruns its stack faults here
+  // instead of scribbling over the adjacent mapping.
+  ::mprotect(base, page_size(), PROT_NONE);
+  return FiberStack{base, total};
+}
+
+void fiber_stack_free(const FiberStack& stack) {
+  if (stack.base != nullptr) ::munmap(stack.base, stack.size);
+}
+
+}  // namespace tdp::sched

@@ -1,0 +1,51 @@
+// Stackful execution contexts for the tdp::sched work-stealing scheduler.
+//
+// A pcn process body is an arbitrary std::function that blocks deep inside
+// library code (selective receive, Def<T>::read, ProcessGroup::join), so the
+// unit of suspension must carry its own call stack — a continuation-passing
+// rewrite of every blocking layer is not on the table.  Each task therefore
+// runs on a ucontext fiber whose stack is a dedicated mmap region:
+//
+//  * MAP_NORESERVE keeps 10k+ concurrent fibers cheap in physical memory
+//    (pages are committed only as each stack is touched);
+//  * a PROT_NONE guard page at the low end turns stack overflow into an
+//    immediate fault instead of silent corruption of a neighbouring fiber;
+//  * stacks are pooled by the scheduler — spawn-heavy workloads (do_all
+//    over thousands of nodes) recycle warm stacks instead of paying a
+//    mmap/munmap pair per process.
+//
+// TDP_SCHED_STACK_KB sizes the usable region (default 256 KiB — deep enough
+// for the SPMD solvers the distributed calls run, small enough that 10k
+// suspended VPs reserve ~2.5 GiB of address space, nearly all untouched).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+
+namespace tdp::sched {
+
+/// One fiber stack: an mmap'd region with a guard page at the low end.
+struct FiberStack {
+  void* base = nullptr;  ///< mapping base (the guard page)
+  std::size_t size = 0;  ///< total mapping size, guard included
+
+  /// Lowest usable address (just above the guard page) — what ucontext's
+  /// uc_stack.ss_sp wants on a grows-down architecture.
+  void* limit() const;
+  /// Usable bytes (size minus the guard page).
+  std::size_t usable() const;
+};
+
+/// TDP_SCHED_STACK_KB from the environment (default 256, minimum 64),
+/// rounded up to a whole number of pages.  Cached on first read.
+std::size_t fiber_stack_bytes();
+
+/// Maps a fresh stack of `usable_bytes` (plus the guard page).  Throws
+/// std::bad_alloc when the mapping fails.
+FiberStack fiber_stack_alloc(std::size_t usable_bytes);
+
+/// Unmaps a stack previously returned by fiber_stack_alloc.
+void fiber_stack_free(const FiberStack& stack);
+
+}  // namespace tdp::sched

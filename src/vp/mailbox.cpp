@@ -103,8 +103,7 @@ void Mailbox::post(Message m) {
     // would just bounce it off an empty scan.
     for (Waiter* w : bucket.waiters) {
       if (!w->notified && (w->src < 0 || w->src == src)) {
-        w->notified = true;
-        w->cv.notify_one();
+        wake_waiter_locked(*w);
         break;
       }
     }
@@ -112,8 +111,7 @@ void Mailbox::post(Message m) {
     // might match this message, so all of them get woken (the legacy lane).
     for (Waiter* w : scan_waiters_) {
       if (!w->notified) {
-        w->notified = true;
-        w->cv.notify_one();
+        wake_waiter_locked(*w);
       }
     }
   }
@@ -241,16 +239,56 @@ void Mailbox::deregister_locked(Waiter& w) {
       std::find(scan_waiters_.begin(), scan_waiters_.end(), &w));
 }
 
+void Mailbox::wake_waiter_locked(Waiter& w) {
+  w.notified = true;
+  if (w.task != nullptr) {
+    // The receiver is a suspended scheduler fiber.  We hold mutex_ — the
+    // mutex it parked with — so ready() cannot race its teardown (the
+    // fiber re-acquires mutex_ before its waiter record leaves scope).
+    sched::ready(w.task);
+  } else {
+    w.cv.notify_one();
+  }
+}
+
+void Mailbox::wait_waiter_locked(std::unique_lock<std::mutex>& lock,
+                                 Waiter& w, std::uint64_t timeout_ms,
+                                 std::chrono::steady_clock::time_point deadline,
+                                 bool& timed_out) {
+  w.notified = false;
+  if (sched::on_worker_fiber()) {
+    // Steal lane: the receiver suspends as a task record (both the indexed
+    // and the opaque lane — a thread-blocking fiber would wedge its worker
+    // for as long as the message takes to arrive).
+    w.task = sched::current_task();
+    wait_state_.suspended_waiters.fetch_add(1, std::memory_order_relaxed);
+    if (timeout_ms == 0) {
+      sched::park(lock);
+    } else {
+      sched::park_until(lock, deadline);
+      if (!w.notified && std::chrono::steady_clock::now() >= deadline) {
+        timed_out = true;
+      }
+    }
+    wait_state_.suspended_waiters.fetch_sub(1, std::memory_order_relaxed);
+    w.task = nullptr;
+    return;
+  }
+  if (timeout_ms == 0) {
+    w.cv.wait(lock);
+  } else if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    timed_out = true;
+  }
+}
+
 void Mailbox::wake_all_locked() {
   for (auto& [key, bucket] : buckets_) {
     for (Waiter* w : bucket.waiters) {
-      w->notified = true;
-      w->cv.notify_one();
+      wake_waiter_locked(*w);
     }
   }
   for (Waiter* w : scan_waiters_) {
-    w->notified = true;
-    w->cv.notify_one();
+    wake_waiter_locked(*w);
   }
 }
 
@@ -415,15 +453,10 @@ Message Mailbox::receive_indexed(const WaitDetail& detail,
     }
     note_block_locked(&detail, obs_on);
     wait_state_.blocked_waiters.fetch_add(1, std::memory_order_relaxed);
-    w.notified = false;
-    if (timeout_ms == 0) {
-      w.cv.wait(lock);
-    } else if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One more scan at the top of the loop before giving up: a message
-      // posted right at the deadline must still be delivered, not lost to
-      // a spurious timeout.
-      timed_out = true;
-    }
+    // On a timeout, one more scan at the top of the loop before giving up:
+    // a message posted right at the deadline must still be delivered, not
+    // lost to a spurious timeout.
+    wait_waiter_locked(lock, w, timeout_ms, deadline, timed_out);
     wait_state_.blocked_waiters.fetch_sub(1, std::memory_order_relaxed);
     wakeup_counter().add_at(owner_);
   }
@@ -487,12 +520,7 @@ Message Mailbox::receive_scan(const Predicate& match,
     }
     note_block_locked(detail, obs_on);
     wait_state_.blocked_waiters.fetch_add(1, std::memory_order_relaxed);
-    w.notified = false;
-    if (timeout_ms == 0) {
-      w.cv.wait(lock);
-    } else if (w.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      timed_out = true;
-    }
+    wait_waiter_locked(lock, w, timeout_ms, deadline, timed_out);
     wait_state_.blocked_waiters.fetch_sub(1, std::memory_order_relaxed);
     wakeup_counter().add_at(owner_);
   }

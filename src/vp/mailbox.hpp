@@ -25,6 +25,7 @@
 // broadcast wakeups — the pre-index behaviour, kept as the A/B baseline.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "obs/watchdog.hpp"
+#include "sched/sched.hpp"
 #include "vp/payload.hpp"
 
 namespace tdp::vp {
@@ -248,7 +250,10 @@ class Mailbox {
   /// slot so post() can wake exactly this receiver, and a scan cursor (the
   /// highest arrival seq it has examined and rejected) so a woken waiter
   /// only looks at messages it has never seen.  Lives on the receiver's
-  /// stack; registered/deregistered under mutex_.
+  /// stack (fiber or thread); registered/deregistered under mutex_.  When
+  /// the receiver is a scheduler fiber (TDP_SCHED=steal), `task` holds its
+  /// handle while suspended and a wakeup is sched::ready instead of a
+  /// condvar notify — the waiter record becomes a wakeup edge.
   struct Waiter {
     bool has_tuple = false;
     MessageClass cls = MessageClass::TaskParallel;
@@ -257,6 +262,7 @@ class Mailbox {
     int src = -1;
     std::uint64_t cursor = 0;
     std::condition_variable cv;
+    sched::TaskRef task = nullptr;
     bool notified = false;
     bool registered = false;
   };
@@ -276,6 +282,18 @@ class Mailbox {
   void unlink_from_bucket_locked(const Message& m, std::uint64_t seq);
   void maybe_gc_bucket_locked(BucketMap::iterator it);
   void deregister_locked(Waiter& w);
+  /// Marks `w` notified and delivers the wakeup on whichever lane the
+  /// waiter sleeps: sched::ready for a suspended fiber, cv.notify_one for
+  /// a blocked thread.  Caller holds mutex_ (the lifetime rule ready()
+  /// requires — the fiber parked with this same mutex).
+  void wake_waiter_locked(Waiter& w);
+  /// The cv.wait/park dispatch shared by both receive lanes: suspends the
+  /// calling fiber (steal lane) or blocks the calling thread until
+  /// notified or `deadline`; sets `timed_out` when the deadline passed.
+  void wait_waiter_locked(std::unique_lock<std::mutex>& lock, Waiter& w,
+                          std::uint64_t timeout_ms,
+                          std::chrono::steady_clock::time_point deadline,
+                          bool& timed_out);
   void wake_all_locked();
   /// Publishes the delivery to the wait state and the receive span; caller
   /// holds mutex_.

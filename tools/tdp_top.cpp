@@ -148,8 +148,9 @@ const tdp::obs::json::Value* latest_point(const tdp::obs::json::Value& series,
 /// Counters whose rates headline the view; everything else stays in the
 /// raw `--metrics` output.
 constexpr const char* kHeadlineCounters[] = {
-    "vp.messages", "comm.bytes_delivered", "am.bytes_moved",
-    "call.count",  "mailbox.recv_miss",
+    "vp.messages",  "comm.bytes_delivered", "am.bytes_moved",
+    "call.count",   "mailbox.recv_miss",    "sched.steals",
+    "sched.parks",  "sched.wakeups",        "sched.completed",
 };
 
 void render(std::ostream& os, const tdp::obs::json::Value& doc) {
@@ -179,6 +180,30 @@ void render(std::ostream& os, const tdp::obs::json::Value& doc) {
       os << "stalls: " << count << " episode" << (count == 1 ? "" : "s")
          << "; last: " << stalls->str_or("last") << "\n";
     }
+  }
+  // Work-stealing scheduler state: present only when the peer runs under
+  // TDP_SCHED=steal (the telemetry probe is registered by the scheduler).
+  if (const Value* sched = doc.find("sched");
+      sched != nullptr && sched->type == Value::Type::Object) {
+    os << "sched: " << static_cast<std::uint64_t>(sched->num_or("workers", 0.0))
+       << " workers  runnable="
+       << static_cast<std::uint64_t>(sched->num_or("runnable", 0.0))
+       << "  suspended="
+       << static_cast<std::uint64_t>(sched->num_or("suspended", 0.0));
+    if (const Value* fracs = sched->find("run_frac");
+        fracs != nullptr && fracs->type == Value::Type::Array &&
+        !fracs->array.empty()) {
+      os << "  run%=[";
+      for (std::size_t i = 0; i < fracs->array.size(); ++i) {
+        const double f = fracs->array[i].type == Value::Type::Number
+                             ? fracs->array[i].number
+                             : 0.0;
+        os << (i != 0 ? " " : "")
+           << static_cast<int>(f * 100.0 + 0.5) << "%";
+      }
+      os << "]";
+    }
+    os << "\n";
   }
   os << "\n";
 
