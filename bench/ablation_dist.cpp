@@ -1,0 +1,188 @@
+// Ablation — sharded arrays and load-driven rebalancing.
+//
+// The in-process array manager serialises every owner-side access on the
+// owning node's monitor, so a workload that concentrates its traffic on
+// one processor's shards queues on one mutex — the same hot-node pathology
+// a real multicomputer shows when one node owns all the popular data.
+// Series:
+//   * read_shard / migrate_shard micro-costs (the per-request and per-move
+//     prices the repartitioner trades between);
+//   * the recovery scenario: requester threads drive (a) uniform traffic,
+//     (b) 90%-hot skewed traffic against the initial placement, and
+//     (c) the same skew after one load-driven rebalance has spread the hot
+//     shards across the pool.  The greppable summary line
+//
+//       DIST_RECOVERY uniform=... skewed=... rebalanced=... ratio=R ok=0|1
+//
+//     reports rebalanced-vs-uniform throughput; ok=1 means the skewed
+//     workload recovered to within 20% of the uniform baseline (the ISSUE
+//     acceptance bar).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dist/array_manager.hpp"
+#include "util/node_array.hpp"
+#include "vp/machine.hpp"
+#include "vp/payload.hpp"
+
+namespace {
+
+using namespace tdp;
+
+constexpr int kProcs = 4;
+constexpr int kShards = 32;            // 8 shards per processor initially
+constexpr int kShardDoubles = 2048;    // 16 KiB per shard read
+constexpr int kThreads = 4;
+constexpr int kReadsPerThread = 4000;
+
+dist::ArrayId make_sharded(dist::ArrayManager& am) {
+  dist::ArrayId id;
+  const Status st = am.create_array(
+      0, dist::ElemType::Float64, {kShards * kShardDoubles},
+      util::iota_nodes(kProcs), {dist::DimSpec::block_n(kShards)},
+      dist::BorderSpec::none(), dist::Indexing::RowMajor, id);
+  if (st != Status::Ok) std::abort();
+  return id;
+}
+
+// Deterministic per-thread shard picker: `hot` in [0,1] is the fraction of
+// reads aimed at the shards processor 0 owns at creation (ranks ≡ 0 mod
+// kProcs); the rest spread uniformly.
+struct ShardPicker {
+  std::uint64_t state;
+  double hot;
+
+  explicit ShardPicker(int thread, double hot_fraction)
+      : state(0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(thread + 1)),
+        hot(hot_fraction) {}
+
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+
+  long long operator()() {
+    const std::uint64_t r = next();
+    if (static_cast<double>(r % 1000) < hot * 1000.0) {
+      return static_cast<long long>((r >> 10) % (kShards / kProcs)) * kProcs;
+    }
+    return static_cast<long long>((r >> 10) % kShards);
+  }
+};
+
+// Drives kThreads requester threads of `reads` shard reads each and
+// returns the aggregate throughput in reads per second.
+double drive(dist::ArrayManager& am, dist::ArrayId id, double hot,
+             int reads) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&am, id, hot, reads, t, &failures] {
+      ShardPicker pick(t, hot);
+      for (int i = 0; i < reads; ++i) {
+        vp::Payload p;
+        if (am.read_shard(t % kProcs, id, pick(), p) != Status::Ok) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (failures.load() != 0) std::abort();
+  return static_cast<double>(kThreads) * reads / elapsed.count();
+}
+
+// --------------------------------------------------------- Micro-costs ----
+
+void BM_ReadShard(benchmark::State& state) {
+  vp::Machine machine(kProcs);
+  dist::ArrayManager am(machine);
+  const dist::ArrayId id = make_sharded(am);
+  long long shard = 0;
+  for (auto _ : state) {
+    vp::Payload p;
+    if (am.read_shard(0, id, shard, p) != Status::Ok) std::abort();
+    benchmark::DoNotOptimize(p.data());
+    shard = (shard + 1) % kShards;
+  }
+  state.counters["shard_bytes"] = kShardDoubles * sizeof(double);
+}
+BENCHMARK(BM_ReadShard);
+
+void BM_MigrateShard(benchmark::State& state) {
+  vp::Machine machine(kProcs);
+  dist::ArrayManager am(machine);
+  const dist::ArrayId id = make_sharded(am);
+  int to = 1;
+  for (auto _ : state) {
+    // Bounce shard 0 between processors: every iteration is a real move
+    // (quiesce, one section copy, epoch flip on every replica).
+    if (am.migrate_shard(0, id, 0, to) != Status::Ok) std::abort();
+    to = to == 1 ? 2 : 1;
+  }
+  state.counters["shard_bytes"] = kShardDoubles * sizeof(double);
+}
+BENCHMARK(BM_MigrateShard);
+
+// ---------------------------------------------------- Recovery scenario ----
+
+void BM_SkewRecovery(benchmark::State& state) {
+  double uniform = 0.0;
+  double skewed = 0.0;
+  double rebalanced = 0.0;
+  int moved = 0;
+  for (auto _ : state) {
+    // Uniform baseline on its own manager so its traffic never pollutes
+    // the skewed array's counters.
+    {
+      vp::Machine machine(kProcs);
+      dist::ArrayManager am(machine);
+      const dist::ArrayId id = make_sharded(am);
+      drive(am, id, 0.0, kReadsPerThread / 4);  // warm
+      uniform = drive(am, id, 0.0, kReadsPerThread);
+    }
+    vp::Machine machine(kProcs);
+    dist::ArrayManager am(machine);
+    const dist::ArrayId id = make_sharded(am);
+    drive(am, id, 0.9, kReadsPerThread / 4);  // warm
+    // (b) skewed against the initial placement: processor 0 owns every hot
+    // shard, so its node monitor is the bottleneck.  This phase is also
+    // the traffic window the repartitioner will consume.
+    skewed = drive(am, id, 0.9, kReadsPerThread);
+    if (am.rebalance(0, id, /*max_ratio=*/1.25, &moved) != Status::Ok) {
+      std::abort();
+    }
+    // (c) the identical skew after the hot shards spread across the pool.
+    rebalanced = drive(am, id, 0.9, kReadsPerThread);
+  }
+  const double ratio = uniform > 0.0 ? rebalanced / uniform : 0.0;
+  const bool ok = ratio >= 0.8;
+  state.counters["uniform_reads_s"] = uniform;
+  state.counters["skewed_reads_s"] = skewed;
+  state.counters["rebalanced_reads_s"] = rebalanced;
+  state.counters["shards_moved"] = moved;
+  state.counters["recovery_ratio"] = ratio;
+  state.counters["ok"] = ok ? 1.0 : 0.0;
+  std::printf(
+      "DIST_RECOVERY uniform=%.0f skewed=%.0f rebalanced=%.0f moved=%d "
+      "ratio=%.3f ok=%d\n",
+      uniform, skewed, rebalanced, moved, ratio, ok ? 1 : 0);
+  std::fflush(stdout);
+}
+BENCHMARK(BM_SkewRecovery)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TDP_BENCH_MAIN();

@@ -1,5 +1,6 @@
 #include "core/distributed_call.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/attr.hpp"
@@ -330,6 +331,19 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   vp::Machine* machine = &machine_;
   dist::ArrayManager* arrays = &arrays_;
 
+  // Repartition barrier: hold each local() array's placement fixed for the
+  // whole call, so a shard migration can never move a section out from
+  // under copies that resolved it with find_local.  Pins release in the
+  // combine process, after the call's status defines.
+  auto pinned = std::make_shared<std::vector<dist::ArrayId>>();
+  for (const Param& p : params_) {
+    if (p.kind != Param::Kind::Local) continue;
+    if (std::find(pinned->begin(), pinned->end(), p.array) == pinned->end()) {
+      pinned->push_back(p.array);
+    }
+  }
+  for (const dist::ArrayId& id : *pinned) arrays_.pin_layout(id);
+
   // Causal chaining of the call's phases: one flow id per copy links the
   // caller's spawn point to that copy's execute span ("call.execute"
   // arrows fanning out), and a second links the copy's completion to the
@@ -411,7 +425,7 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
   StatusCombine scombine = status_combine_;
   std::string* error_out = error_out_;
   group.spawn([shared, results, status, scombine, comm, n, join_flows,
-               error_out] {
+               error_out, arrays, pinned] {
     obs::Span comb(obs::Op::CallCombine, comm, static_cast<std::uint64_t>(n),
                    nullptr);
     WrapperResult merged = (*results)[0].read();
@@ -458,6 +472,7 @@ pcn::Def<int> DistributedCall::run_async(pcn::ProcessGroup& group) {
     // it — an open span has emitted nothing yet.
     comb.finish();
     if (obs::enabled()) obs::CallTable::instance().call_end(comm);
+    for (const dist::ArrayId& id : *pinned) arrays->unpin_layout(id);
   });
   return status;
 }

@@ -17,12 +17,23 @@
 //   * every other global operation may be made on any owner processor or on
 //     the creating processor, with identical results anywhere;
 //   * find_local requires a local view and works only on owner processors.
+//
+// Placement is no longer a static block map.  Each array is split into
+// S shards — one per grid cell, where the cell count may exceed the
+// processor count (oversharding) — and a replicated, versioned owner table
+// maps shard → processor.  Every routing decision (element access, section
+// reads/writes, find_local) translates through the table, so the paper's
+// owner-side semantics are preserved while shards can migrate between
+// processors at runtime, driven by per-shard traffic counters.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string_view>
 #include <vector>
 
@@ -34,22 +45,83 @@
 
 namespace tdp::dist {
 
+/// The replicated, versioned owner table: shard rank → owning processor.
+/// The table is sized to the next power of two above the shard count so the
+/// lookup is one masked index; every node record of an array carries its
+/// own copy, and migrations bump `epoch` on every replica — a replica whose
+/// epoch lags is stale and routes to a processor that answers "moved".
+struct ShardMap {
+  long long cells = 1;       ///< shard count (= grid cells)
+  std::uint64_t epoch = 0;   ///< bumped on every migration
+  std::vector<int> owners;   ///< size = next power of two >= cells
+
+  int owner_of(long long shard) const {
+    return owners[static_cast<std::size_t>(shard) &
+                  (owners.size() - 1)];
+  }
+
+  /// Builds the initial table: shard s → pool[s mod pool.size()], i.e. the
+  /// prefix of the processor list when cells <= pool size (the §3.2.1.1
+  /// placement), wrapping round-robin when oversharded.
+  static ShardMap initial(long long cells, const std::vector<int>& pool);
+};
+
+/// Per-shard traffic counters, shared by every replica of an array's record
+/// (element and section bytes accrue at the owner-side access).  The
+/// repartitioner consumes these to propose moves.
+struct ShardStats {
+  explicit ShardStats(std::size_t n) : bytes(n) {}
+  std::vector<std::atomic<std::uint64_t>> bytes;
+
+  std::uint64_t read(std::size_t shard) const {
+    return bytes[shard].load(std::memory_order_relaxed);
+  }
+  void add(std::size_t shard, std::uint64_t n) {
+    bytes[shard].fetch_add(n, std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : bytes) b.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One shard's storage on its owner: the cell's actual interior (the
+/// trailing cell of an unevenly-blocked dimension is smaller than the
+/// uniform block), the storage shape including borders, and the quiesce
+/// flag a migration raises while the payload is in flight.
+struct ShardSection {
+  std::vector<int> interior;   ///< this cell's interior dimensions
+  std::vector<int> dims_plus;  ///< interior + borders
+  std::shared_ptr<LocalSection> storage;
+  bool migrating = false;
+};
+
 /// Internal representation of a distributed array (§5.1.3).  One copy per
-/// processor that owns a local section, plus one on the creating processor.
-/// The thesis stores some derivable quantities redundantly ("compute once
-/// and store"); we mirror that.
+/// processor that owns at least one shard, plus one on the creating
+/// processor (and on any processor a shard has migrated to).  The thesis
+/// stores some derivable quantities redundantly ("compute once and store");
+/// we mirror that.
 struct ArrayRecord {
   ArrayId id;
   ElemType type = ElemType::Float64;
   std::vector<int> dims;         ///< global dimensions
-  std::vector<int> processors;   ///< owner processor numbers, grid order
+  std::vector<int> processors;   ///< initial owner per shard, grid order
+  std::vector<int> pool;         ///< distinct processors eligible to own
   std::vector<int> grid_dims;    ///< processor-grid dimensions
-  std::vector<int> local_dims;   ///< local-section interior dimensions
+  std::vector<int> local_dims;   ///< uniform block dims (ceil-div)
   std::vector<int> borders;      ///< 2*ndims border sizes
-  std::vector<int> dims_plus;    ///< local dims including borders
+  std::vector<int> dims_plus;    ///< uniform block dims including borders
   Indexing indexing = Indexing::RowMajor;
   Indexing grid_indexing = Indexing::RowMajor;
-  std::shared_ptr<LocalSection> local;  ///< null on a non-owner (creator)
+  ShardMap shards;               ///< this replica's owner table
+  std::map<long long, ShardSection> sections;  ///< owned shards only
+  std::shared_ptr<ShardStats> stats;           ///< shared across replicas
+};
+
+/// A repartitioner proposal: move `shard` from its current owner to `to`.
+struct ShardMove {
+  long long shard = -1;
+  int from = -1;
+  int to = -1;
 };
 
 /// The distributed array manager for a whole machine.
@@ -59,6 +131,7 @@ class ArrayManager {
   /// empty, in which case foreign_borders specs fail with Status::Invalid.
   explicit ArrayManager(vp::Machine& machine,
                         BorderLookup border_lookup = nullptr);
+  ~ArrayManager();
 
   ArrayManager(const ArrayManager&) = delete;
   ArrayManager& operator=(const ArrayManager&) = delete;
@@ -79,7 +152,10 @@ class ArrayManager {
   // --- Library procedures (§4.2), each made "on" a processor. -------------
 
   /// am_user:create_array.  Creates the whole distributed array with one
-  /// request; local sections are zero-initialised.
+  /// request; local sections are zero-initialised.  When the decomposition
+  /// yields more cells than processors, shards wrap round-robin onto the
+  /// list.  TDP_DIST_SHARDS=N oversubscribes default 1-D block
+  /// decompositions to N shards (when N is a valid grid for the extent).
   Status create_array(int on_proc, ElemType type, const std::vector<int>& dims,
                       const std::vector<int>& processors,
                       const std::vector<DimSpec>& distrib,
@@ -99,31 +175,90 @@ class ArrayManager {
   Status write_element(int on_proc, ArrayId id, std::span<const int> indices,
                        const Scalar& value);
 
-  /// am_user:find_local.  Only meaningful on a processor that owns a local
-  /// section of the array.
+  /// am_user:find_local.  Only meaningful on a processor that owns at least
+  /// one shard; returns the lowest-ranked owned shard's section (identical
+  /// to the historical one-section-per-owner behaviour for un-migrated
+  /// arrays).
   Status find_local(int on_proc, ArrayId id, LocalSectionView& out);
+
+  /// find_local for one specific shard; NotFound when `on_proc` does not
+  /// currently own it.
+  Status find_local_shard(int on_proc, ArrayId id, long long shard,
+                          LocalSectionView& out);
 
   /// am_user:find_info.
   Status find_info(int on_proc, ArrayId id, InfoKind which, InfoValue& out);
 
-  /// am_user:read_section — snapshots the local-section *interior* on
-  /// `on_proc` as one immutable payload (elements in storage order, borders
-  /// stripped).  The bulk section-shipping path: the returned payload is
-  /// refcounted, so forwarding it to any number of consumers (a broadcast of
-  /// a section, a redistribution fan-out) costs zero further copies.
+  /// am_user:read_section — snapshots the interior of `on_proc`'s
+  /// lowest-ranked owned shard as one immutable payload (elements in
+  /// storage order, borders stripped).  The bulk section-shipping path: the
+  /// returned payload is refcounted, so forwarding it to any number of
+  /// consumers costs zero further copies.
   Status read_section(int on_proc, ArrayId id, vp::Payload& out);
 
-  /// am_user:write_section — overwrites the local-section interior on
-  /// `on_proc` from `data`, which must hold exactly interior_count *
-  /// elem_size bytes in storage order (the inverse of read_section; borders
-  /// are untouched).
+  /// am_user:write_section — overwrites the lowest-ranked owned shard's
+  /// interior on `on_proc` from `data`, which must hold exactly
+  /// interior_count * elem_size bytes in storage order (the inverse of
+  /// read_section; borders are untouched).
   Status write_section(int on_proc, ArrayId id, const vp::Payload& data);
+
+  /// Shard-addressed section read: snapshots shard `shard`'s interior,
+  /// wherever it lives.  When `on_proc`'s replica routes to a processor
+  /// that no longer owns the shard, the request follows the fresher owner
+  /// table there (counted in am.shard_forwards).
+  Status read_shard(int on_proc, ArrayId id, long long shard,
+                    vp::Payload& out);
+
+  /// Shard-addressed section write; the inverse of read_shard.
+  Status write_shard(int on_proc, ArrayId id, long long shard,
+                     const vp::Payload& data);
+
+  /// Resolves the current owner of `shard` as `on_proc`'s replica sees it.
+  Status shard_owner(int on_proc, ArrayId id, long long shard,
+                     int& owner_out, std::uint64_t& epoch_out);
 
   /// am_user:verify_array (§4.2.7): checks the indexing type and expected
   /// borders; on a border mismatch, reallocates every local section with the
   /// expected borders and copies all interior data.
   Status verify_array(int on_proc, ArrayId id, int n_dims,
                       const BorderSpec& expected, Indexing indexing);
+
+  // --- Migration and repartitioning. --------------------------------------
+
+  /// Moves shard `shard` to processor `to_proc`: quiesce the shard, ship
+  /// its storage zero-copy (vp::Payload::borrow over the quiesced section),
+  /// install it at the destination with one counted copy, flip every
+  /// replica's owner table to a new epoch, then release the source.
+  /// Idempotent: migrating a shard to its current owner is Status::Ok with
+  /// no work, so faulted retries are always safe.  Waits for in-flight
+  /// distributed calls that pinned the array's layout.
+  Status migrate_shard(int on_proc, ArrayId id, long long shard, int to_proc);
+
+  /// Computes moves that bring per-processor traffic (per the shard
+  /// counters accumulated since the last rebalance) within `max_ratio`
+  /// between the most- and least-loaded processors of the array's pool.
+  /// Pure planning — nothing moves.
+  Status propose_rebalance(int on_proc, ArrayId id, double max_ratio,
+                           std::vector<ShardMove>& moves_out);
+
+  /// propose_rebalance + migrate_shard for each move + reset of the
+  /// traffic window.  `moved_out` (optional) reports how many shards moved.
+  /// `max_ratio` <= 0 uses TDP_DIST_REBALANCE (no-op when that is unset
+  /// or 0 — rebalancing stays opt-in).
+  Status rebalance(int on_proc, ArrayId id, double max_ratio = 0.0,
+                   int* moved_out = nullptr);
+
+  /// TDP_DIST_REBALANCE as a double, 0 when unset/invalid (disabled).
+  static double env_rebalance_ratio();
+
+  // --- Repartition barrier (distributed-call integration). ----------------
+
+  /// Holds the array's placement fixed: migrate_shard blocks until every
+  /// pin is released.  core::DistributedCall pins the arrays its copies
+  /// resolve with find_local for the duration of the call, so a rebalance
+  /// can never move a section out from under a running program.
+  void pin_layout(ArrayId id);
+  void unpin_layout(ArrayId id);
 
   // --- Diagnostics. --------------------------------------------------------
 
@@ -133,6 +268,17 @@ class ArrayManager {
 
   /// Count of storage bytes currently allocated for local sections on p.
   std::size_t local_bytes_on(int p) const;
+
+  /// One row of the live shard-traffic probe (obs::Telemetry "dist" plane).
+  struct ShardTrafficRow {
+    ArrayId id;
+    long long shard = 0;
+    int owner = -1;
+    std::uint64_t bytes = 0;  ///< cumulative traffic this window
+  };
+
+  /// The hottest `limit` shards across all live arrays, by window traffic.
+  std::vector<ShardTrafficRow> hottest_shards(std::size_t limit) const;
 
  private:
   struct Node {
@@ -154,12 +300,31 @@ class ArrayManager {
   Status resolve_borders(const BorderSpec& spec, int ndims,
                          std::vector<int>& out) const;
 
-  /// create_local: installs a record (with storage when `owner`) on p.
-  void create_local(int p, const ArrayRecord& meta, bool owner);
+  /// create_local: installs a record on p with storage for `owned` shards.
+  void create_local(int p, const ArrayRecord& meta,
+                    const std::vector<long long>& owned);
 
-  /// copy_local (§5.1.1): reallocates p's local section with `new_borders`
-  /// and copies the interior; updates p's record metadata.
+  /// Allocates a zeroed section for `shard` per the record's geometry.
+  ShardSection make_section(const ArrayRecord& meta, long long shard) const;
+
+  /// copy_local (§5.1.1): reallocates p's shard sections with `new_borders`
+  /// and copies the interiors; updates p's record metadata.
   void copy_local(int p, ArrayId id, const std::vector<int>& new_borders);
+
+  /// The element/section access core: locks the owner the routing table
+  /// names, re-resolving through fresher replicas when the shard has moved
+  /// (stale-epoch forwarding) and retrying while a migration holds the
+  /// shard quiesced.  `fn` runs under the owner node's mutex with the
+  /// record and the shard's section; it must not block.
+  Status with_shard(ArrayRecord& meta, long long shard,
+                    const std::function<Status(ArrayRecord&, ShardSection&)>&
+                        fn);
+
+  /// Shared body of read_section/read_shard and write_section/write_shard.
+  Status read_shard_locked(const ArrayRecord& rec, const ShardSection& sec,
+                           vp::Payload& out);
+  Status write_shard_locked(ArrayRecord& rec, ShardSection& sec,
+                            const vp::Payload& data);
 
   /// Reports `status`, tracing the request first when tracing is on.
   Status traced(std::string_view op, int on_proc, ArrayId id,
@@ -170,6 +335,16 @@ class ArrayManager {
   TraceFn trace_;
   mutable std::mutex trace_mutex_;
   std::vector<Node> nodes_;
+
+  /// Repartition-barrier state: per-array pin counts and the set of arrays
+  /// with a migration in flight.  Pins block migrations; migrations block
+  /// new pins (but never element/section traffic, which quiesces per shard).
+  std::mutex pin_mutex_;
+  std::condition_variable pin_cv_;
+  std::map<ArrayId, int> pins_;
+  std::set<ArrayId> migrating_;
+  /// Serialises migrations so epoch bumps are totally ordered.
+  std::mutex migrate_mutex_;
 };
 
 }  // namespace tdp::dist

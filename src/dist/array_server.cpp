@@ -10,6 +10,49 @@ namespace tdp::dist {
 
 namespace {
 
+/// splitmix64 finaliser: a well-mixed 64-bit hash of its input, used to
+/// derive deterministic per-(seed, proc, attempt) jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, int proc,
+                               int attempt) {
+  if (attempt < 1 || policy.backoff_ms == 0) return 0;
+  // backoff_ms << (attempt - 1), with the shift clamped so a deep retry
+  // sequence cannot overflow 64-bit milliseconds into a tiny (or huge)
+  // sleep; the cap then bounds the result regardless.
+  const int shift = attempt - 1;
+  std::uint64_t delay;
+  if (shift >= 63 || policy.backoff_ms > (~0ULL >> shift)) {
+    delay = policy.max_backoff_ms;
+  } else {
+    delay = policy.backoff_ms << shift;
+  }
+  if (policy.max_backoff_ms > 0 && delay > policy.max_backoff_ms) {
+    delay = policy.max_backoff_ms;
+  }
+  if (policy.jitter_seed != 0 && delay > 1) {
+    // Deterministic jitter in [delay/2, delay]: requesters that collided
+    // on this attempt spread out, and the exact spread reproduces from the
+    // seed on every run.
+    const std::uint64_t h = mix64(
+        mix64(policy.jitter_seed ^ static_cast<std::uint64_t>(
+                                       static_cast<unsigned>(proc))) ^
+        static_cast<std::uint64_t>(static_cast<unsigned>(attempt)));
+    const std::uint64_t lo = delay / 2;
+    delay = lo + h % (delay - lo + 1);
+  }
+  return delay;
+}
+
+namespace {
+
 /// Issues `type` to `proc`'s server until a reply arrives or the policy is
 /// exhausted; returns the reply or an empty std::any on exhaustion.  The
 /// caller guarantees the request is idempotent.
@@ -30,7 +73,7 @@ std::any request_with_retry(vp::ServerSystem& servers, int proc,
                      static_cast<std::uint64_t>(attempt));
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(
-          policy.backoff_ms << (attempt - 1)));
+          retry_backoff_ms(policy, proc, attempt)));
     }
     pcn::Def<std::any> reply = servers.request(proc, type, params);
     const std::any* answer =
@@ -67,6 +110,90 @@ Status write_section_request(vp::ServerSystem& servers, int proc, ArrayId id,
   params.data = std::move(data);
   const std::any answer =
       request_with_retry(servers, proc, "write_section", params, policy);
+  const auto* reply = std::any_cast<StatusReply>(&answer);
+  return reply != nullptr ? reply->status : Status::Error;
+}
+
+namespace {
+
+/// The stale-epoch forwarding loop shared by the shard-addressed request
+/// helpers: issue against `proc`; while the reply is a forward pointer
+/// (no data, but a current owner that differs from where we asked),
+/// re-issue there.  Hop count is bounded — each hop lands on a strictly
+/// fresher table, so in practice one hop resolves any migration.
+constexpr int kMaxForwardHops = 8;
+
+Status shard_request_with_forwarding(vp::ServerSystem& servers, int proc,
+                                     const std::string& type,
+                                     ArrayId id, long long shard,
+                                     const vp::Payload* data_in,
+                                     vp::Payload* data_out,
+                                     const RetryPolicy& policy) {
+  static obs::ShardedCounter& forwards =
+      obs::Registry::instance().counter("am.shard_forwards");
+  int target = proc;
+  for (int hop = 0; hop < kMaxForwardHops; ++hop) {
+    std::any params;
+    if (data_in != nullptr) {
+      WriteShardRequest w;
+      w.id = id;
+      w.shard = shard;
+      w.data = *data_in;
+      params = std::move(w);
+    } else {
+      ReadShardRequest r;
+      r.id = id;
+      r.shard = shard;
+      params = std::move(r);
+    }
+    const std::any answer =
+        request_with_retry(servers, target, type, params, policy);
+    const auto* reply = std::any_cast<ShardReply>(&answer);
+    if (reply == nullptr) return Status::Error;  // attempts exhausted
+    if (ok(reply->status)) {
+      if (data_out != nullptr) *data_out = reply->data;
+      return reply->status;
+    }
+    if (reply->owner >= 0 && reply->owner != target) {
+      // The servicing processor does not own the shard: follow its table.
+      if (obs::enabled()) {
+        forwards.add();
+        obs::instant(obs::Op::AmShardForward, 0,
+                     static_cast<std::uint64_t>(shard), reply->epoch);
+      }
+      target = reply->owner;
+      continue;
+    }
+    return reply->status;
+  }
+  return Status::Error;
+}
+
+}  // namespace
+
+Status read_shard_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                          long long shard, vp::Payload& out,
+                          const RetryPolicy& policy) {
+  return shard_request_with_forwarding(servers, proc, "read_shard", id, shard,
+                                       nullptr, &out, policy);
+}
+
+Status write_shard_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                           long long shard, vp::Payload data,
+                           const RetryPolicy& policy) {
+  return shard_request_with_forwarding(servers, proc, "write_shard", id,
+                                       shard, &data, nullptr, policy);
+}
+
+Status migrate_shard_request(vp::ServerSystem& servers, int proc, ArrayId id,
+                             long long shard, int to_proc,
+                             const RetryPolicy& policy) {
+  MigrateShardRequest params;
+  params.id = id;
+  params.shard = shard;
+  params.to_proc = to_proc;
+  const std::any answer =
+      request_with_retry(servers, proc, "migrate_shard", params, policy);
   const auto* reply = std::any_cast<StatusReply>(&answer);
   return reply != nullptr ? reply->status : Status::Error;
 }
@@ -136,6 +263,56 @@ void install_array_manager(vp::ServerSystem& servers, ArrayManager& manager) {
     reply.status = p != nullptr ? am->write_section(vp::current_proc(), p->id,
                                                     p->data)
                                 : Status::Invalid;
+    req.reply.define(reply);
+  });
+
+  // Shard-addressed requests enforce the locality rule at the server: a
+  // processor answers only for shards its own table says it owns, and
+  // otherwise replies with a forward pointer (current owner + epoch) for
+  // the requester to chase.
+  servers.add_capability_all("read_shard", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<ReadShardRequest>(&req.parameters);
+    ShardReply reply;
+    if (p != nullptr) {
+      const int me = vp::current_proc();
+      reply.status = am->shard_owner(me, p->id, p->shard, reply.owner,
+                                     reply.epoch);
+      if (ok(reply.status)) {
+        reply.status = reply.owner == me
+                           ? am->read_shard(me, p->id, p->shard, reply.data)
+                           : Status::NotFound;  // forward: owner names where
+      }
+    } else {
+      reply.status = Status::Invalid;
+    }
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("write_shard", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<WriteShardRequest>(&req.parameters);
+    ShardReply reply;
+    if (p != nullptr) {
+      const int me = vp::current_proc();
+      reply.status = am->shard_owner(me, p->id, p->shard, reply.owner,
+                                     reply.epoch);
+      if (ok(reply.status)) {
+        reply.status = reply.owner == me
+                           ? am->write_shard(me, p->id, p->shard, p->data)
+                           : Status::NotFound;
+      }
+    } else {
+      reply.status = Status::Invalid;
+    }
+    req.reply.define(reply);
+  });
+
+  servers.add_capability_all("migrate_shard", [am](vp::ServerRequest& req) {
+    const auto* p = std::any_cast<MigrateShardRequest>(&req.parameters);
+    StatusReply reply;
+    reply.status = p != nullptr
+                       ? am->migrate_shard(vp::current_proc(), p->id,
+                                           p->shard, p->to_proc)
+                       : Status::Invalid;
     req.reply.define(reply);
   });
 

@@ -50,8 +50,8 @@ Status compute_grid(const std::vector<int>& dims, int nprocs,
         break;
     }
   }
-  if (specified_product > nprocs) return Status::Invalid;
-
+  // A fully-specified grid may exceed nprocs (oversharding): the extra
+  // cells wrap round-robin onto the processor list at placement time.
   if (unspecified > 0) {
     if (nprocs % specified_product != 0) return Status::Invalid;
     const long long quotient = nprocs / specified_product;
@@ -67,11 +67,16 @@ Status compute_grid(const std::vector<int>& dims, int nprocs,
   }
 
   for (std::size_t d = 0; d < n; ++d) {
-    if (grid_out[d] <= 0 || dims[d] % grid_out[d] != 0) {
+    if (grid_out[d] <= 0) return Status::Invalid;
+    // Uneven trailing blocks are fine; an *empty* trailing cell is not —
+    // with block = ceil(dims/grid), the first grid-1 cells must not already
+    // cover the whole dimension.
+    const long long block =
+        (static_cast<long long>(dims[d]) + grid_out[d] - 1) / grid_out[d];
+    if (static_cast<long long>(grid_out[d] - 1) * block >= dims[d]) {
       return Status::Invalid;
     }
   }
-  if (grid_cells(grid_out) > nprocs) return Status::Invalid;
   return Status::Ok;
 }
 
@@ -84,7 +89,24 @@ long long grid_cells(const std::vector<int>& grid) {
 std::vector<int> local_dims(const std::vector<int>& dims,
                             const std::vector<int>& grid) {
   std::vector<int> out(dims.size());
-  for (std::size_t d = 0; d < dims.size(); ++d) out[d] = dims[d] / grid[d];
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    out[d] = static_cast<int>(
+        (static_cast<long long>(dims[d]) + grid[d] - 1) / grid[d]);
+  }
+  return out;
+}
+
+std::vector<int> cell_dims(std::span<const int> dims,
+                           std::span<const int> grid,
+                           std::span<const int> grid_pos) {
+  std::vector<int> out(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    const long long block =
+        (static_cast<long long>(dims[d]) + grid[d] - 1) / grid[d];
+    const long long remaining =
+        static_cast<long long>(dims[d]) - grid_pos[d] * block;
+    out[d] = static_cast<int>(remaining < block ? remaining : block);
+  }
   return out;
 }
 

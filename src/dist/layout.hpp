@@ -23,20 +23,33 @@ namespace tdp::dist {
 ///     "specified" dimensions with product Q.
 ///   * every unspecified (plain block) dimension becomes
 ///     (nprocs/Q)^(1/#unspecified), which must be a positive integer.
-///   * with no unspecified dimensions, Q must not exceed nprocs.
-///   * every grid dimension must divide the corresponding array dimension
-///     (the thesis assumes this "for convenience"; we enforce it).
+///   * block sizes are ceil(dims[d] / grid[d]); the trailing cell in each
+///     dimension may be smaller (uneven blocks), but no grid dimension may
+///     leave the trailing cell empty.
+///   * the grid-cell count may exceed nprocs: cells beyond the processor
+///     list wrap round-robin onto it (oversharding — more shards than
+///     owners, the substrate for load-driven rebalancing).
 /// Returns Status::Invalid on any violation.
 Status compute_grid(const std::vector<int>& dims, int nprocs,
                     const std::vector<DimSpec>& spec,
                     std::vector<int>& grid_out);
 
-/// Number of grid cells = number of local sections = number of owners.
+/// Number of grid cells = number of local sections = number of shards.
 long long grid_cells(const std::vector<int>& grid);
 
-/// Local-section interior dimensions: dims[d] / grid[d] elementwise.
+/// Uniform block dimensions: ceil(dims[d] / grid[d]) elementwise.  All
+/// cells except the trailing one in each dimension have exactly this
+/// interior; index arithmetic (map_global/unmap_global) uses it uniformly.
 std::vector<int> local_dims(const std::vector<int>& dims,
                             const std::vector<int>& grid);
+
+/// The actual interior of the cell at `grid_pos`: the uniform block size
+/// clipped against the array bounds, min(block[d], dims[d] - pos*block[d]).
+/// Equal to local_dims() everywhere when every grid dimension divides the
+/// array dimension.
+std::vector<int> cell_dims(std::span<const int> dims,
+                           std::span<const int> grid,
+                           std::span<const int> grid_pos);
 
 /// Local-section dimensions including borders: interior[d] + borders[2d] +
 /// borders[2d+1].

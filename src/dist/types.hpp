@@ -94,7 +94,11 @@ using Scalar = std::variant<int, double>;
 double scalar_to_double(const Scalar& s);
 int scalar_to_int(const Scalar& s);
 
-/// Queries supported by find_info (§4.2.6).
+/// Queries supported by find_info (§4.2.6).  The Shard* kinds extend the
+/// thesis taxonomy for the power-of-two shard map: ShardCount is the number
+/// of shards (= grid cells), ShardOwners the current owner of each shard in
+/// shard-rank order, and OwnerEpoch the owner table's version — bumped on
+/// every migration so stale replicas are detectable.
 enum class InfoKind {
   Type,
   Dimensions,
@@ -105,8 +109,12 @@ enum class InfoKind {
   LocalDimensionsPlus,
   IndexingType,
   GridIndexingType,
+  ShardCount,
+  ShardOwners,
+  OwnerEpoch,
 };
 
-using InfoValue = std::variant<ElemType, std::vector<int>, Indexing>;
+using InfoValue =
+    std::variant<ElemType, std::vector<int>, Indexing, std::uint64_t>;
 
 }  // namespace tdp::dist

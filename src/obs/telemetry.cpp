@@ -134,6 +134,11 @@ void Telemetry::set_sched_probe(SchedProbe probe) {
   if (!sched_probe_) sched_track_ = SchedTrack{};
 }
 
+void Telemetry::set_dist_probe(DistProbe probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dist_probe_ = std::move(probe);
+}
+
 void Telemetry::note_stall(const std::string& report) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stalls_;
@@ -273,6 +278,17 @@ void Telemetry::tick_locked(std::uint64_t now) {
     sched_track_.primed = true;
   }
 
+  // Distributed-array plane: cumulative migration counts and the hottest
+  // shards by traffic in the current rebalance window.
+  if (dist_probe_) {
+    DistSample d = dist_probe_();
+    snap.dist.present = true;
+    snap.dist.migrations = d.migrations;
+    snap.dist.rebalances = d.rebalances;
+    snap.dist.forwards = d.forwards;
+    snap.dist.hottest = std::move(d.hottest);
+  }
+
   Tracer& tracer = Tracer::instance();
   snap.trace_recorded = tracer.recorded();
   snap.trace_dropped = tracer.dropped();
@@ -363,6 +379,11 @@ std::string Telemetry::render_prometheus() const {
         os << "tdp_sched_worker_run_frac{worker=\"" << i << "\"} "
            << fmt_double(snapshot_.sched.worker_run_frac[i]) << "\n";
       }
+    }
+    if (snapshot_.dist.present) {
+      os << "tdp_dist_shard_migrations " << snapshot_.dist.migrations << "\n";
+      os << "tdp_dist_rebalances " << snapshot_.dist.rebalances << "\n";
+      os << "tdp_dist_shard_forwards " << snapshot_.dist.forwards << "\n";
     }
     os << "tdp_calls_started " << CallTable::instance().started() << "\n";
     os << "tdp_calls_completed " << CallTable::instance().completed() << "\n";
@@ -455,6 +476,21 @@ std::string Telemetry::render_json() const {
       if (!first) os << ",";
       first = false;
       os << fmt_double(f);
+    }
+    os << "]}";
+  }
+
+  if (snapshot_.dist.present) {
+    os << ",\"dist\":{\"migrations\":" << snapshot_.dist.migrations
+       << ",\"rebalances\":" << snapshot_.dist.rebalances
+       << ",\"forwards\":" << snapshot_.dist.forwards << ",\"hot\":[";
+    first = true;
+    for (const DistSample::ShardRow& r : snapshot_.dist.hottest) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"array\":\"" << r.creator << ":" << r.seq
+         << "\",\"shard\":" << r.shard << ",\"owner\":" << r.owner
+         << ",\"bytes\":" << r.bytes << "}";
     }
     os << "]}";
   }

@@ -106,6 +106,31 @@ class Telemetry {
   /// The scheduler clears the probe (nullptr) before joining its workers.
   void set_sched_probe(SchedProbe probe);
 
+  /// One distributed-array sample, pulled from the probe the array manager
+  /// registers (obs must not depend on dist, so the data arrives through
+  /// this callback, mirroring the scheduler probe): cumulative shard
+  /// migration/rebalance/forward counts plus the hottest shards by traffic
+  /// accumulated in the current rebalance window.
+  struct DistSample {
+    std::uint64_t migrations = 0;  ///< shards migrated so far
+    std::uint64_t rebalances = 0;  ///< rebalance passes so far
+    std::uint64_t forwards = 0;    ///< stale-owner-table re-routes so far
+    struct ShardRow {
+      int creator = -1;  ///< ArrayId (creator processor, sequence number)
+      std::uint64_t seq = 0;
+      long long shard = 0;
+      int owner = -1;
+      std::uint64_t bytes = 0;  ///< traffic this window
+    };
+    std::vector<ShardRow> hottest;
+  };
+  using DistProbe = std::function<DistSample()>;
+
+  /// Installs/clears the distributed-array probe.  The array manager
+  /// registers itself on construction (when observability is on) and
+  /// clears the probe before destruction.
+  void set_dist_probe(DistProbe probe);
+
   /// The latest state across every series — what the exposition endpoint
   /// and tdp_top render.
   struct Snapshot {
@@ -133,6 +158,15 @@ class Telemetry {
       std::vector<double> worker_run_frac;  ///< busy fraction per worker
     };
     SchedState sched;
+    /// Distributed-array plane (present only while an ArrayManager lives).
+    struct DistState {
+      bool present = false;
+      std::uint64_t migrations = 0;
+      std::uint64_t rebalances = 0;
+      std::uint64_t forwards = 0;
+      std::vector<DistSample::ShardRow> hottest;
+    };
+    DistState dist;
     std::uint64_t trace_recorded = 0;
     std::uint64_t trace_dropped = 0;
     std::uint64_t trace_overwritten = 0;
@@ -242,6 +276,7 @@ class Telemetry {
   std::vector<VpTrack> vps_;
   SchedProbe sched_probe_;
   SchedTrack sched_track_;
+  DistProbe dist_probe_;
   int next_token_ = 1;
   std::uint64_t stalls_ = 0;
   std::string last_stall_;

@@ -98,6 +98,9 @@ const char* op_name(Op op) {
     case Op::AmVerify: return "am.verify_array";
     case Op::AmReadSection: return "am.read_section";
     case Op::AmWriteSection: return "am.write_section";
+    case Op::AmMigrate: return "am.migrate_shard";
+    case Op::AmRebalance: return "am.rebalance";
+    case Op::AmShardForward: return "am.shard_forward";
     case Op::DoAllCopy: return "do_all.copy";
     case Op::DpAssign: return "dp.multiple_assign";
     case Op::DpParallelFor: return "dp.parallel_for";
@@ -145,6 +148,9 @@ const char* op_category(Op op) {
     case Op::AmVerify:
     case Op::AmReadSection:
     case Op::AmWriteSection:
+    case Op::AmMigrate:
+    case Op::AmRebalance:
+    case Op::AmShardForward:
       return "am";
     case Op::DoAllCopy:
       return "do_all";

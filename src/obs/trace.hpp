@@ -71,6 +71,9 @@ enum class Op : std::uint16_t {
   AmVerify,        ///< array manager: verify_array
   AmReadSection,   ///< array manager: read_section (bulk interior snapshot)
   AmWriteSection,  ///< array manager: write_section (bulk interior overwrite)
+  AmMigrate,       ///< array manager: migrate_shard (arg1 = payload bytes)
+  AmRebalance,     ///< array manager: rebalance (arg1 = shards moved)
+  AmShardForward,  ///< a stale owner table re-routed a shard request
   DoAllCopy,       ///< core::do_all: one fanned-out copy
   DpAssign,        ///< dp::multiple_assign statement
   DpParallelFor,   ///< dp::parallel_for statement

@@ -45,6 +45,16 @@ class Payload {
   /// A zero-filled buffer of `n` bytes (tests, padding).
   static Payload zeros(std::size_t n);
 
+  /// Aliases `n` bytes at `data` inside storage kept alive by `keepalive`,
+  /// with no copy at all.  The caller must guarantee the bytes are not
+  /// mutated while any handle to this payload exists — the shard-migration
+  /// path earns that by quiescing the shard before borrowing its storage.
+  static Payload borrow(std::shared_ptr<const void> keepalive,
+                        const std::byte* data, std::size_t n) {
+    return Payload(
+        std::shared_ptr<const std::byte[]>(std::move(keepalive), data), n);
+  }
+
   const std::byte* data() const { return data_.get(); }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }

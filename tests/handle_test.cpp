@@ -115,8 +115,9 @@ TEST(ArrayHandle, BadDeclarationThrowsWithStatus) {
     EXPECT_EQ(e.status(), Status::Invalid);
   }
   try {
-    // 3 does not divide 16 into the default square grid of 4.
-    core::Array a(rt, {15}, rt.all_procs(), "(block)");
+    // 3 elements over the default grid of 4 would make every block
+    // ceil(3/4) = 1 and leave the trailing cell empty.
+    core::Array a(rt, {3}, rt.all_procs(), "(block)");
     FAIL() << "expected ArrayError";
   } catch (const core::ArrayError& e) {
     EXPECT_EQ(e.status(), Status::Invalid);

@@ -64,18 +64,35 @@ TEST(Grid, RejectsNonSquareDefault) {
   EXPECT_EQ(compute_grid({16, 16}, 8, blocks(2), grid), Status::Invalid);
 }
 
-TEST(Grid, RejectsNonDividingGridDimension) {
-  // §3.2.1.1 assumes each grid dimension divides the array dimension.
+TEST(Grid, AcceptsNonDividingGridDimension) {
+  // Uneven trailing blocks: 16 elements over 3 cells is blocks {6, 6, 4} —
+  // the uniform block is ceil(16/3) = 6 and the trailing cell is clipped.
   std::vector<int> grid;
   std::vector<DimSpec> spec{DimSpec::block_n(3)};
-  EXPECT_EQ(compute_grid({16}, 4, spec, grid), Status::Invalid);
+  ASSERT_EQ(compute_grid({16}, 4, spec, grid), Status::Ok);
+  EXPECT_EQ(grid, (std::vector<int>{3}));
+  EXPECT_EQ(local_dims({16}, grid), (std::vector<int>{6}));
+  EXPECT_EQ(cell_dims(std::vector<int>{16}, grid, std::vector<int>{0}),
+            (std::vector<int>{6}));
+  EXPECT_EQ(cell_dims(std::vector<int>{16}, grid, std::vector<int>{2}),
+            (std::vector<int>{4}));
 }
 
-TEST(Grid, RejectsOversizedGrid) {
-  // "3 by 3 process grid would not be acceptable" for 8 processors.
+TEST(Grid, RejectsGridWithEmptyTrailingCell) {
+  // 5 cells of ceil(16/5) = 4 would cover 16 elements in the first four
+  // cells and leave the fifth empty — that grid is rejected.
+  std::vector<int> grid;
+  std::vector<DimSpec> spec{DimSpec::block_n(5)};
+  EXPECT_EQ(compute_grid({16}, 8, spec, grid), Status::Invalid);
+}
+
+TEST(Grid, AcceptsOversizedGridAsOversharding) {
+  // A 3x3 grid over 8 processors used to be rejected; with sharded
+  // placement the ninth cell wraps round-robin onto the processor list.
   std::vector<int> grid;
   std::vector<DimSpec> spec{DimSpec::block_n(3), DimSpec::block_n(3)};
-  EXPECT_EQ(compute_grid({9, 9}, 8, spec, grid), Status::Invalid);
+  ASSERT_EQ(compute_grid({9, 9}, 8, spec, grid), Status::Ok);
+  EXPECT_EQ(grid_cells(grid), 9);
 }
 
 TEST(Grid, AcceptsGridSmallerThanProcessorCount) {

@@ -205,6 +205,32 @@ void render(std::ostream& os, const tdp::obs::json::Value& doc) {
     }
     os << "\n";
   }
+  // Distributed-array shard state: present only while the peer has a live
+  // ArrayManager (that is what registers the telemetry dist probe).
+  if (const Value* dist = doc.find("dist");
+      dist != nullptr && dist->type == Value::Type::Object) {
+    os << "shards: migrations="
+       << static_cast<std::uint64_t>(dist->num_or("migrations", 0.0))
+       << "  rebalances="
+       << static_cast<std::uint64_t>(dist->num_or("rebalances", 0.0))
+       << "  forwards="
+       << static_cast<std::uint64_t>(dist->num_or("forwards", 0.0));
+    if (const Value* hot = dist->find("hot");
+        hot != nullptr && hot->type == Value::Type::Array &&
+        !hot->array.empty()) {
+      os << "  hot=[";
+      for (std::size_t i = 0; i < hot->array.size(); ++i) {
+        const Value& row = hot->array[i];
+        if (row.type != Value::Type::Object) continue;
+        os << (i != 0 ? " " : "") << row.str_or("array") << "#"
+           << static_cast<long long>(row.num_or("shard", 0.0)) << "@p"
+           << static_cast<long long>(row.num_or("owner", -1.0)) << ":"
+           << static_cast<std::uint64_t>(row.num_or("bytes", 0.0)) << "B";
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
   os << "\n";
 
   // --- per-VP table -------------------------------------------------------
