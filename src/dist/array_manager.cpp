@@ -71,11 +71,17 @@ int env_shard_count() {
 /// one constructed wins, and only the owner clears it on destruction.
 std::atomic<ArrayManager*> g_dist_probe_owner{nullptr};
 
-/// Bounded retry window for shard routing: a request that keeps finding the
-/// shard quiesced (or its table stale with no fresher one to adopt) fails
-/// with Status::Error rather than stalling forever.
-constexpr int kMaxRouteAttempts = 4000;
-constexpr auto kRouteRetryDelay = std::chrono::microseconds(50);
+/// Deadline for a request parked on a quiesced shard.  Requesters wake on
+/// the migration-completion signal, so this bounds only pathological states
+/// (a shard that is nowhere); it can therefore be generous — a large-shard
+/// migration legitimately holds the quiesce for as long as its copy takes,
+/// and must not turn concurrent accesses into spurious failures.
+constexpr auto kQuiesceTimeout = std::chrono::seconds(10);
+
+/// Bound on migrate_shard's pin-drain wait.  A migration requested from
+/// code that itself holds a pin on the array can never be satisfied; the
+/// bound converts that self-deadlock into Status::Error.
+constexpr auto kPinDrainTimeout = std::chrono::seconds(2);
 
 }  // namespace
 
@@ -358,10 +364,28 @@ Status ArrayManager::free_array(int on_proc, ArrayId id) {
   return traced("free_array", on_proc, id, st);
 }
 
+std::uint64_t ArrayManager::route_gen() const {
+  return route_gen_.load(std::memory_order_acquire);
+}
+
+bool ArrayManager::wait_route_change(
+    std::uint64_t seen_gen,
+    std::chrono::steady_clock::time_point deadline) const {
+  std::unique_lock<std::mutex> lock(route_mutex_);
+  return route_cv_.wait_until(lock, deadline, [&] {
+    return route_gen_.load(std::memory_order_acquire) != seen_gen;
+  });
+}
+
 Status ArrayManager::with_shard(
     ArrayRecord& meta, long long shard,
     const std::function<Status(ArrayRecord&, ShardSection&)>& fn) {
-  for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+  const auto deadline = std::chrono::steady_clock::now() + kQuiesceTimeout;
+  for (;;) {
+    // Read the generation before inspecting the node: a migration that
+    // completes between the inspection and the wait below then wakes the
+    // wait immediately instead of being missed.
+    const std::uint64_t gen = route_gen();
     const int owner = meta.shards.owner_of(shard);
     {
       Node& n = node(owner);
@@ -375,7 +399,7 @@ Status ArrayManager::with_shard(
       }
       // The shard is not accessible here: either it has moved (this
       // replica's table is fresher than ours — adopt it and re-route) or a
-      // migration holds it quiesced (back off and retry).
+      // migration holds it quiesced (wait for it to finish).
       if (rec.shards.epoch > meta.shards.epoch) {
         meta.shards = rec.shards;
         if (obs::enabled()) {
@@ -383,14 +407,44 @@ Status ArrayManager::with_shard(
           obs::instant(obs::Op::AmShardForward, 0,
                        static_cast<std::uint64_t>(shard), rec.shards.epoch);
         }
-        continue;  // fresh table in hand: re-route without sleeping
+        continue;  // fresh table in hand: re-route without waiting
       }
     }
-    // Never sleep holding a node lock: the migration that will unblock us
+    // Never wait holding a node lock: the migration that will unblock us
     // needs it.
-    std::this_thread::sleep_for(kRouteRetryDelay);
+    if (!wait_route_change(gen, deadline)) return Status::Error;
   }
-  return Status::Error;
+}
+
+Status ArrayManager::with_sole_section(
+    int on_proc, ArrayId id,
+    const std::function<Status(ArrayRecord&, ShardSection&)>& fn) {
+  if (!machine_.valid_proc(on_proc)) return Status::Invalid;
+  const auto deadline = std::chrono::steady_clock::now() + kQuiesceTimeout;
+  for (;;) {
+    const std::uint64_t gen = route_gen();
+    {
+      Node& n = node(on_proc);
+      std::lock_guard<std::mutex> lock(n.mutex);
+      auto it = n.records.find(id);
+      if (it == n.records.end() || it->second.sections.empty()) {
+        return Status::NotFound;
+      }
+      ArrayRecord& rec = it->second;
+      // Owning several shards makes "the" local section ambiguous — which
+      // shard sections.begin() yields can change across migrations, so a
+      // read/write round-trip could silently target different data.
+      // Refuse rather than guess; callers address shards explicitly via
+      // read_shard/write_shard.
+      if (rec.sections.size() > 1) return Status::Invalid;
+      ShardSection& sec = rec.sections.begin()->second;
+      if (!sec.migrating) return fn(rec, sec);
+    }
+    // A migration holds the shard quiesced: its payload borrows the very
+    // storage `fn` would touch, so wait the migration out rather than race
+    // it.
+    if (!wait_route_change(gen, deadline)) return Status::Error;
+  }
 }
 
 Status ArrayManager::read_element(int on_proc, ArrayId id,
@@ -470,24 +524,36 @@ Status ArrayManager::find_local(int on_proc, ArrayId id,
   const Status st = [&]() -> Status {
       out = LocalSectionView{};
       if (!machine_.valid_proc(on_proc)) return Status::Invalid;
-      Node& n = node(on_proc);
-      std::lock_guard<std::mutex> lock(n.mutex);
-      auto it = n.records.find(id);
-      if (it == n.records.end() || it->second.sections.empty()) {
-        return Status::NotFound;
+      const auto deadline =
+          std::chrono::steady_clock::now() + kQuiesceTimeout;
+      for (;;) {
+        const std::uint64_t gen = route_gen();
+        {
+          Node& n = node(on_proc);
+          std::lock_guard<std::mutex> lock(n.mutex);
+          auto it = n.records.find(id);
+          if (it == n.records.end() || it->second.sections.empty()) {
+            return Status::NotFound;
+          }
+          // The lowest-ranked owned shard: for un-migrated arrays with one
+          // shard per owner this is *the* local section, exactly the
+          // historical behaviour.
+          const ArrayRecord& r = it->second;
+          const ShardSection& sec = r.sections.begin()->second;
+          if (!sec.migrating) {
+            out.type = r.type;
+            out.interior_dims = sec.interior;
+            out.borders = r.borders;
+            out.dims_plus = sec.dims_plus;
+            out.indexing = r.indexing;
+            out.section = sec.storage;
+            return Status::Ok;
+          }
+        }
+        // Migration in flight: handing out the quiesced storage would let
+        // the caller mutate the payload being shipped.  Wait it out.
+        if (!wait_route_change(gen, deadline)) return Status::Error;
       }
-      // The lowest-ranked owned shard: for un-migrated arrays with one
-      // shard per owner this is *the* local section, exactly the
-      // historical behaviour.
-      const ArrayRecord& r = it->second;
-      const ShardSection& sec = r.sections.begin()->second;
-      out.type = r.type;
-      out.interior_dims = sec.interior;
-      out.borders = r.borders;
-      out.dims_plus = sec.dims_plus;
-      out.indexing = r.indexing;
-      out.section = sec.storage;
-      return Status::Ok;
 
   }();
   return traced("find_local", on_proc, id, st);
@@ -501,20 +567,32 @@ Status ArrayManager::find_local_shard(int on_proc, ArrayId id, long long shard,
   const Status st = [&]() -> Status {
       out = LocalSectionView{};
       if (!machine_.valid_proc(on_proc)) return Status::Invalid;
-      Node& n = node(on_proc);
-      std::lock_guard<std::mutex> lock(n.mutex);
-      auto it = n.records.find(id);
-      if (it == n.records.end()) return Status::NotFound;
-      const ArrayRecord& r = it->second;
-      auto sit = r.sections.find(shard);
-      if (sit == r.sections.end()) return Status::NotFound;
-      out.type = r.type;
-      out.interior_dims = sit->second.interior;
-      out.borders = r.borders;
-      out.dims_plus = sit->second.dims_plus;
-      out.indexing = r.indexing;
-      out.section = sit->second.storage;
-      return Status::Ok;
+      const auto deadline =
+          std::chrono::steady_clock::now() + kQuiesceTimeout;
+      for (;;) {
+        const std::uint64_t gen = route_gen();
+        {
+          Node& n = node(on_proc);
+          std::lock_guard<std::mutex> lock(n.mutex);
+          auto it = n.records.find(id);
+          if (it == n.records.end()) return Status::NotFound;
+          const ArrayRecord& r = it->second;
+          auto sit = r.sections.find(shard);
+          if (sit == r.sections.end()) return Status::NotFound;
+          if (!sit->second.migrating) {
+            out.type = r.type;
+            out.interior_dims = sit->second.interior;
+            out.borders = r.borders;
+            out.dims_plus = sit->second.dims_plus;
+            out.indexing = r.indexing;
+            out.section = sit->second.storage;
+            return Status::Ok;
+          }
+        }
+        // Quiesced mid-migration: wait; once the move lands the section is
+        // erased here and the retry reports NotFound (no longer local).
+        if (!wait_route_change(gen, deadline)) return Status::Error;
+      }
 
   }();
   return traced("find_local", on_proc, id, st);
@@ -574,18 +652,12 @@ Status ArrayManager::read_section(int on_proc, ArrayId id, vp::Payload& out) {
                  &am_service_hist());
   const Status st = [&]() -> Status {
       out = vp::Payload();
-      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
-      Node& n = node(on_proc);
-      std::lock_guard<std::mutex> lock(n.mutex);
-      auto it = n.records.find(id);
-      if (it == n.records.end() || it->second.sections.empty()) {
-        return Status::NotFound;
-      }
-      Status st =
-          read_shard_locked(it->second, it->second.sections.begin()->second,
-                            out);
-      if (ok(st)) span.set_arg1(out.size());
-      return st;
+      return with_sole_section(
+          on_proc, id, [&](ArrayRecord& rec, ShardSection& sec) {
+            Status st = read_shard_locked(rec, sec, out);
+            if (ok(st)) span.set_arg1(out.size());
+            return st;
+          });
 
   }();
   return traced("read_section", on_proc, id, st);
@@ -597,18 +669,12 @@ Status ArrayManager::write_section(int on_proc, ArrayId id,
                  static_cast<std::uint64_t>(static_cast<unsigned>(on_proc)),
                  &am_service_hist());
   const Status st = [&]() -> Status {
-      if (!machine_.valid_proc(on_proc)) return Status::Invalid;
-      Node& n = node(on_proc);
-      std::lock_guard<std::mutex> lock(n.mutex);
-      auto it = n.records.find(id);
-      if (it == n.records.end() || it->second.sections.empty()) {
-        return Status::NotFound;
-      }
-      Status st = write_shard_locked(it->second,
-                                     it->second.sections.begin()->second,
-                                     data);
-      if (ok(st)) span.set_arg1(data.size());
-      return st;
+      return with_sole_section(
+          on_proc, id, [&](ArrayRecord& rec, ShardSection& sec) {
+            Status st = write_shard_locked(rec, sec, data);
+            if (ok(st)) span.set_arg1(data.size());
+            return st;
+          });
 
   }();
   return traced("write_section", on_proc, id, st);
@@ -804,28 +870,40 @@ Status ArrayManager::migrate_shard(int on_proc, ArrayId id, long long shard,
         return Status::Invalid;
       }
 
-      // Serialise migrations so owner-table epochs are totally ordered and
-      // any replica's table is current between migrations.
-      std::lock_guard<std::mutex> mig(migrate_mutex_);
-
-      ArrayRecord meta;
-      if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
-      if (shard < 0 || shard >= meta.shards.cells) return Status::Invalid;
-      const int from = meta.shards.owner_of(shard);
-      // Idempotent: a faulted retry of a migration that already completed
-      // finds the shard at its destination and succeeds with no work.
-      if (from == to_proc) return Status::Ok;
-
       // Repartition barrier: block new layout pins, drain existing ones.
+      // Runs before migrate_mutex_ is taken, so one array's pin wait never
+      // stalls other arrays' migrations; and the drain is bounded, so a
+      // migration requested from code that itself pins this array (which
+      // could never be satisfied) fails instead of self-deadlocking.
       {
         std::unique_lock<std::mutex> lock(pin_mutex_);
-        migrating_.insert(id);
-        pin_cv_.wait(lock, [&] {
+        ++migrating_[id];
+        const bool drained = pin_cv_.wait_for(lock, kPinDrainTimeout, [&] {
           auto it = pins_.find(id);
           return it == pins_.end() || it->second == 0;
         });
+        if (!drained) {
+          auto it = migrating_.find(id);
+          if (it != migrating_.end() && --it->second == 0) {
+            migrating_.erase(it);
+          }
+          lock.unlock();
+          pin_cv_.notify_all();
+          return Status::Error;
+        }
       }
       const Status mst = [&]() -> Status {
+        // Serialise migrations so owner-table epochs are totally ordered
+        // and any replica's table is current between migrations.
+        std::lock_guard<std::mutex> mig(migrate_mutex_);
+
+        ArrayRecord meta;
+        if (Status st = fetch_record(on_proc, id, meta); !ok(st)) return st;
+        if (shard < 0 || shard >= meta.shards.cells) return Status::Invalid;
+        const int from = meta.shards.owner_of(shard);
+        // Idempotent: a faulted retry of a migration that already completed
+        // finds the shard at its destination and succeeds with no work.
+        if (from == to_proc) return Status::Ok;
         // 1. Quiesce the shard at the source and borrow its storage
         //    zero-copy: element/section traffic sees `migrating` and backs
         //    off, which is what earns Payload::borrow's immutability
@@ -905,9 +983,17 @@ Status ArrayManager::migrate_shard(int on_proc, ArrayId id, long long shard,
       }();
       {
         std::lock_guard<std::mutex> lock(pin_mutex_);
-        migrating_.erase(id);
+        auto it = migrating_.find(id);
+        if (it != migrating_.end() && --it->second == 0) migrating_.erase(it);
       }
       pin_cv_.notify_all();
+      // Completion signal (success or failure): requesters parked on the
+      // quiesced shard re-check their route now instead of timing out.
+      {
+        std::lock_guard<std::mutex> lock(route_mutex_);
+        route_gen_.fetch_add(1, std::memory_order_release);
+      }
+      route_cv_.notify_all();
       return mst;
 
   }();

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -178,28 +179,35 @@ class ArrayManager {
   /// am_user:find_local.  Only meaningful on a processor that owns at least
   /// one shard; returns the lowest-ranked owned shard's section (identical
   /// to the historical one-section-per-owner behaviour for un-migrated
-  /// arrays).
+  /// arrays).  A shard held quiesced by an in-flight migration is waited
+  /// out, never handed to the caller.
   Status find_local(int on_proc, ArrayId id, LocalSectionView& out);
 
   /// find_local for one specific shard; NotFound when `on_proc` does not
-  /// currently own it.
+  /// currently own it.  Like find_local, waits out an in-flight migration
+  /// of the shard.
   Status find_local_shard(int on_proc, ArrayId id, long long shard,
                           LocalSectionView& out);
 
   /// am_user:find_info.
   Status find_info(int on_proc, ArrayId id, InfoKind which, InfoValue& out);
 
-  /// am_user:read_section — snapshots the interior of `on_proc`'s
-  /// lowest-ranked owned shard as one immutable payload (elements in
-  /// storage order, borders stripped).  The bulk section-shipping path: the
-  /// returned payload is refcounted, so forwarding it to any number of
-  /// consumers costs zero further copies.
+  /// am_user:read_section — snapshots the interior of `on_proc`'s sole
+  /// owned shard as one immutable payload (elements in storage order,
+  /// borders stripped).  The bulk section-shipping path: the returned
+  /// payload is refcounted, so forwarding it to any number of consumers
+  /// costs zero further copies.  When migration (or oversharding) has put
+  /// more than one shard on `on_proc`, "the" local section is ambiguous
+  /// and the request fails with Status::Invalid — address shards
+  /// explicitly via read_shard.  A shard quiesced by an in-flight
+  /// migration is waited out.
   Status read_section(int on_proc, ArrayId id, vp::Payload& out);
 
-  /// am_user:write_section — overwrites the lowest-ranked owned shard's
-  /// interior on `on_proc` from `data`, which must hold exactly
+  /// am_user:write_section — overwrites the sole owned shard's interior on
+  /// `on_proc` from `data`, which must hold exactly
   /// interior_count * elem_size bytes in storage order (the inverse of
-  /// read_section; borders are untouched).
+  /// read_section; borders are untouched).  Status::Invalid when `on_proc`
+  /// owns more than one shard, exactly like read_section.
   Status write_section(int on_proc, ArrayId id, const vp::Payload& data);
 
   /// Shard-addressed section read: snapshots shard `shard`'s interior,
@@ -231,7 +239,10 @@ class ArrayManager {
   /// replica's owner table to a new epoch, then release the source.
   /// Idempotent: migrating a shard to its current owner is Status::Ok with
   /// no work, so faulted retries are always safe.  Waits for in-flight
-  /// distributed calls that pinned the array's layout.
+  /// distributed calls that pinned the array's layout; the wait is bounded,
+  /// so a migration requested from code that itself pins this array (which
+  /// could never proceed) fails with Status::Error instead of
+  /// self-deadlocking.
   Status migrate_shard(int on_proc, ArrayId id, long long shard, int to_proc);
 
   /// Computes moves that bring per-processor traffic (per the shard
@@ -320,6 +331,25 @@ class ArrayManager {
                     const std::function<Status(ArrayRecord&, ShardSection&)>&
                         fn);
 
+  /// The legacy (section-addressed) access core: runs `fn` under `on_proc`'s
+  /// node mutex with its sole owned shard.  Invalid when the processor owns
+  /// more than one shard ("the" local section would be ambiguous); a shard
+  /// quiesced by an in-flight migration is waited out like with_shard does,
+  /// so legacy traffic can never race the migration payload.
+  Status with_sole_section(
+      int on_proc, ArrayId id,
+      const std::function<Status(ArrayRecord&, ShardSection&)>& fn);
+
+  /// The current route generation (bumped at every migration completion).
+  std::uint64_t route_gen() const;
+
+  /// Blocks until the route generation advances past `seen_gen` or
+  /// `deadline` passes; false on timeout.  Requesters parked on a quiesced
+  /// shard wait here instead of polling.
+  bool wait_route_change(
+      std::uint64_t seen_gen,
+      std::chrono::steady_clock::time_point deadline) const;
+
   /// Shared body of read_section/read_shard and write_section/write_shard.
   Status read_shard_locked(const ArrayRecord& rec, const ShardSection& sec,
                            vp::Payload& out);
@@ -336,15 +366,30 @@ class ArrayManager {
   mutable std::mutex trace_mutex_;
   std::vector<Node> nodes_;
 
-  /// Repartition-barrier state: per-array pin counts and the set of arrays
-  /// with a migration in flight.  Pins block migrations; migrations block
-  /// new pins (but never element/section traffic, which quiesces per shard).
+  /// Repartition-barrier state: per-array pin counts and, per array, the
+  /// count of migrations in flight (a count, not a set: concurrent
+  /// migrations of one array overlap at the barrier before serialising on
+  /// migrate_mutex_, and pins must stay blocked until the last one ends).
+  /// Pins block migrations; migrations block new pins (but never
+  /// element/section traffic, which quiesces per shard).
   std::mutex pin_mutex_;
   std::condition_variable pin_cv_;
   std::map<ArrayId, int> pins_;
-  std::set<ArrayId> migrating_;
-  /// Serialises migrations so epoch bumps are totally ordered.
+  std::map<ArrayId, int> migrating_;
+  /// Serialises migrations so epoch bumps are totally ordered.  Taken only
+  /// after the pin barrier clears, so one array's pin wait never stalls
+  /// other arrays' migrations.
   std::mutex migrate_mutex_;
+  /// Migration-completion signal: every finished migration (success or
+  /// failure) bumps the generation and wakes requesters parked on a
+  /// quiesced shard, replacing any fixed-window polling.  The generation
+  /// is atomic so the access hot path reads it without locking; the mutex
+  /// serialises only the park/notify handshake (the bump happens under it,
+  /// so a completion cannot slip between a waiter's predicate check and
+  /// its wait).
+  mutable std::mutex route_mutex_;
+  mutable std::condition_variable route_cv_;
+  std::atomic<std::uint64_t> route_gen_{0};
 };
 
 }  // namespace tdp::dist

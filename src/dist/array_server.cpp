@@ -30,7 +30,12 @@ std::uint64_t retry_backoff_ms(const RetryPolicy& policy, int proc,
   const int shift = attempt - 1;
   std::uint64_t delay;
   if (shift >= 63 || policy.backoff_ms > (~0ULL >> shift)) {
-    delay = policy.max_backoff_ms;
+    // Saturate: the unclamped product exceeds 64 bits, so stand in the
+    // largest delay the caller's sleep_for can represent (chrono's
+    // millisecond rep is signed) and let the cap below apply when set.
+    // Assigning max_backoff_ms here would yield 0 — a hot spin — whenever
+    // the cap is disabled, the exact failure the clamp guards against.
+    delay = ~0ULL >> 1;
   } else {
     delay = policy.backoff_ms << shift;
   }

@@ -59,6 +59,20 @@ TEST(RetryBackoff, DeepAttemptsCannotOverflowTheShift) {
   }
 }
 
+TEST(RetryBackoff, ShiftClampSaturatesWhenTheCapIsDisabled) {
+  dist::RetryPolicy policy;
+  policy.backoff_ms = 1000;
+  policy.max_backoff_ms = 0;  // cap disabled
+  // A clamped shift must saturate to a huge delay, not fall to 0: with the
+  // cap disabled a zero delay would turn the deepest retries — the ones
+  // backoff exists to pace — into a hot spin.
+  for (int attempt : {63, 64, 100, 1000}) {
+    const std::uint64_t d = dist::retry_backoff_ms(policy, 0, attempt);
+    EXPECT_GT(d, dist::retry_backoff_ms(policy, 0, 10)) << "attempt "
+                                                        << attempt;
+  }
+}
+
 TEST(RetryBackoff, JitterStaysInUpperHalfAndIsDeterministic) {
   dist::RetryPolicy policy;
   policy.backoff_ms = 64;
@@ -407,6 +421,110 @@ TEST_F(ShardMigrationTest, PinBlocksMigrationUntilUnpinned) {
   EXPECT_TRUE(migrated.load());
   EXPECT_EQ(shard_owners(0)[4], 1);
   expect_all_elements_readable(0);
+}
+
+// A migration requested while the caller itself holds a pin on the array
+// can never be satisfied; it must fail once the pin-drain wait times out
+// rather than self-deadlock (and must not wedge later migrations).
+TEST_F(ShardMigrationTest, MigrationUnderALivePinFailsBoundedNotDeadlocked) {
+  am_.pin_layout(id_);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(am_.migrate_shard(0, id_, 4, 1), Status::Error);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(8));  // bounded, not a stall
+  am_.unpin_layout(id_);
+  // The failed attempt left no residue: pins work and a retry completes.
+  am_.pin_layout(id_);
+  am_.unpin_layout(id_);
+  EXPECT_EQ(am_.migrate_shard(0, id_, 4, 1), Status::Ok);
+  EXPECT_EQ(shard_owners(0)[4], 1);
+  expect_all_elements_readable(0);
+}
+
+// The legacy (section-addressed) APIs refuse a processor that owns more
+// than one shard: which shard "the" local section denotes could change
+// across migrations, so a read/write round-trip could silently target
+// different data.  With exactly one owned shard they work as ever.
+TEST_F(ShardMigrationTest, LegacySectionApisRefuseAmbiguousMultiShardOwner) {
+  // Every processor starts with two shards (8 shards over 4 processors).
+  vp::Payload snap;
+  EXPECT_EQ(am_.read_section(0, id_, snap), Status::Invalid);
+  EXPECT_EQ(am_.write_section(0, id_, vp::Payload::zeros(2 * sizeof(double))),
+            Status::Invalid);
+
+  // Move shard 4 away: processor 0 now owns only shard 0 (elements 0..1),
+  // and the legacy round-trip is unambiguous again.
+  ASSERT_EQ(am_.migrate_shard(0, id_, 4, 1), Status::Ok);
+  ASSERT_EQ(am_.read_section(0, id_, snap), Status::Ok);
+  ASSERT_EQ(snap.size(), 2 * sizeof(double));
+  const double* d = reinterpret_cast<const double*>(snap.data());
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 1.25);
+  std::vector<double> repl{7.5, 8.5};
+  ASSERT_EQ(am_.write_section(
+                0, id_,
+                vp::Payload::copy_of(
+                    std::as_bytes(std::span<const double>(repl)))),
+            Status::Ok);
+  dist::Scalar v;
+  ASSERT_EQ(am_.read_element(2, id_, std::vector<int>{1}, v), Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 8.5);
+}
+
+// Legacy section traffic racing a migration of the same shard: a write
+// that lands must stick (never silently swallowed by the source teardown)
+// and a read must never observe a torn payload — writers and readers wait
+// out the quiesce instead of touching the borrowed storage.
+TEST_F(ShardMigrationTest, LegacySectionTrafficWaitsOutMigration) {
+  // Leave processor 0 with only shard 0 so the legacy APIs address it.
+  ASSERT_EQ(am_.migrate_shard(0, id_, 4, 1), Status::Ok);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread writer([this, &stop, &bad] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Both halves carry the same value, so any torn copy is visible.
+      const double val = static_cast<double>(++i);
+      std::vector<double> w{val, val};
+      const Status st = am_.write_section(
+          0, id_,
+          vp::Payload::copy_of(std::as_bytes(std::span<const double>(w))));
+      // Ok while processor 0 owns the shard, NotFound while it is away;
+      // anything else (a timeout, a torn write) is a failure.
+      if (st != Status::Ok && st != Status::NotFound) bad.fetch_add(1);
+      vp::Payload snap;
+      const Status rst = am_.read_section(0, id_, snap);
+      if (rst == Status::Ok) {
+        double halves[2];
+        std::memcpy(halves, snap.data(), sizeof(halves));
+        if (halves[0] != halves[1]) bad.fetch_add(1);
+      } else if (rst != Status::NotFound) {
+        bad.fetch_add(1);
+      }
+    }
+  });
+  for (int round = 0; round < 40; ++round) {
+    ASSERT_EQ(am_.migrate_shard(0, id_, 0, round % 2 == 0 ? 2 : 0),
+              Status::Ok);
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // Bring the shard home and prove a final write round-trips intact.
+  ASSERT_EQ(am_.migrate_shard(0, id_, 0, 0), Status::Ok);
+  std::vector<double> fin{41.5, 42.5};
+  ASSERT_EQ(am_.write_section(
+                0, id_,
+                vp::Payload::copy_of(
+                    std::as_bytes(std::span<const double>(fin)))),
+            Status::Ok);
+  dist::Scalar v;
+  ASSERT_EQ(am_.read_element(3, id_, std::vector<int>{0}, v), Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 41.5);
+  ASSERT_EQ(am_.read_element(3, id_, std::vector<int>{1}, v), Status::Ok);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 42.5);
 }
 
 // ---------------------------------------------------------- Rebalancer ----
