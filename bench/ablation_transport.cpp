@@ -1,0 +1,181 @@
+// ablation_transport — what does the process boundary cost?
+//
+// The same SpmdContext ping-pong runs over both delivery substrates:
+//
+//   pingpong_direct/N   two VPs in one process (direct mailbox post);
+//                       the echo peer is a thread
+//   pingpong_uds/N      two VPs in two processes (TDP_TRANSPORT=uds);
+//                       the echo peer is a forked rank, every message
+//                       framed onto a Unix-domain socket
+//
+// N is the payload size in bytes; ns_per_op is one full round trip (two
+// messages), and the bytes/s counter gives effective throughput at that
+// size.  The delta between the two families is the price of leaving the
+// address space: two syscalls + one payload copy each way, against the
+// direct path's pointer hand-off — multi-process deployment buys fault
+// isolation and real parallel address spaces at exactly this cost.
+//
+// Process model: the echo peer is this same binary re-exec'd with
+// TDP_BENCH_ROLE=echo (rank 1 of a 2-rank set); the benchmark parent is
+// rank 0.  An empty payload is the stop marker.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "spmd/context.hpp"
+#include "vp/machine.hpp"
+
+namespace {
+
+constexpr int kPing = 1;
+constexpr int kPong = 2;
+
+// One echo turn: bounce every ping back until the empty stop marker.
+void echo_loop(tdp::spmd::SpmdContext& ctx) {
+  for (;;) {
+    tdp::vp::Payload p = ctx.recv_payload(0, kPing);
+    if (p.size() == 0) return;
+    ctx.send_payload(0, kPong, std::move(p));
+  }
+}
+
+int echo_main() {
+  tdp::vp::Machine machine(tdp::spmd::env_size());
+  tdp::vp::ProcScope scope(tdp::spmd::env_rank());
+  tdp::spmd::SpmdContext ctx = tdp::spmd::context_from_env(machine);
+  echo_loop(ctx);
+  return 0;
+}
+
+void run_pingpong(benchmark::State& state, tdp::spmd::SpmdContext& ctx,
+                  std::size_t bytes) {
+  tdp::vp::Payload ball = tdp::vp::Payload::zeros(bytes);
+  for (auto _ : state) {
+    ctx.send_payload(1, kPing, ball);
+    ball = ctx.recv_payload(1, kPong);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes) * 2);
+  state.counters["payload_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_pingpong_direct(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  tdp::vp::Machine machine(2);
+  const std::uint64_t comm = tdp::vp::Machine::next_comm();
+  const std::vector<int> procs{0, 1};
+  std::thread echo([&machine, comm, &procs] {
+    tdp::vp::ProcScope scope(1);
+    tdp::spmd::SpmdContext ctx(machine, comm, procs, 1);
+    echo_loop(ctx);
+  });
+  {
+    tdp::vp::ProcScope scope(0);
+    tdp::spmd::SpmdContext ctx(machine, comm, procs, 0);
+    run_pingpong(state, ctx, bytes);
+    ctx.send_payload(1, kPing, tdp::vp::Payload());  // stop
+  }
+  echo.join();
+}
+
+void BM_pingpong_uds(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ =
+      std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+      "/tdp_bench_uds.XXXXXX";
+  std::vector<char> dirbuf(templ.begin(), templ.end());
+  dirbuf.push_back('\0');
+  if (mkdtemp(dirbuf.data()) == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string dir = dirbuf.data();
+
+  // The echo rank: this binary re-exec'd.  Environment built before fork.
+  std::vector<std::string> env = {
+      "TDP_BENCH_ROLE=echo", "TDP_TRANSPORT=uds", "TDP_RANK=1",
+      "TDP_SIZE=2",          "TDP_UDS_DIR=" + dir,
+  };
+  for (const char* keep :
+       {"PATH", "HOME", "TMPDIR", "TSAN_OPTIONS", "ASAN_OPTIONS"}) {
+    if (const char* v = std::getenv(keep); v != nullptr) {
+      env.push_back(std::string(keep) + "=" + v);
+    }
+  }
+  std::vector<char*> envp;
+  for (std::string& e : env) envp.push_back(e.data());
+  envp.push_back(nullptr);
+  static char argv0[] = "ablation_transport_echo";
+  char* child_argv[] = {argv0, nullptr};
+  const pid_t pid = fork();
+  if (pid < 0) {
+    state.SkipWithError("fork failed");
+    return;
+  }
+  if (pid == 0) {
+    execve("/proc/self/exe", child_argv, envp.data());
+    _exit(127);
+  }
+
+  // The parent is rank 0 of the same set.
+  ::setenv("TDP_TRANSPORT", "uds", 1);
+  ::setenv("TDP_RANK", "0", 1);
+  ::setenv("TDP_SIZE", "2", 1);
+  ::setenv("TDP_UDS_DIR", dir.c_str(), 1);
+  {
+    tdp::vp::Machine machine(2);
+    tdp::vp::ProcScope scope(0);
+    tdp::spmd::SpmdContext ctx = tdp::spmd::context_from_env(machine);
+    run_pingpong(state, ctx, bytes);
+    ctx.send_payload(1, kPing, tdp::vp::Payload());  // stop
+    // Machine teardown closes our sockets AFTER the stop frame is queued;
+    // SOCK_STREAM delivers buffered bytes before EOF, so the child sees
+    // the stop, not a truncated stream.
+  }
+  ::unsetenv("TDP_TRANSPORT");
+  ::unsetenv("TDP_RANK");
+  ::unsetenv("TDP_SIZE");
+  ::unsetenv("TDP_UDS_DIR");
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    state.SkipWithError("echo rank failed");
+  }
+  ::rmdir(dir.c_str());
+}
+
+BENCHMARK(BM_pingpong_direct)
+    ->Arg(64)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->UseRealTime();
+BENCHMARK(BM_pingpong_uds)
+    ->Arg(64)
+    ->Arg(4 << 10)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const char* role = std::getenv("TDP_BENCH_ROLE");
+      role != nullptr && role[0] != '\0') {
+    return echo_main();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::tdp::bench::JsonLineReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  return 0;
+}

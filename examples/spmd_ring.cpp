@@ -1,0 +1,134 @@
+// spmd_ring — one SPMD program, two substrates.
+//
+// Run it plain and the group is P threads in one process (the direct
+// transport).  Run it under the launcher and each copy is an OS process,
+// every message crossing a Unix-domain socket:
+//
+//   ./spmd_ring                                  # threads, direct post
+//   tdp_launch -n 4 ./spmd_ring                  # processes, UDS framing
+//
+// The program itself cannot tell: the same ring pass, barrier, allreduce,
+// broadcast and allgather run over SpmdContext either way — the point of
+// the transport boundary.  Every step verifies its result and any rank
+// that sees a wrong value exits non-zero, so the launcher's exit status is
+// a real end-to-end check.  With TDP_OBS=1 each process writes a
+// rank-qualified trace (tdp_trace.rank<k>.json); feed them all to
+// tdp_trace and the cross-process send/receive arrows pair up.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "spmd/context.hpp"
+#include "vp/machine.hpp"
+
+namespace {
+
+constexpr int kRingTag = 1;
+
+// Returns 0 on success; prints and returns 1 on any wrong value.
+int run_copy(tdp::spmd::SpmdContext& ctx) {
+  const int p = ctx.index();
+  const int n = ctx.nprocs();
+
+  // 1. Ring pass: each copy sends its rank around the ring n-1 hops and
+  //    must get its own value back.
+  int token = p;
+  for (int hop = 0; hop < n - 1; ++hop) {
+    // Even/odd phasing would also work, but send-then-receive is safe
+    // here: mailboxes buffer, so the ring cannot deadlock.  A per-hop tag
+    // keeps the pass correct under duplicate/reorder fault injection:
+    // selective receive then matches exactly the hop it awaits.
+    ctx.send_value((p + 1) % n, kRingTag + hop, token);
+    token = ctx.recv_value<int>((p - 1 + n) % n, kRingTag + hop);
+  }
+  const int expect_token = (p + 1) % n;
+  if (token != expect_token) {
+    std::fprintf(stderr, "rank %d: ring pass got %d, expected %d\n", p,
+                 token, expect_token);
+    return 1;
+  }
+
+  ctx.barrier();
+
+  // 2. Allreduce: sum of 0..n-1 on every copy.
+  const double sum = ctx.allreduce_sum(static_cast<double>(p));
+  const double expect_sum = static_cast<double>(n * (n - 1)) / 2.0;
+  if (sum != expect_sum) {
+    std::fprintf(stderr, "rank %d: allreduce_sum got %g, expected %g\n", p,
+                 sum, expect_sum);
+    return 1;
+  }
+
+  // 3. Broadcast: root 0 publishes a payload, everyone checks the bytes.
+  std::vector<std::byte> mine;
+  if (p == 0) {
+    for (int k = 0; k < 64; ++k) mine.push_back(static_cast<std::byte>(k));
+  }
+  tdp::vp::Payload got = ctx.broadcast_payload(
+      tdp::vp::Payload::copy_of(std::span<const std::byte>(mine)), 0);
+  if (got.size() != 64 ||
+      got.data()[63] != static_cast<std::byte>(63)) {
+    std::fprintf(stderr, "rank %d: broadcast payload wrong\n", p);
+    return 1;
+  }
+
+  // 4. Allgather: every copy contributes its square.
+  const int square = p * p;
+  const std::vector<int> all =
+      ctx.allgather(std::span<const int>(&square, 1));
+  for (int k = 0; k < n; ++k) {
+    if (all[static_cast<std::size_t>(k)] != k * k) {
+      std::fprintf(stderr, "rank %d: allgather[%d] = %d, expected %d\n", p,
+                   k, all[static_cast<std::size_t>(k)], k * k);
+      return 1;
+    }
+  }
+
+  ctx.barrier();
+  if (p == 0) {
+    std::printf("spmd_ring: %d copies OK (ring, barrier, allreduce, "
+                "broadcast, allgather)\n",
+                n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (tdp::spmd::launched_from_env()) {
+    // One rank of a tdp_launch set: the machine spans the launched world
+    // and this process runs exactly one copy.
+    tdp::vp::Machine machine(tdp::spmd::env_size());
+    tdp::vp::ProcScope scope(tdp::spmd::env_rank());
+    tdp::spmd::SpmdContext ctx = tdp::spmd::context_from_env(machine);
+    return run_copy(ctx);
+  }
+
+  // Single process: the classic in-process form, one thread per copy.
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (n < 1 || n > 64) {
+    std::fprintf(stderr, "usage: %s [copies (1..64)]\n", argv[0]);
+    return 2;
+  }
+  tdp::vp::Machine machine(n);
+  const std::uint64_t comm = tdp::vp::Machine::next_comm();
+  std::vector<int> procs;
+  for (int p = 0; p < n; ++p) procs.push_back(p);
+  std::vector<std::thread> threads;
+  std::vector<int> results(static_cast<std::size_t>(n), 0);
+  for (int p = 0; p < n; ++p) {
+    threads.emplace_back([&, p] {
+      tdp::vp::ProcScope scope(p);
+      tdp::spmd::SpmdContext ctx(machine, comm, procs, p);
+      results[static_cast<std::size_t>(p)] = run_copy(ctx);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const int r : results) {
+    if (r != 0) return r;
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 
 namespace tdp::dist {
 
@@ -61,10 +62,10 @@ bool contiguous_interior(const std::vector<int>& borders) {
 
 /// TDP_DIST_SHARDS: overshard default 1-D block decompositions to this many
 /// shards.  Read fresh on every creation so tests can flip it per-case.
+/// Checked parse: garbage and negative values warn loudly and read as 0
+/// (no oversharding) instead of silently flowing into grid math.
 int env_shard_count() {
-  const char* env = std::getenv("TDP_DIST_SHARDS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  return std::atoi(env);
+  return util::env_int32("TDP_DIST_SHARDS", 0, 0, 1 << 20);
 }
 
 /// At most one live ArrayManager feeds the telemetry dist probe; the last

@@ -154,6 +154,7 @@ void Injector::on_send(int src_vp, int dst, vp::Message&& m,
       } else if (u01(decision_word(plan_.seed, dst, seq, kSaltReorder)) <
                  plan_.reorder) {
         state.stash = std::move(m);
+        state.stash_since = std::chrono::steady_clock::now();
         stashed = true;
       }
     }
@@ -203,8 +204,56 @@ bool Injector::drop_request(int dst) {
   return false;
 }
 
+void Injector::start_stash_flusher(LateSink sink) {
+  if (plan_.reorder <= 0.0 || flusher_.joinable()) return;
+  late_sink_ = std::move(sink);
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void Injector::stop_stash_flusher() {
+  {
+    std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Injector::~Injector() { stop_stash_flusher(); }
+
+void Injector::flusher_loop() {
+  // How long a stash may hold a message waiting for a swap partner.  Long
+  // enough that back-to-back traffic still reorders, short enough that a
+  // final-message stash reads as a delay, not a loss.
+  constexpr auto kHold = std::chrono::milliseconds(25);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(flusher_mu_);
+      flusher_cv_.wait_for(lock, kHold / 5,
+                           [this] { return flusher_stop_; });
+      if (flusher_stop_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t dst = 0; dst < dsts_.size(); ++dst) {
+      std::optional<vp::Message> late;
+      {
+        std::lock_guard<std::mutex> lock(dsts_[dst]->stash_mutex);
+        if (dsts_[dst]->stash.has_value() &&
+            now - dsts_[dst]->stash_since >= kHold) {
+          late = std::move(dsts_[dst]->stash);
+          dsts_[dst]->stash.reset();
+        }
+      }
+      if (late.has_value()) {
+        late_sink_(static_cast<int>(dst), std::move(*late));
+      }
+    }
+  }
+}
+
 void Injector::drain(
     const std::function<void(int dst, vp::Message&&)>& deliver) {
+  stop_stash_flusher();
   for (std::size_t dst = 0; dst < dsts_.size(); ++dst) {
     std::optional<vp::Message> held;
     {

@@ -26,11 +26,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "fault/plan.hpp"
@@ -62,8 +65,29 @@ class Injector {
   /// placement, -1 when unplaced) to `dst`.  Calls `deliver` zero times
   /// (dropped, or stashed for reorder), once (normal, possibly after a
   /// delay), or twice (duplicated).  A stashed message is delivered right
-  /// after the next message bound for the same destination.
+  /// after the next message bound for the same destination — or by the
+  /// stash flusher once the hold deadline passes, if a flusher is running.
   void on_send(int src_vp, int dst, vp::Message&& m, const Deliver& deliver);
+
+  /// Delivery callback for stash-deadline flushes (needs the destination:
+  /// no originating on_send call is on the stack).
+  using LateSink = std::function<void(int dst, vp::Message&&)>;
+
+  /// Bounds how long a reorder stash can hold a message: a background
+  /// thread delivers any stash older than ~25 ms through `sink`.  Without
+  /// this, the LAST message a sender directs at some destination stays
+  /// stashed until teardown — an unplanned drop.  In-process that is
+  /// masked by other senders' traffic flushing the shared per-destination
+  /// stash, but with one injector per process (multi-process transport)
+  /// each injector sees only its own sends, so collectives would lose
+  /// their final hop and deadlock.  No-op unless the plan reorders.
+  void start_stash_flusher(LateSink sink);
+
+  /// Stops the stash flusher thread (idempotent; called by drain and the
+  /// destructor).  Any still-held stash stays for drain() to deliver.
+  void stop_stash_flusher();
+
+  ~Injector();
 
   /// Whether a server request addressed to processor `dst` is lost in
   /// transit (failed destination, or the plan's drop probability applied to
@@ -87,7 +111,10 @@ class Injector {
     std::atomic<std::uint64_t> req_seq{0};
     std::mutex stash_mutex;
     std::optional<vp::Message> stash;
+    std::chrono::steady_clock::time_point stash_since{};
   };
+
+  void flusher_loop();
 
   DstState& dst_state(int dst) {
     return *dsts_[static_cast<std::size_t>(dst)];
@@ -102,6 +129,12 @@ class Injector {
   std::atomic<std::uint64_t> dups_{0};
   std::atomic<std::uint64_t> reorders_{0};
   std::atomic<std::uint64_t> request_drops_{0};
+
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+  LateSink late_sink_;
+  std::thread flusher_;
 };
 
 }  // namespace tdp::fault

@@ -274,6 +274,18 @@ TraceReport analyze_trace(const std::vector<LoadedEvent>& events) {
   for (const LoadedEvent& e : events) {
     if (e.ph == "s") starts.insert(e.id);
     if (e.ph == "f") finishes.insert(e.id);
+    // The exporter only emits "s"/"f" for flows whose BOTH endpoints were
+    // in its own process, so a multi-process run's per-rank files carry no
+    // arrow for any cross-process message.  The raw flow ids survive in
+    // args on the send instant and the receive span, and next_flow_id
+    // makes them launch-unique — pair on those too, so merging rank files
+    // (tdp_trace tdp_trace.rank*.json) recovers cross-process arrows.
+    if (e.ph == "i" && e.name == "vp.send" && e.flow != 0) {
+      starts.insert(e.flow);
+    }
+    if (e.ph == "X" && e.name == "vp.recv" && e.flow != 0) {
+      finishes.insert(e.flow);
+    }
   }
   for (const std::uint64_t id : starts) {
     if (finishes.count(id) != 0) {

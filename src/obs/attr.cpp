@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 
 namespace tdp::obs {
 
@@ -38,10 +40,9 @@ CallTable& CallTable::instance() {
 }
 
 std::uint64_t CallTable::env_slow_ms() {
-  const char* env = std::getenv("TDP_OBS_SLOW_MS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  const long long v = std::atoll(env);
-  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  return static_cast<std::uint64_t>(
+      util::env_int("TDP_OBS_SLOW_MS", 0, 0,
+                    std::numeric_limits<long long>::max()));
 }
 
 void CallTable::set_slow_threshold_ms(std::uint64_t ms) {

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/atomic_print.hpp"
+#include "util/env.hpp"
 
 namespace tdp::obs {
 
@@ -260,12 +261,29 @@ void write_summary(std::ostream& os, const MachineStats* machine) {
   }
 }
 
+std::string per_rank_path(std::string path) {
+  static const long long rank =
+      util::env_int("TDP_RANK", -1, 0, 1 << 20);
+  if (rank < 0) return path;
+  const std::string suffix = ".rank" + std::to_string(rank);
+  const std::string ext = ".json";
+  if (path.size() >= ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+    path.insert(path.size() - ext.size(), suffix);
+  } else {
+    path += suffix;
+  }
+  return path;
+}
+
 void flush_at_shutdown(const MachineStats* machine) {
   if (!enabled()) return;
   g_flushed_at.store(Tracer::instance().recorded(),
                      std::memory_order_relaxed);
-  const char* path = std::getenv("TDP_OBS_TRACE");
-  if (path == nullptr || path[0] == '\0') path = "tdp_trace.json";
+  const char* env_path = std::getenv("TDP_OBS_TRACE");
+  const std::string path = per_rank_path(
+      env_path != nullptr && env_path[0] != '\0' ? env_path
+                                                 : "tdp_trace.json");
   bool wrote = false;
   {
     std::ofstream out(path, std::ios::trunc);

@@ -57,9 +57,17 @@ bool dump_flight_recorder(const std::string& path);
 /// mailbox queue depth.
 void write_summary(std::ostream& os, const MachineStats* machine = nullptr);
 
+/// Rank-qualifies an output path under a multi-process launch: with
+/// TDP_RANK set (tools/tdp_launch exports it), inserts ".rank<k>" before a
+/// trailing ".json" — "tdp_trace.json" -> "tdp_trace.rank2.json" — or
+/// appends it otherwise, so N rank processes sharing a working directory
+/// never clobber each other's trace/telemetry files.  Identity when
+/// TDP_RANK is unset.
+std::string per_rank_path(std::string path);
+
 /// Shutdown hook used by core::Runtime when enabled(): writes the Chrome
-/// trace to $TDP_OBS_TRACE (default "tdp_trace.json") and the summary to
-/// stderr.
+/// trace to $TDP_OBS_TRACE (default "tdp_trace.json", rank-qualified via
+/// per_rank_path under a multi-process launch) and the summary to stderr.
 void flush_at_shutdown(const MachineStats* machine = nullptr);
 
 /// Installs a std::atexit hook (once) that re-runs flush_at_shutdown if

@@ -4,6 +4,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "obs/attr.hpp"
@@ -12,6 +13,7 @@
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "util/atomic_print.hpp"
+#include "util/env.hpp"
 
 namespace tdp::obs {
 
@@ -23,8 +25,11 @@ std::atomic<int> g_dump_requested{0};
 
 std::string dump_prefix() {
   const char* env = std::getenv("TDP_OBS_DUMP");
-  return env != nullptr && env[0] != '\0' ? std::string(env)
-                                          : std::string("tdp_flight");
+  // Rank-qualified under a multi-process launch, like the shutdown trace:
+  // N ranks dumping into one directory must not clobber each other.
+  return per_rank_path(env != nullptr && env[0] != '\0'
+                           ? std::string(env)
+                           : std::string("tdp_flight"));
 }
 
 std::string sanitize_metric_name(const std::string& name) {
@@ -58,10 +63,9 @@ Telemetry& Telemetry::instance() {
 Telemetry::~Telemetry() { stop(); }
 
 std::uint64_t Telemetry::env_period_ms() {
-  const char* env = std::getenv("TDP_OBS_SAMPLE_MS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  const long long v = std::atoll(env);
-  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  return static_cast<std::uint64_t>(
+      util::env_int("TDP_OBS_SAMPLE_MS", 0, 0,
+                    std::numeric_limits<long long>::max()));
 }
 
 void Telemetry::start(std::uint64_t period_ms) {
@@ -75,6 +79,10 @@ void Telemetry::start(std::uint64_t period_ms) {
 }
 
 void Telemetry::stop() {
+  // Symmetric with telemetry_start_from_env: the sampler going away takes
+  // the SIGUSR1 dump handler with it, restoring whatever disposition the
+  // process had before (a no-op when we never installed one).
+  uninstall_dump_signal_handler();
   std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -601,11 +609,73 @@ std::string dump_flight_data(const char* reason) {
   return trace_ok ? trace_path : std::string();
 }
 
+#ifdef SIGUSR1
+namespace {
+
+// install/uninstall run from ordinary threads (never from the handler
+// itself), so a mutex is fine here; the handler touches only the atomic
+// request flag.
+std::mutex g_handler_mutex;
+bool g_handler_installed = false;      // guarded by g_handler_mutex
+struct sigaction g_previous_action;    // valid iff g_handler_installed
+
+extern "C" void tdp_dump_signal_handler(int) { request_flight_dump(); }
+
+}  // namespace
+#endif
+
 void install_dump_signal_handler() {
 #ifdef SIGUSR1
-  static std::atomic<bool> installed{false};
-  if (installed.exchange(true, std::memory_order_relaxed)) return;
-  std::signal(SIGUSR1, [](int) { request_flight_dump(); });
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  if (g_handler_installed) return;
+  // Never clobber a handler the host application registered: a library
+  // must not silently repurpose a signal its embedder already uses.
+  // SIG_IGN counts as registered — ignoring SIGUSR1 is a deliberate
+  // setting too.  (SIG_DFL for SIGUSR1 terminates the process, so taking
+  // it over strictly improves matters.)
+  struct sigaction current {};
+  if (sigaction(SIGUSR1, nullptr, &current) != 0) return;
+  const bool user_registered =
+      (current.sa_flags & SA_SIGINFO) != 0 || current.sa_handler != SIG_DFL;
+  if (user_registered) {
+    util::atomic_print_err(
+        "tdp::obs: SIGUSR1 already has a handler; flight-dump-on-signal "
+        "disabled (use obs::request_flight_dump() or the exposition "
+        "server's `dump` command instead)");
+    return;
+  }
+  struct sigaction ours {};
+  ours.sa_handler = &tdp_dump_signal_handler;
+  sigemptyset(&ours.sa_mask);
+  ours.sa_flags = SA_RESTART;
+  if (sigaction(SIGUSR1, &ours, &g_previous_action) == 0) {
+    g_handler_installed = true;
+  }
+#endif
+}
+
+void uninstall_dump_signal_handler() {
+#ifdef SIGUSR1
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  if (!g_handler_installed) return;
+  g_handler_installed = false;
+  // Restore the saved disposition only if ours is still current — if the
+  // application installed its own handler after us, leave it in place.
+  struct sigaction current {};
+  if (sigaction(SIGUSR1, nullptr, &current) != 0) return;
+  if ((current.sa_flags & SA_SIGINFO) == 0 &&
+      current.sa_handler == &tdp_dump_signal_handler) {
+    sigaction(SIGUSR1, &g_previous_action, nullptr);
+  }
+#endif
+}
+
+bool dump_signal_handler_installed() {
+#ifdef SIGUSR1
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  return g_handler_installed;
+#else
+  return false;
 #endif
 }
 

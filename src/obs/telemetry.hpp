@@ -306,7 +306,21 @@ bool service_flight_dump_request();
 /// Returns the trace path ("" when the file could not be written).
 std::string dump_flight_data(const char* reason);
 
-/// Installs the SIGUSR1 → request_flight_dump handler (once).
+/// Installs the SIGUSR1 → request_flight_dump handler, saving the
+/// previous disposition.  Skips installation (with one stderr note) when
+/// the application already registered a SIGUSR1 handler — the library
+/// never clobbers its embedder's signal, and ignores the call if a
+/// handler of ours is already in place.
 void install_dump_signal_handler();
+
+/// Restores the pre-install SIGUSR1 disposition, provided our handler is
+/// still the current one (an application handler installed after ours is
+/// left untouched).  No-op when install never ran or was skipped.
+/// Telemetry::stop calls this, so teardown is symmetric with
+/// telemetry_start_from_env.
+void uninstall_dump_signal_handler();
+
+/// True while our SIGUSR1 handler is installed (tests).
+bool dump_signal_handler_installed();
 
 }  // namespace tdp::obs

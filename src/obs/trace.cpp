@@ -10,6 +10,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "util/env.hpp"
 
 namespace tdp::obs {
 
@@ -74,7 +75,19 @@ std::uint64_t next_flow_id() {
               : Tracer::kShards - 1;
   const std::uint64_t seq =
       seqs[shard].v.fetch_add(1, std::memory_order_relaxed) + 1;
-  return ((static_cast<std::uint64_t>(shard) + 1) << 40) | seq;
+  // Under a multi-process launch (TDP_TRANSPORT=uds) every rank runs this
+  // same generator, so process-uniqueness is not enough: a flow id must be
+  // unique across the launched set or merged per-rank traces would pair
+  // the wrong send/receive arrows.  Fold the rank into bits 47..52 — six
+  // bits keeps ids below 2^53 (exact in JSON doubles); launches wider than
+  // 62 ranks alias rank bits, which degrades cross-rank pairing but never
+  // breaks within-rank ids.
+  static const std::uint64_t rank_bits = [] {
+    const long long rank = util::env_int("TDP_RANK", -1, 0, 1 << 20);
+    return rank >= 0 ? ((static_cast<std::uint64_t>(rank) + 1) & 0x3F) << 47
+                     : std::uint64_t{0};
+  }();
+  return rank_bits | ((static_cast<std::uint64_t>(shard) + 1) << 40) | seq;
 }
 
 const char* op_name(Op op) {
@@ -222,11 +235,11 @@ namespace {
 
 std::size_t default_shard_capacity() {
   // TDP_OBS_CAPACITY is the total record budget across all shards.
-  std::size_t total = std::size_t{1} << 19;  // 512Ki records ≈ 24 MiB max
-  if (const char* env = std::getenv("TDP_OBS_CAPACITY")) {
-    const long long v = std::atoll(env);
-    if (v > 0) total = static_cast<std::size_t>(v);
-  }
+  // Checked parse: garbage and non-positive budgets warn and keep the
+  // default instead of silently reading as 0.
+  const std::size_t total = static_cast<std::size_t>(
+      util::env_int("TDP_OBS_CAPACITY", std::int64_t{1} << 19, 1,
+                    std::int64_t{1} << 32));
   const std::size_t per_shard = total / Tracer::kShards;
   return per_shard < 1024 ? 1024 : per_shard;
 }

@@ -174,11 +174,13 @@ TraceMode trace_mode();
 /// runs, like Tracer::reset.
 void set_trace_mode(TraceMode mode);
 
-/// A fresh causal flow id, never 0.  Composed of the calling thread's
-/// virtual-processor shard and that shard's monotonic send sequence
-/// ((shard+1) << 40 | seq), so ids are process-unique, stay below 2^53
-/// (exact in JSON doubles), and encode per-VP send order — the trace
-/// context vp::Machine::send stamps into the message envelope.
+/// A fresh causal flow id, never 0.  Composed of the process's launch
+/// rank (when TDP_RANK is set), the calling thread's virtual-processor
+/// shard, and that shard's monotonic send sequence
+/// ((rank+1) << 47 | (shard+1) << 40 | seq), so ids are unique across a
+/// multi-process launch, stay below 2^53 (exact in JSON doubles), and
+/// encode per-VP send order — the trace context vp::Machine::send stamps
+/// into the message envelope.
 std::uint64_t next_flow_id();
 
 /// The process-wide trace buffer: kShards independent fixed-capacity

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+
+#include "util/env.hpp"
 
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -34,17 +37,15 @@ Watchdog& Watchdog::instance() {
 Watchdog::~Watchdog() { stop(); }
 
 std::uint64_t Watchdog::env_period_ms() {
-  const char* env = std::getenv("TDP_OBS_WATCHDOG_MS");
-  if (env == nullptr || env[0] == '\0') return 0;
-  const long long v = std::atoll(env);
-  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  return static_cast<std::uint64_t>(
+      util::env_int("TDP_OBS_WATCHDOG_MS", 0, 0,
+                    std::numeric_limits<long long>::max()));
 }
 
 std::uint64_t Watchdog::env_dump_cooldown_ms() {
-  const char* env = std::getenv("TDP_OBS_DUMP_COOLDOWN_MS");
-  if (env == nullptr || env[0] == '\0') return 30000;
-  const long long v = std::atoll(env);
-  return v >= 0 ? static_cast<std::uint64_t>(v) : 30000;
+  return static_cast<std::uint64_t>(
+      util::env_int("TDP_OBS_DUMP_COOLDOWN_MS", 30000, 0,
+                    std::numeric_limits<long long>::max()));
 }
 
 void Watchdog::reset_auto_dump_cooldown() {

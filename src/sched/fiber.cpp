@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "util/env.hpp"
+
 namespace tdp::sched {
 
 namespace {
@@ -27,19 +29,10 @@ std::size_t FiberStack::usable() const { return size - page_size(); }
 
 std::size_t fiber_stack_bytes() {
   static const std::size_t bytes = [] {
-    long kb = 256;
-    if (const char* env = std::getenv("TDP_SCHED_STACK_KB");
-        env != nullptr && env[0] != '\0') {
-      const long v = std::atol(env);
-      if (v >= 64) {
-        kb = v;
-      } else {
-        std::fprintf(stderr,
-                     "tdp::sched: ignoring TDP_SCHED_STACK_KB \"%s\" "
-                     "(minimum 64; using 256)\n",
-                     env);
-      }
-    }
+    // Checked parse: values below the 64 KiB floor (and garbage) warn and
+    // fall back to the 256 KiB default.
+    const long long kb =
+        util::env_int("TDP_SCHED_STACK_KB", 256, 64, 1LL << 22);
     const std::size_t page = page_size();
     const std::size_t raw = static_cast<std::size_t>(kb) * 1024;
     return (raw + page - 1) / page * page;

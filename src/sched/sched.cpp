@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "sched/fiber.hpp"
+#include "util/env.hpp"
 
 // Sanitizer fiber annotations: without them TSan sees one thread's history
 // teleport onto another when a fiber migrates between workers, and ASan's
@@ -734,14 +735,10 @@ void unforce_sched_mode() {
 
 std::size_t worker_count() {
   static const std::size_t count = [] {
-    if (const char* env = std::getenv("TDP_SCHED_WORKERS");
-        env != nullptr && env[0] != '\0') {
-      const long v = std::atol(env);
-      if (v > 0) return static_cast<std::size_t>(v);
-      std::fprintf(stderr,
-                   "tdp::sched: ignoring invalid TDP_SCHED_WORKERS \"%s\"\n",
-                   env);
-    }
+    // Checked parse (util::env_int): garbage or non-positive values warn
+    // loudly and fall back to the hardware default instead of reading as 0.
+    const long long v = util::env_int("TDP_SCHED_WORKERS", 0, 1, 1 << 16);
+    if (v > 0) return static_cast<std::size_t>(v);
     const unsigned hw = std::thread::hardware_concurrency();
     return static_cast<std::size_t>(hw > 2 ? hw : 2);
   }();

@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "util/env.hpp"
 #include "vp/payload.hpp"
 
 namespace tdp::spmd {
@@ -13,12 +15,10 @@ namespace tdp::spmd {
 namespace {
 
 long long env_recv_timeout_ms() {
-  static const long long cached = [] {
-    const char* env = std::getenv("TDP_RECV_TIMEOUT_MS");
-    if (env == nullptr || env[0] == '\0') return 0LL;
-    const long long v = std::atoll(env);
-    return v > 0 ? v : 0LL;
-  }();
+  // Checked parse: a mistyped deadline warns and reads as "wait forever"
+  // instead of silently parsing its numeric prefix.
+  static const long long cached = util::env_int(
+      "TDP_RECV_TIMEOUT_MS", 0, 0, std::numeric_limits<long long>::max());
   return cached;
 }
 
@@ -34,6 +34,41 @@ long long recv_timeout_ms() {
 
 void set_recv_timeout_ms(long long ms) {
   g_timeout_override.store(ms, std::memory_order_relaxed);
+}
+
+bool launched_from_env() {
+  const char* kind = std::getenv("TDP_TRANSPORT");
+  if (kind == nullptr || std::strcmp(kind, "uds") != 0) return false;
+  const int rank = env_rank();
+  const int size = env_size();
+  return rank >= 0 && size >= 1 && rank < size;
+}
+
+int env_rank() { return util::env_int32("TDP_RANK", -1, 0, 1 << 20); }
+
+int env_size() { return util::env_int32("TDP_SIZE", -1, 1, 1 << 20); }
+
+std::uint64_t env_comm() {
+  return static_cast<std::uint64_t>(
+      util::env_int("TDP_COMM", 1, 1, std::numeric_limits<long long>::max()));
+}
+
+SpmdContext context_from_env(vp::Machine& machine) {
+  if (!launched_from_env()) {
+    throw std::runtime_error(
+        "tdp::spmd::context_from_env: not launched (TDP_TRANSPORT=uds with "
+        "TDP_RANK/TDP_SIZE is required; see tools/tdp_launch)");
+  }
+  const int size = env_size();
+  if (machine.nprocs() != size) {
+    throw std::runtime_error(
+        "tdp::spmd::context_from_env: Machine has " +
+        std::to_string(machine.nprocs()) + " processors but TDP_SIZE=" +
+        std::to_string(size));
+  }
+  std::vector<int> procs(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) procs[static_cast<std::size_t>(i)] = i;
+  return SpmdContext(machine, env_comm(), std::move(procs), env_rank());
 }
 
 SpmdContext::SpmdContext(vp::Machine& machine, std::uint64_t comm,
@@ -93,12 +128,24 @@ vp::Payload SpmdContext::recv_payload(int src_index, int tag) {
   }
   const long long timeout = recv_timeout_ms();
   vp::Mailbox& box = machine_.mailbox(proc());
-  vp::Message m =
-      timeout > 0
-          ? box.receive_for(vp::MessageClass::DataParallel, comm_, tag,
-                            src_index, static_cast<std::uint64_t>(timeout))
-          : box.receive(vp::MessageClass::DataParallel, comm_, tag,
-                        src_index);
+  vp::Message m;
+  try {
+    m = timeout > 0
+            ? box.receive_for(vp::MessageClass::DataParallel, comm_, tag,
+                              src_index, static_cast<std::uint64_t>(timeout))
+            : box.receive(vp::MessageClass::DataParallel, comm_, tag,
+                          src_index);
+  } catch (const vp::ReceiveTimeout& t) {
+    // Over a multi-process transport, a deadline is often secondary damage:
+    // the peer process died and its message will never come.  Fold the
+    // transport's peer-health roll into the error so the failure names the
+    // dead rank instead of reading like an ordinary lost message.
+    const std::string note = machine_.transport_diagnostic();
+    if (note.empty()) throw;
+    throw vp::ReceiveTimeout(std::string(t.what()) + " [" + note + "]",
+                             t.owner, t.has_detail, t.cls, t.comm, t.tag,
+                             t.src);
+  }
   if (m.poison_origin >= 0) {
     throw coll::Poisoned(
         "tdp::spmd: collective poisoned: copy " +

@@ -42,6 +42,44 @@ long long recv_timeout_ms();
 /// embedders).  Negative restores the environment value.
 void set_recv_timeout_ms(long long ms);
 
+// --- Multi-process bootstrap (TDP_TRANSPORT=uds). ---------------------------
+//
+// tools/tdp_launch forks one OS process per rank with TDP_RANK, TDP_SIZE,
+// TDP_UDS_DIR and TDP_TRANSPORT=uds in the environment.  A program that
+// wants to run both ways (threads in one process, or one process per rank
+// under the launcher) branches on launched_from_env():
+//
+//   vp::Machine machine(spmd::launched_from_env() ? spmd::env_size() : P);
+//   if (spmd::launched_from_env()) {
+//     spmd::SpmdContext ctx = spmd::context_from_env(machine);
+//     run(ctx);                       // this process is one rank
+//   } else {
+//     ...spawn P threads, each with its own SpmdContext...
+//   }
+
+/// True when this process was launched as one rank of a multi-process set
+/// (TDP_TRANSPORT=uds with a valid TDP_RANK/TDP_SIZE pair).
+bool launched_from_env();
+
+/// This process's rank per TDP_RANK, or -1 when not launched.
+int env_rank();
+
+/// The launched world size per TDP_SIZE, or -1 when not launched.
+int env_size();
+
+/// The communicator id the launched group agrees on: TDP_COMM, default 1.
+/// Machine::next_comm() cannot serve here — each rank process has its own
+/// counter, and a communicator must be identical across the group.
+std::uint64_t env_comm();
+
+class SpmdContext;
+
+/// The context of this rank within the launched group: index = TDP_RANK,
+/// processors = [0, TDP_SIZE), comm = env_comm().  `machine` must have
+/// been constructed with env_size() processors (so its transport attached
+/// to the launched set).  Throws std::runtime_error when not launched.
+SpmdContext context_from_env(vp::Machine& machine);
+
 class SpmdContext {
  public:
   /// Constructs the context of copy `index` of a call distributed over

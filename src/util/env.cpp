@@ -1,0 +1,46 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "util/atomic_print.hpp"
+
+namespace tdp::util {
+
+bool parse_int(const char* value, long long& out) {
+  if (value == nullptr || value[0] == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+long long env_int(const char* name, long long fallback, long long min,
+                  long long max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  long long v = 0;
+  if (!parse_int(value, v)) {
+    atomic_print_err(std::string("tdp: ignoring malformed ") + name + "=\"" +
+                     value + "\" (not an integer); using " +
+                     std::to_string(fallback));
+    return fallback;
+  }
+  if (v < min || v > max) {
+    atomic_print_err(std::string("tdp: ignoring out-of-range ") + name + "=" +
+                     value + " (accepted range [" + std::to_string(min) +
+                     ", " + std::to_string(max) + "]); using " +
+                     std::to_string(fallback));
+    return fallback;
+  }
+  return v;
+}
+
+int env_int32(const char* name, int fallback, int min, int max) {
+  return static_cast<int>(env_int(name, fallback, min, max));
+}
+
+}  // namespace tdp::util

@@ -1,0 +1,45 @@
+// Checked integer parsing for TDP_* environment variables.
+//
+// The runtime is configured almost entirely through environment variables,
+// and several call sites had grown their own ad-hoc `atoi`/`atol` reads —
+// under which garbage silently parses as 0, trailing junk is ignored, and
+// out-of-range values wrap.  A misspelt `TDP_DIST_SHARDS=1O` then silently
+// disables oversharding instead of failing loudly.  This helper is the one
+// blessed integer read, modeled on fault/plan.cpp's strict strtoull
+// parsing: the whole string must parse, the value must sit inside the
+// caller's [min, max] contract, and every reject prints one warning naming
+// the variable, the offending value, and the fallback actually used.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tdp::util {
+
+/// Reads environment variable `name` as a base-10 integer.
+///
+///  * unset or empty -> `fallback`, silently (absence is not an error);
+///  * the ENTIRE value must parse (no trailing junk) and lie in
+///    [min, max]; otherwise a loud one-line warning naming the variable,
+///    the rejected value, and the accepted range goes to stderr (through
+///    util::atomic_print_err) and `fallback` is returned.
+///
+/// The value is read fresh on every call — call sites that want
+/// read-once-and-cache semantics keep their own `static` (several do, so
+/// tests can flip variables per-case where the contract allows it).
+long long env_int(const char* name, long long fallback,
+                  long long min = std::numeric_limits<long long>::min(),
+                  long long max = std::numeric_limits<long long>::max());
+
+/// env_int narrowed to `int` bounds (the common case: processor counts,
+/// shard counts, sizes in KiB).
+int env_int32(const char* name, int fallback,
+              int min = std::numeric_limits<int>::min(),
+              int max = std::numeric_limits<int>::max());
+
+/// Strict full-string parse of `value` as a base-10 long long; returns
+/// false on empty input, trailing junk, or overflow.  The primitive under
+/// env_int, exposed for parsers that report their own errors.
+bool parse_int(const char* value, long long& out);
+
+}  // namespace tdp::util

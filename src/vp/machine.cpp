@@ -29,6 +29,22 @@ Machine::Machine(int nprocs) {
   if (fault::Plan plan = fault::Plan::from_env(); plan.active()) {
     injector_ = std::make_unique<fault::Injector>(std::move(plan), nprocs);
   }
+  // The in-process delivery leg both backends share: the direct transport
+  // calls it for every message, the socket transport for its own rank's
+  // traffic and for every deserialized inbound frame.
+  transport_ = make_transport_from_env(
+      nprocs, [this](int dst, Message&& m) {
+        mailboxes_[static_cast<std::size_t>(dst)]->post(std::move(m));
+        count_delivery(dst);
+      });
+  // The flusher bounds how long a reorder stash may hold a message: each
+  // process runs its own injector, so without it the last message a
+  // process sends toward a destination would stay stashed forever.
+  if (injector_) {
+    injector_->start_stash_flusher([this](int dst, Message&& m) {
+      transport_->deliver(dst, std::move(m));
+    });
+  }
   if (obs::enabled()) {
     obs::Watchdog& wd = obs::Watchdog::instance();
     obs::Telemetry& tel = obs::Telemetry::instance();
@@ -60,13 +76,16 @@ Machine::~Machine() {
     for (int token : telemetry_tokens_) tel.remove_vp_source(token);
   }
   // Flush any messages the injector held back for reordering; an unflushed
-  // stash would act as an unplanned drop.
+  // stash would act as an unplanned drop.  Drain through the transport so
+  // a remote-bound stash still crosses the wire.
   if (injector_) {
     injector_->drain([this](int dst, Message&& m) {
-      mailboxes_[static_cast<std::size_t>(dst)]->post(std::move(m));
-      count_delivery(dst);
+      transport_->deliver(dst, std::move(m));
     });
   }
+  // Stop reader/acceptor threads BEFORE closing mailboxes: a reader that
+  // outlived the mailboxes would post into freed memory.
+  transport_->shutdown();
   for (auto& mb : mailboxes_) mb->close();
 }
 
@@ -74,6 +93,11 @@ void Machine::set_fault_plan(const fault::Plan& plan) {
   injector_ = plan.active()
                   ? std::make_unique<fault::Injector>(plan, nprocs())
                   : nullptr;
+  if (injector_) {
+    injector_->start_stash_flusher([this](int dst, Message&& m) {
+      transport_->deliver(dst, std::move(m));
+    });
+  }
 }
 
 Mailbox& Machine::mailbox(int dst) {
@@ -84,7 +108,9 @@ Mailbox& Machine::mailbox(int dst) {
 }
 
 void Machine::send(int dst, Message m) {
-  Mailbox& box = mailbox(dst);
+  if (!valid_proc(dst)) {
+    throw std::out_of_range("Machine::send: bad processor number");
+  }
   if (obs::enabled()) {
     // Stamp the trace context and emit the send instant BEFORE posting:
     // the receiver may match the message the moment it is queued, and the
@@ -97,16 +123,16 @@ void Machine::send(int dst, Message m) {
   if (injector_) {
     // The sender's identity is the calling thread's placement, NOT m.src:
     // for data-parallel traffic m.src is the group index within the call,
-    // not a processor number.
+    // not a processor number.  Faults fire at the send boundary, before
+    // the message reaches the transport: a drop never touches the wire, a
+    // delay holds the sender, a duplicate is framed twice.
     injector_->on_send(current_proc(), dst, std::move(m),
-                       [&box, this, dst](Message&& routed) {
-                         box.post(std::move(routed));
-                         count_delivery(dst);
+                       [this, dst](Message&& routed) {
+                         transport_->deliver(dst, std::move(routed));
                        });
     return;
   }
-  box.post(std::move(m));
-  count_delivery(dst);
+  transport_->deliver(dst, std::move(m));
 }
 
 // The canonical placement thread-local lives in the obs layer so tracing

@@ -24,6 +24,7 @@
 #include "fault/inject.hpp"
 #include "obs/metrics.hpp"
 #include "vp/mailbox.hpp"
+#include "vp/transport.hpp"
 
 namespace tdp::vp {
 
@@ -54,6 +55,20 @@ class Machine {
   /// passes through the injector, which may drop, delay, duplicate, or
   /// reorder it (every injected fault is traced as a fault.* event).
   void send(int dst, Message m);
+
+  /// The delivery backend under send(): the in-process direct post by
+  /// default, or the multi-process socket transport when TDP_TRANSPORT=uds
+  /// (see vp/transport.hpp).
+  Transport& transport() { return *transport_; }
+
+  /// True when some processors of this machine live in other OS processes
+  /// (i.e. the transport is remote).
+  bool transport_remote() const { return transport_->remote(); }
+
+  /// The transport's peer-health note, empty when healthy.  Receive
+  /// timeouts append it so a deadline caused by a dead peer process names
+  /// the dead rank.
+  std::string transport_diagnostic() const { return transport_->diagnose(); }
 
   /// The active fault injector, or nullptr when no plan is in effect.
   /// Non-send fault points (e.g. server-request drops in vp::ServerSystem)
@@ -97,6 +112,10 @@ class Machine {
   std::vector<int> watchdog_tokens_;
   std::vector<int> telemetry_tokens_;
   std::unique_ptr<fault::Injector> injector_;  // nullptr = no active plan
+  // Declared last: the transport's reader threads post into mailboxes_
+  // through the LocalDeliver closure, so it must be torn down first.  The
+  // destructor also shuts it down explicitly before closing mailboxes.
+  std::unique_ptr<Transport> transport_;
 };
 
 /// The virtual processor the calling process is placed on, or -1 when the

@@ -1,0 +1,197 @@
+#include "vp/transport.hpp"
+
+#include <cstring>
+
+#include "util/atomic_print.hpp"
+#include "util/env.hpp"
+
+namespace tdp::vp {
+
+namespace wire {
+
+namespace {
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+  p[2] = static_cast<std::byte>((v >> 16) & 0xFF);
+  p[3] = static_cast<std::byte>((v >> 24) & 0xFF);
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t zigzag(std::int32_t v) {
+  // Two's-complement round trip through u32, explicit about signedness so
+  // the layout is identical on every host.
+  return static_cast<std::uint32_t>(v);
+}
+
+std::int32_t unzigzag(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+}  // namespace
+
+// Layout (offsets in bytes, all fields little-endian fixed-width):
+//   0  u32 magic "TDPM"
+//   4  u32 cls
+//   8  u64 comm
+//  16  i32 tag
+//  20  i32 src
+//  24  i32 poison_origin
+//  28  u32 reserved (0)
+//  32  u64 flow
+//  40  u64 seq
+//  48  u64 payload_bytes
+//  56  payload bytes follow
+void encode_header(const FrameHeader& h, std::byte out[kHeaderBytes]) {
+  put_u32(out + 0, kFrameMagic);
+  put_u32(out + 4, h.cls);
+  put_u64(out + 8, h.comm);
+  put_u32(out + 16, zigzag(h.tag));
+  put_u32(out + 20, zigzag(h.src));
+  put_u32(out + 24, zigzag(h.poison_origin));
+  put_u32(out + 28, 0);
+  put_u64(out + 32, h.flow);
+  put_u64(out + 40, h.seq);
+  put_u64(out + 48, h.payload_bytes);
+}
+
+bool decode_header(const std::byte in[kHeaderBytes], FrameHeader& h) {
+  if (get_u32(in + 0) != kFrameMagic) return false;
+  h.cls = get_u32(in + 4);
+  h.comm = get_u64(in + 8);
+  h.tag = unzigzag(get_u32(in + 16));
+  h.src = unzigzag(get_u32(in + 20));
+  h.poison_origin = unzigzag(get_u32(in + 24));
+  h.flow = get_u64(in + 32);
+  h.seq = get_u64(in + 40);
+  h.payload_bytes = get_u64(in + 48);
+  return true;
+}
+
+FrameHeader header_for(const Message& m, std::uint64_t seq) {
+  FrameHeader h;
+  h.cls = static_cast<std::uint32_t>(m.cls);
+  h.comm = m.comm;
+  h.tag = m.tag;
+  h.src = m.src;
+  h.poison_origin = m.poison_origin;
+  h.flow = m.flow;
+  h.seq = seq;
+  h.payload_bytes = m.payload.size();
+  return h;
+}
+
+Message to_message(const FrameHeader& h, Payload payload) {
+  Message m;
+  m.cls = static_cast<MessageClass>(h.cls);
+  m.comm = h.comm;
+  m.tag = h.tag;
+  m.src = h.src;
+  m.poison_origin = h.poison_origin;
+  m.flow = h.flow;
+  m.payload = std::move(payload);
+  return m;
+}
+
+void encode_hello(int rank, std::byte out[kHelloBytes]) {
+  put_u32(out + 0, kHelloMagic);
+  put_u32(out + 4, zigzag(rank));
+}
+
+bool decode_hello(const std::byte in[kHelloBytes], int& rank_out) {
+  if (get_u32(in + 0) != kHelloMagic) return false;
+  rank_out = unzigzag(get_u32(in + 4));
+  return true;
+}
+
+}  // namespace wire
+
+namespace {
+
+/// The original in-process path: deliver == direct post into the
+/// destination mailbox.  One std::function indirection per message, which
+/// the mailbox ablation shows is noise next to the post itself.
+class DirectTransport final : public Transport {
+ public:
+  explicit DirectTransport(LocalDeliver deliver)
+      : deliver_(std::move(deliver)) {}
+
+  const char* name() const override { return "direct"; }
+
+  void deliver(int dst, Message&& m) override {
+    deliver_(dst, std::move(m));
+  }
+
+ private:
+  LocalDeliver deliver_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_direct_transport(Transport::LocalDeliver d) {
+  return std::make_unique<DirectTransport>(std::move(d));
+}
+
+// Implemented in transport_uds.cpp.
+std::unique_ptr<Transport> make_uds_transport(
+    int nprocs, int rank, std::string socket_dir,
+    Transport::LocalDeliver deliver);
+
+std::unique_ptr<Transport> make_transport_from_env(
+    int nprocs, Transport::LocalDeliver deliver) {
+  const char* kind = std::getenv("TDP_TRANSPORT");
+  if (kind == nullptr || kind[0] == '\0' ||
+      std::strcmp(kind, "direct") == 0) {
+    return make_direct_transport(std::move(deliver));
+  }
+  if (std::strcmp(kind, "uds") != 0) {
+    util::atomic_print_err(
+        std::string("tdp::vp: unknown TDP_TRANSPORT \"") + kind +
+        "\" (expected \"direct\" or \"uds\"); using direct");
+    return make_direct_transport(std::move(deliver));
+  }
+  const int rank = util::env_int32("TDP_RANK", -1, 0, 1 << 20);
+  const int size = util::env_int32("TDP_SIZE", -1, 1, 1 << 20);
+  const char* dir = std::getenv("TDP_UDS_DIR");
+  if (rank < 0 || size < 1 || dir == nullptr || dir[0] == '\0') {
+    util::atomic_print_err(
+        "tdp::vp: TDP_TRANSPORT=uds needs TDP_RANK, TDP_SIZE and "
+        "TDP_UDS_DIR (tools/tdp_launch sets all three); using the direct "
+        "in-process transport");
+    return make_direct_transport(std::move(deliver));
+  }
+  if (rank >= size) {
+    util::atomic_print_err("tdp::vp: TDP_RANK=" + std::to_string(rank) +
+                           " is outside TDP_SIZE=" + std::to_string(size) +
+                           "; using the direct in-process transport");
+    return make_direct_transport(std::move(deliver));
+  }
+  if (size != nprocs) {
+    // A Machine whose processor count disagrees with the launched world
+    // cannot be one rank of it — most commonly a library-internal helper
+    // Machine inside a launched process.  Degrade to in-process delivery.
+    util::atomic_print_err(
+        "tdp::vp: Machine(" + std::to_string(nprocs) + ") != TDP_SIZE=" +
+        std::to_string(size) +
+        "; this machine uses the direct in-process transport");
+    return make_direct_transport(std::move(deliver));
+  }
+  return make_uds_transport(nprocs, rank, dir, std::move(deliver));
+}
+
+}  // namespace tdp::vp

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -660,6 +661,120 @@ TEST_F(ObsTelemetryTest, PercentileFromBucketsEdgeCases) {
   EXPECT_EQ(obs::Histogram::percentile_from_buckets(buckets, 0.5), 1u);
   // Rank 100 is the top of bucket 10.
   EXPECT_EQ(obs::Histogram::percentile_from_buckets(buckets, 1.0), 1023u);
+}
+
+// --- SIGUSR1 dump-handler hygiene -----------------------------------------
+//
+// The library must never clobber a handler its embedder registered, and
+// must put back what it found when it leaves.  (These manipulate the
+// process signal table, so they restore the original disposition on every
+// path.)
+
+namespace {
+std::atomic<int> g_app_handler_hits{0};
+extern "C" void app_sigusr1_handler(int) {
+  g_app_handler_hits.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TEST_F(ObsTelemetryTest, DumpHandlerInstallsOverDefaultAndRestores) {
+  struct sigaction original {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &original), 0);
+  // Force a known-default starting point.
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &dfl, nullptr), 0);
+
+  obs::install_dump_signal_handler();
+  EXPECT_TRUE(obs::dump_signal_handler_installed());
+  // Idempotent: a second install is a no-op, not a re-save of our own
+  // handler as "previous".
+  obs::install_dump_signal_handler();
+  EXPECT_TRUE(obs::dump_signal_handler_installed());
+
+  obs::uninstall_dump_signal_handler();
+  EXPECT_FALSE(obs::dump_signal_handler_installed());
+  struct sigaction after {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, SIG_DFL) << "previous disposition not restored";
+
+  ASSERT_EQ(sigaction(SIGUSR1, &original, nullptr), 0);
+}
+
+TEST_F(ObsTelemetryTest, DumpHandlerNeverClobbersAnApplicationHandler) {
+  struct sigaction original {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &original), 0);
+  struct sigaction app {};
+  app.sa_handler = &app_sigusr1_handler;
+  sigemptyset(&app.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &app, nullptr), 0);
+
+  // The old bug: std::signal unconditionally, silently disconnecting the
+  // application's handler.  Now installation must be refused.
+  obs::install_dump_signal_handler();
+  EXPECT_FALSE(obs::dump_signal_handler_installed());
+
+  const int before = g_app_handler_hits.load(std::memory_order_relaxed);
+  ASSERT_EQ(raise(SIGUSR1), 0);
+  EXPECT_EQ(g_app_handler_hits.load(std::memory_order_relaxed), before + 1)
+      << "application handler no longer receives SIGUSR1";
+
+  // Uninstall with nothing of ours installed is a no-op and leaves the
+  // application handler alone.
+  obs::uninstall_dump_signal_handler();
+  struct sigaction after {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, &app_sigusr1_handler);
+
+  ASSERT_EQ(sigaction(SIGUSR1, &original, nullptr), 0);
+}
+
+TEST_F(ObsTelemetryTest, UninstallLeavesALaterApplicationHandlerAlone) {
+  struct sigaction original {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &original), 0);
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &dfl, nullptr), 0);
+
+  obs::install_dump_signal_handler();
+  ASSERT_TRUE(obs::dump_signal_handler_installed());
+  // The application replaces our handler after us; uninstall must not
+  // stomp it with the stale saved disposition.
+  struct sigaction app {};
+  app.sa_handler = &app_sigusr1_handler;
+  sigemptyset(&app.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &app, nullptr), 0);
+
+  obs::uninstall_dump_signal_handler();
+  struct sigaction after {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &after), 0);
+  EXPECT_EQ(after.sa_handler, &app_sigusr1_handler);
+
+  ASSERT_EQ(sigaction(SIGUSR1, &original, nullptr), 0);
+}
+
+TEST_F(ObsTelemetryTest, InstalledHandlerArmsTheDumpFlag) {
+  struct sigaction original {};
+  ASSERT_EQ(sigaction(SIGUSR1, nullptr, &original), 0);
+  struct sigaction dfl {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &dfl, nullptr), 0);
+
+  obs::install_dump_signal_handler();
+  ASSERT_TRUE(obs::dump_signal_handler_installed());
+  const std::string prefix = ::testing::TempDir() + "tdp_sig_dump";
+  ::setenv("TDP_OBS_DUMP", prefix.c_str(), 1);
+  ASSERT_EQ(raise(SIGUSR1), 0);
+  EXPECT_TRUE(obs::service_flight_dump_request());
+  std::ifstream trace(prefix + ".trace.json");
+  EXPECT_TRUE(trace.good());
+  ::unsetenv("TDP_OBS_DUMP");
+
+  obs::uninstall_dump_signal_handler();
+  ASSERT_EQ(sigaction(SIGUSR1, &original, nullptr), 0);
 }
 
 }  // namespace

@@ -2,12 +2,81 @@
 // (find_log2, rho_proc), and node_array (§C.2).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/bits.hpp"
+#include "util/env.hpp"
 #include "util/node_array.hpp"
 #include "util/status.hpp"
 
 namespace tdp {
 namespace {
+
+// --- checked integer env parsing (util/env.hpp) -----------------------------
+//
+// The contract every TDP_* integer variable now shares: unset/empty reads
+// the fallback silently; a clean in-range integer is taken; garbage, a
+// trailing suffix, or an out-of-range value warns and falls back — a typo
+// must never silently parse as its numeric prefix (the old bare-atoi bug).
+
+TEST(Env, UnsetAndEmptyReadFallbackSilently) {
+  ::unsetenv("TDP_TEST_ENV_INT");
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 42), 42);
+  ::setenv("TDP_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 42), 42);
+  ::unsetenv("TDP_TEST_ENV_INT");
+}
+
+TEST(Env, CleanIntegersParseIncludingNegative) {
+  ::setenv("TDP_TEST_ENV_INT", "17", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 0), 17);
+  ::setenv("TDP_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 0), -3);
+  ::setenv("TDP_TEST_ENV_INT", "0", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 5, 0, 100), 0);
+  ::unsetenv("TDP_TEST_ENV_INT");
+}
+
+TEST(Env, GarbageAndPartialParsesFallBack) {
+  ::setenv("TDP_TEST_ENV_INT", "soon", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 7), 7);
+  // The atoi trap: "8 shards" parsed as 8 before; now the whole string
+  // must be the integer.
+  ::setenv("TDP_TEST_ENV_INT", "8 shards", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 7), 7);
+  ::setenv("TDP_TEST_ENV_INT", "12.5", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 7), 7);
+  ::unsetenv("TDP_TEST_ENV_INT");
+}
+
+TEST(Env, OutOfRangeFallsBack) {
+  ::setenv("TDP_TEST_ENV_INT", "-1", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 4, 0, 100), 4);
+  ::setenv("TDP_TEST_ENV_INT", "101", 1);
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 4, 0, 100), 4);
+  ::setenv("TDP_TEST_ENV_INT", "999999999999999999999999", 1);  // > 2^63
+  EXPECT_EQ(util::env_int("TDP_TEST_ENV_INT", 4, 0, 100), 4);
+  ::unsetenv("TDP_TEST_ENV_INT");
+}
+
+TEST(Env, Int32VariantClampsToIntRange) {
+  ::setenv("TDP_TEST_ENV_INT", "123", 1);
+  EXPECT_EQ(util::env_int32("TDP_TEST_ENV_INT", 0), 123);
+  ::setenv("TDP_TEST_ENV_INT", "9999999999", 1);  // fits i64, not i32
+  EXPECT_EQ(util::env_int32("TDP_TEST_ENV_INT", 6), 6);
+  ::unsetenv("TDP_TEST_ENV_INT");
+}
+
+TEST(Env, ParseIntIsStrict) {
+  long long v = 0;
+  EXPECT_TRUE(util::parse_int("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(util::parse_int("-9", v));
+  EXPECT_EQ(v, -9);
+  EXPECT_FALSE(util::parse_int("", v));
+  EXPECT_FALSE(util::parse_int("12x", v));
+  EXPECT_FALSE(util::parse_int("x12", v));
+}
 
 TEST(Status, CodesMatchThesisTable) {
   EXPECT_EQ(to_int(Status::Ok), 0);

@@ -1,0 +1,214 @@
+// tdp_launch — rendezvous launcher for the multi-process UDS transport.
+//
+//   tdp_launch -n 4 ./examples/spmd_ring         # fork 4 ranks, wait, reap
+//   tdp_launch -n 4 --dir /tmp/d --rank 2 prog   # attach ONE rank to a set
+//
+// The default form forks N copies of the program, giving rank r the
+// environment the transport factory reads:
+//
+//   TDP_TRANSPORT=uds  TDP_RANK=r  TDP_SIZE=N  TDP_UDS_DIR=<dir>
+//
+// Rendezvous is the directory: every rank binds <dir>/rank-<r>.sock and
+// connects to its peers' paths, retrying while they bind (the transport's
+// connect window), so no ordering coordination is needed beyond a shared
+// directory — created fresh under $TMPDIR by default and removed at exit.
+//
+// The --rank form launches a single rank attached to an externally managed
+// set (e.g. one rank under a debugger while tdp_launch --rank runs the
+// others from separate terminals): it execs the program in place with the
+// environment set, and requires an explicit --dir the set agrees on.
+//
+// Signals: SIGINT/SIGTERM are forwarded to every child, so ^C tears the
+// whole set down instead of orphaning N-1 ranks.  The exit status is the
+// first non-zero child status, and every failing rank is named on stderr —
+// a silent partial failure would read as success.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -n <ranks> [--dir <rendezvous-dir>] [--] <program> "
+      "[args...]\n"
+      "       %s -n <ranks> --dir <rendezvous-dir> --rank <r> [--] "
+      "<program> [args...]\n"
+      "  launches <program> as <ranks> OS processes over the Unix-socket\n"
+      "  transport (TDP_TRANSPORT=uds); the second form attaches a single\n"
+      "  rank to an externally launched set sharing <rendezvous-dir>\n",
+      argv0, argv0);
+  return 2;
+}
+
+volatile sig_atomic_t g_forward_signal = 0;
+
+void on_signal(int sig) { g_forward_signal = sig; }
+
+void set_rank_env(int rank, int size, const std::string& dir) {
+  setenv("TDP_TRANSPORT", "uds", 1);
+  setenv("TDP_RANK", std::to_string(rank).c_str(), 1);
+  setenv("TDP_SIZE", std::to_string(size).c_str(), 1);
+  setenv("TDP_UDS_DIR", dir.c_str(), 1);
+}
+
+bool parse_int_arg(const char* s, int& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < 0 || v > (1 << 20)) {
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nranks = -1;
+  int attach_rank = -1;
+  std::string dir;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") return usage(argv[0]);
+    if (arg == "-n" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], nranks) || nranks < 1) {
+        std::fprintf(stderr, "tdp_launch: bad -n value \"%s\"\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--rank" && i + 1 < argc) {
+      if (!parse_int_arg(argv[++i], attach_rank)) {
+        std::fprintf(stderr, "tdp_launch: bad --rank value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      break;  // first non-option: the program
+    }
+  }
+  if (nranks < 1 || i >= argc) return usage(argv[0]);
+  if (attach_rank >= 0 && attach_rank >= nranks) {
+    std::fprintf(stderr, "tdp_launch: --rank %d is outside -n %d\n",
+                 attach_rank, nranks);
+    return 2;
+  }
+  char** program_argv = argv + i;
+
+  // Attach mode: this process IS the rank; exec in place so the program
+  // keeps our pid (debugger-friendly) and our exit status is its own.
+  if (attach_rank >= 0) {
+    if (dir.empty()) {
+      std::fprintf(stderr,
+                   "tdp_launch: --rank needs --dir (the directory the "
+                   "already-running ranks rendezvous in)\n");
+      return 2;
+    }
+    set_rank_env(attach_rank, nranks, dir);
+    execvp(program_argv[0], program_argv);
+    std::fprintf(stderr, "tdp_launch: cannot exec %s: %s\n", program_argv[0],
+                 std::strerror(errno));
+    return 127;
+  }
+
+  bool made_dir = false;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string templ =
+        std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+        "/tdp_uds.XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "tdp_launch: mkdtemp(%s) failed: %s\n",
+                   templ.c_str(), std::strerror(errno));
+      return 1;
+    }
+    dir = buf.data();
+    made_dir = true;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "tdp_launch: fork failed at rank %d: %s\n", r,
+                   std::strerror(errno));
+      for (int k = 0; k < r; ++k) kill(pids[static_cast<std::size_t>(k)],
+                                       SIGTERM);
+      return 1;
+    }
+    if (pid == 0) {
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      set_rank_env(r, nranks, dir);
+      execvp(program_argv[0], program_argv);
+      std::fprintf(stderr, "tdp_launch: rank %d: cannot exec %s: %s\n", r,
+                   program_argv[0], std::strerror(errno));
+      _exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  int exit_code = 0;
+  int remaining = nranks;
+  while (remaining > 0) {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) {
+        if (g_forward_signal != 0) {
+          const int sig = g_forward_signal;
+          g_forward_signal = 0;
+          for (const pid_t p : pids) {
+            if (p > 0) kill(p, sig);
+          }
+        }
+        continue;
+      }
+      break;  // ECHILD: nothing left
+    }
+    --remaining;
+    int rank = -1;
+    for (int r = 0; r < nranks; ++r) {
+      if (pids[static_cast<std::size_t>(r)] == pid) rank = r;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "tdp_launch: rank %d exited with status %d\n",
+                   rank, WEXITSTATUS(status));
+      if (exit_code == 0) exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      std::fprintf(stderr, "tdp_launch: rank %d killed by signal %d (%s)\n",
+                   rank, WTERMSIG(status), strsignal(WTERMSIG(status)));
+      if (exit_code == 0) exit_code = 128 + WTERMSIG(status);
+    }
+  }
+
+  if (made_dir) {
+    // Ranks unlink their own sockets at shutdown; sweep whatever a crashed
+    // rank left behind, then the directory itself.
+    for (int r = 0; r < nranks; ++r) {
+      unlink((dir + "/rank-" + std::to_string(r) + ".sock").c_str());
+    }
+    rmdir(dir.c_str());
+  }
+  return exit_code;
+}

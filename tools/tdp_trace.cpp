@@ -27,10 +27,13 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " <trace.json>\n"
+      << "usage: " << argv0 << " <trace.json> [more-traces.json...]\n"
       << "       " << argv0 << " why <call-id|slowest> <slow.json>\n"
       << "  analyzes a Chrome trace exported by tdp::obs\n"
       << "  (capture one with TDP_OBS=1 TDP_OBS_TRACE=<path>)\n"
+      << "  several traces merge before analysis: pass every rank's file\n"
+      << "  from a multi-process run (tdp_trace tdp_trace.rank*.json) and\n"
+      << "  cross-process sends pair with their remote receives by flow id\n"
       << "  `why` explains one slow call from an exemplar document\n"
       << "  (TDP_OBS_SLOW_MS + the `slow` socket verb, or <dump>.slow.json)\n";
   return 2;
@@ -100,37 +103,50 @@ int main(int argc, char** argv) {
     if (args.size() != 3) return usage(argv[0]);
     return run_why(args[1], args[2]);
   }
-  if (args.size() != 1) return usage(argv[0]);
-  const std::string& path = args[0];
+  if (args.empty()) return usage(argv[0]);
 
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "tdp_trace: cannot open " << path << "\n";
-    return 1;
-  }
+  // One file is the single-process case; several merge into one event set
+  // before analysis — the per-rank traces of a TDP_TRANSPORT=uds run.
+  // Flow pairing matches "s"/"f" endpoints by id, and ids are unique
+  // across a launch (obs::next_flow_id folds the rank in), so a send in
+  // rank 0's file pairs with its receive in rank 3's.  Per-rank clocks
+  // have independent epochs: pairing and per-VP utilization are exact,
+  // cross-rank latencies are not comparable.
   std::vector<tdp::obs::LoadedEvent> events;
-  std::string error;
-  tdp::obs::TraceMeta meta;
-  if (!tdp::obs::load_chrome_trace(in, events, &error, &meta)) {
-    std::cerr << "tdp_trace: failed to parse " << path << ": " << error
-              << "\n";
-    return 1;
-  }
-  if (meta.present && meta.truncated()) {
-    // Loudly, before the report: every number below describes a partial
-    // run, and "partial" means different things per retention mode.
-    if (meta.overwritten != 0) {
-      std::cerr << "tdp_trace: WARNING: flight-recorder trace — the oldest "
-                << meta.overwritten << " of " << meta.recorded
-                << " events were overwritten; the report covers only the "
-                   "most recent window\n";
+  for (const std::string& path : args) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "tdp_trace: cannot open " << path << "\n";
+      return 1;
     }
-    if (meta.dropped != 0) {
-      std::cerr << "tdp_trace: WARNING: " << meta.dropped
-                << " events were dropped past capacity — the trace ends "
-                   "early (raise TDP_OBS_CAPACITY or use TDP_OBS_MODE=ring)"
-                   "\n";
+    std::vector<tdp::obs::LoadedEvent> file_events;
+    std::string error;
+    tdp::obs::TraceMeta meta;
+    if (!tdp::obs::load_chrome_trace(in, file_events, &error, &meta)) {
+      std::cerr << "tdp_trace: failed to parse " << path << ": " << error
+                << "\n";
+      return 1;
     }
+    if (meta.present && meta.truncated()) {
+      // Loudly, before the report: every number below describes a partial
+      // run, and "partial" means different things per retention mode.
+      if (meta.overwritten != 0) {
+        std::cerr << "tdp_trace: WARNING: " << path
+                  << ": flight-recorder trace — the oldest "
+                  << meta.overwritten << " of " << meta.recorded
+                  << " events were overwritten; the report covers only the "
+                     "most recent window\n";
+      }
+      if (meta.dropped != 0) {
+        std::cerr << "tdp_trace: WARNING: " << path << ": " << meta.dropped
+                  << " events were dropped past capacity — the trace ends "
+                     "early (raise TDP_OBS_CAPACITY or use "
+                     "TDP_OBS_MODE=ring)\n";
+      }
+    }
+    events.insert(events.end(),
+                  std::make_move_iterator(file_events.begin()),
+                  std::make_move_iterator(file_events.end()));
   }
   const tdp::obs::TraceReport report = tdp::obs::analyze_trace(events);
   tdp::obs::write_report(std::cout, report);
